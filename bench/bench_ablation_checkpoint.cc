@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation 2: checkpoint-interval sweep (fileio).
+ *
+ * Shorter intervals take more checkpoints and copy more pages (poor
+ * memory locality costs more, Section 8.3.1), trading replay speed for a
+ * tighter bound on how far the alarm replayer must roll back.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+using namespace rsafe;
+using stats::Table;
+
+int
+main()
+{
+    Table table("Ablation: checkpoint interval (fileio)",
+                {"interval (s)", "checkpoints", "pages+blocks copied",
+                 "chk cycles", "replay vs Rec"});
+    const auto profile = bench::bench_profile("fileio");
+    auto rec = bench::run_recording(profile, bench::RecMode::kRec);
+    const auto& log = rec.recorder->log();
+
+    for (const double seconds : {0.0, 5.0, 2.0, 1.0, 0.5, 0.2, 0.1}) {
+        const auto replay =
+            bench::run_checkpoint_replay(profile, log, seconds);
+        table.add_row(
+            {seconds == 0.0 ? std::string("none") : Table::fmt(seconds, 1),
+             std::to_string(replay.checkpoints),
+             std::to_string(replay.copies),
+             std::to_string(replay.overhead.chk),
+             Table::fmt(double(replay.cycles) / double(rec.cycles))});
+    }
+    bench::emit(table);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation 1: the RAS-hardware design space.
+ *
+ * (a) RAS depth sweep on apache: a shallower RAS evicts more, producing
+ *     more Evict records and underflow alarms (all CR-resolved), while
+ *     the default 48 entries make them rare — the design point Section
+ *     7.5 simulates.
+ * (b) Hardware-level sweep (Section 4.2 -> 4.3 -> 4.4): alarms passed to
+ *     the replayers with the basic RAS design, with BackRAS added, and
+ *     with the whitelists added (the full RnR-Safe).
+ */
+
+#include "bench_common.h"
+#include "common/log.h"
+#include "core/rop_detector.h"
+#include "stats/table.h"
+
+using namespace rsafe;
+using stats::Table;
+
+int
+main()
+{
+    Table depth_table("Ablation: RAS depth (apache)",
+                      {"depth", "evict records", "alarms", "CR-resolved",
+                       "to-AR", "cycles vs 48"});
+    auto profile = bench::bench_profile("apache");
+    profile.iterations_per_task /= 2;
+
+    Cycles base_cycles = 0;
+    for (const std::size_t depth : {16u, 32u, 48u, 64u}) {
+        auto vm_profile = profile;
+        auto vm = workloads::make_vm(vm_profile);
+        // Rebuild the VM with the requested RAS depth.
+        hv::VmConfig config;
+        config.devices = vm_profile.devices;
+        config.ras_depth = depth;
+        auto workload = workloads::generate_workload(vm_profile);
+        auto vm2 = std::make_unique<hv::Vm>(config);
+        vm2->load_user_image(workload.image);
+        for (const auto entry : workload.task_entries)
+            vm2->add_user_task(entry);
+        vm2->finalize();
+
+        rnr::Recorder recorder(vm2.get(), rnr::RecorderOptions{});
+        if (recorder.run(~static_cast<InstrCount>(0)) !=
+            hv::RunResult::kHalted) {
+            rsafe::fatal("ablation run did not halt");
+        }
+        const auto& log = recorder.log();
+        const auto evicts = log.find_all(rnr::RecordType::kRasEvict).size();
+        const auto alarms = log.find_all(rnr::RecordType::kRasAlarm).size();
+
+        auto cr_vm = std::make_unique<hv::Vm>(config);
+        cr_vm->load_user_image(workload.image);
+        for (const auto entry : workload.task_entries)
+            cr_vm->add_user_task(entry);
+        cr_vm->finalize();
+        replay::CrOptions cr_options;
+        cr_options.checkpoint_interval = bench::kCyclesPerSecond;
+        replay::CheckpointReplayer cr(cr_vm.get(), &log, cr_options);
+        if (cr.run() != rnr::ReplayOutcome::kFinished)
+            rsafe::fatal("ablation replay failed");
+
+        if (depth == 48)
+            base_cycles = vm2->cpu().cycles();
+        depth_table.add_row(
+            {std::to_string(depth), std::to_string(evicts),
+             std::to_string(alarms),
+             std::to_string(cr.underflows_resolved()),
+             std::to_string(cr.pending_alarms().size()),
+             base_cycles ? Table::fmt(double(vm2->cpu().cycles()) /
+                                      double(base_cycles))
+                         : std::string("-")});
+    }
+    bench::emit(depth_table);
+
+    Table level_table(
+        "Ablation: detector hardware level (mysql, alarms per 1M instr)",
+        {"level", "alarms", "alarms/1M", "whitelist hits", "restored hits"});
+    auto mysql = bench::bench_profile("mysql");
+    mysql.iterations_per_task /= 2;
+    struct Level {
+        const char* name;
+        core::RopHardwareLevel level;
+    };
+    for (const auto& [name, level] :
+         {Level{"basic (4.2)", core::RopHardwareLevel::kBasic},
+          Level{"+BackRAS (4.3)", core::RopHardwareLevel::kBackRas},
+          Level{"+whitelist (4.4)", core::RopHardwareLevel::kFull}}) {
+        auto vm = workloads::make_vm(mysql);
+        auto options = core::rop_recorder_options(level);
+        options.evict_exits = false;  // isolate the mispredict sources
+        rnr::Recorder recorder(vm.get(), options);
+        if (recorder.run(~static_cast<InstrCount>(0)) !=
+            hv::RunResult::kHalted) {
+            rsafe::fatal("level ablation did not halt");
+        }
+        const auto alarms =
+            recorder.log().find_all(rnr::RecordType::kRasAlarm).size();
+        const double per_million =
+            double(alarms) * 1e6 / double(vm->cpu().icount());
+        level_table.add_row(
+            {name, std::to_string(alarms), Table::fmt(per_million, 2),
+             std::to_string(vm->cpu().stats().ras_whitelisted),
+             std::to_string(vm->cpu().stats().ras_hits_restored)});
+    }
+    bench::emit(level_table);
+    return 0;
+}

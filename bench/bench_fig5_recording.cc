@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 5: recording overhead.
+ *
+ * (a) Execution time of the four recording setups (NoRecPV, NoRec,
+ *     RecNoRAS, Rec), normalized to NoRec, for the five benchmarks plus
+ *     the geometric mean.
+ * (b) Breakdown of the Rec-over-NoRec overhead into its sources: rdtsc,
+ *     pio/mmio, interrupts, network-content logging, and the RAS
+ *     extensions.
+ *
+ * Paper shape targets: disabling PV costs 25-150% (apache/fileio most);
+ * Rec is ~27% over NoRec on average and RecNoRAS ~24%; rdtsc dominates
+ * the breakdown (especially fileio and mysql); RAS save/restore is a few
+ * percent.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+using namespace rsafe;
+using bench::RecMode;
+using stats::Table;
+
+int
+main()
+{
+    const auto names = workloads::benchmark_names();
+
+    Table fig5a("Figure 5(a): execution time of recording setups "
+                "(normalized to NoRec)",
+                {"benchmark", "NoRecPV", "NoRec", "RecNoRAS", "Rec"});
+    Table fig5b("Figure 5(b): breakdown of the Rec overhead over NoRec (%)",
+                {"benchmark", "rdtsc", "pio/mmio", "interrupt", "network",
+                 "RAS"});
+
+    std::vector<double> pv_ratios, noras_ratios, rec_ratios;
+    for (const auto& name : names) {
+        const auto profile = bench::bench_profile(name);
+        const auto pv = bench::run_recording(profile, RecMode::kNoRecPV);
+        const auto base = bench::run_recording(profile, RecMode::kNoRec);
+        const auto noras =
+            bench::run_recording(profile, RecMode::kRecNoRAS);
+        const auto rec = bench::run_recording(profile, RecMode::kRec);
+
+        const double denom = double(base.cycles);
+        pv_ratios.push_back(double(pv.cycles) / denom);
+        noras_ratios.push_back(double(noras.cycles) / denom);
+        rec_ratios.push_back(double(rec.cycles) / denom);
+        fig5a.add_row({name, Table::fmt(pv_ratios.back()),
+                       Table::fmt(1.0), Table::fmt(noras_ratios.back()),
+                       Table::fmt(rec_ratios.back())});
+
+        const auto& ovh = rec.recorder->overhead();
+        const double total = double(ovh.total());
+        auto pct = [&](Cycles part) {
+            return total > 0 ? Table::fmt(100.0 * double(part) / total, 1)
+                             : std::string("0");
+        };
+        fig5b.add_row({name, pct(ovh.rdtsc), pct(ovh.pio_mmio),
+                       pct(ovh.interrupt), pct(ovh.network),
+                       pct(ovh.ras)});
+    }
+    fig5a.add_row({"mean", Table::fmt(bench::geo_mean(pv_ratios)),
+                   Table::fmt(1.0),
+                   Table::fmt(bench::geo_mean(noras_ratios)),
+                   Table::fmt(bench::geo_mean(rec_ratios))});
+
+    bench::emit(fig5a);
+    bench::emit(fig5b);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 6: (a) input-log generation rate and (b) the bandwidth of saving
+ * and restoring the RAS at context switches, both in MB/s of simulated
+ * time.
+ *
+ * Paper shape targets: apache has the highest log rate (network packet
+ * contents dominate, ~4 MB/s); the BackRAS bandwidth is small (<1 MB/s)
+ * for every benchmark.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+using namespace rsafe;
+using stats::Table;
+
+int
+main()
+{
+    Table fig6("Figure 6: input-log rate and BackRAS bandwidth",
+               {"benchmark", "log MB/s", "log bytes", "records",
+                "BackRAS MB/s", "ctx switches"});
+
+    for (const auto& name : workloads::benchmark_names()) {
+        const auto profile = bench::bench_profile(name);
+        auto rec = bench::run_recording(profile, bench::RecMode::kRec);
+        const double seconds =
+            double(rec.cycles) / double(bench::kCyclesPerSecond);
+        const double log_rate =
+            double(rec.recorder->log().total_bytes()) / seconds / 1e6;
+        const double backras_rate =
+            double(rec.recorder->backras().bytes_transferred()) / seconds /
+            1e6;
+        fig6.add_row({name, Table::fmt(log_rate, 3),
+                      std::to_string(rec.recorder->log().total_bytes()),
+                      std::to_string(rec.recorder->log().size()),
+                      Table::fmt(backras_rate, 3),
+                      std::to_string(
+                          rec.recorder->stats().context_switches)});
+    }
+    bench::emit(fig6);
+    return 0;
+}

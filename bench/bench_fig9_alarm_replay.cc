@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 9: execution time of an alarm replayer checking for kernel ROPs,
+ * compared with recording (Rec) and checkpointing replay (RepChk1).
+ *
+ * The alarm replayer traps on every kernel call and return instruction,
+ * so its slowdown tracks the workload's kernel call/return density.
+ * Paper shape targets: ~50x for apache, 30-40x for make/mysql, ~2.8x for
+ * radiosity (modest kernel activity).
+ */
+
+#include "bench_common.h"
+#include "common/log.h"
+#include "replay/alarm_replayer.h"
+#include "stats/table.h"
+
+using namespace rsafe;
+using stats::Table;
+
+int
+main()
+{
+    Table fig9("Figure 9: alarm replay, kernel-ROP checking "
+               "(normalized to Rec)",
+               {"benchmark", "Rec", "RepChk1", "RepAlarm",
+                "kernel call/rets"});
+
+    std::vector<double> chk1, alarm;
+    for (const auto& name : workloads::benchmark_names()) {
+        const auto profile = bench::bench_profile(name);
+        auto rec = bench::run_recording(profile, bench::RecMode::kRec);
+        const auto& log = rec.recorder->log();
+        const double denom = double(rec.cycles);
+
+        const auto rep1 = bench::run_checkpoint_replay(profile, log, 1.0);
+
+        // The alarm replayer, launched from an initial checkpoint and
+        // driven across the whole execution.
+        auto seed_vm = workloads::make_vm(profile);
+        rnr::InputLog empty;
+        rnr::Replayer seed_env(seed_vm.get(), &empty, 0,
+                               rnr::ReplayOptions{});
+        replay::CheckpointStore store(1);
+        const auto ck = store.take(*seed_vm, seed_env, 0);
+
+        auto ar_vm = workloads::make_vm(profile);
+        rnr::ReplayOptions ar_options;
+        ar_options.trap_kernel_call_ret = true;
+        replay::AlarmReplayer ar(ar_vm.get(), &log, *ck, ar_options);
+        const auto outcome = ar.run();
+        if (outcome != rnr::ReplayOutcome::kFinished &&
+            outcome != rnr::ReplayOutcome::kLogExhausted) {
+            rsafe::fatal("alarm replay failed for " + name);
+        }
+
+        chk1.push_back(double(rep1.cycles) / denom);
+        alarm.push_back(double(ar_vm->cpu().cycles()) / denom);
+        fig9.add_row({name, Table::fmt(1.0), Table::fmt(chk1.back()),
+                      Table::fmt(alarm.back(), 1),
+                      std::to_string(
+                          ar_vm->cpu().stats().kernel_call_rets)});
+    }
+    fig9.add_row({"mean", Table::fmt(1.0),
+                  Table::fmt(bench::geo_mean(chk1)),
+                  Table::fmt(bench::geo_mean(alarm), 1), ""});
+    bench::emit(fig9);
+    return 0;
+}

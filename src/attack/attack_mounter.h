@@ -1,0 +1,44 @@
+#ifndef RSAFE_ATTACK_ATTACK_MOUNTER_H_
+#define RSAFE_ATTACK_ATTACK_MOUNTER_H_
+
+#include "attack/rop_chain.h"
+#include "common/types.h"
+#include "isa/program.h"
+#include "kernel/kernel_builder.h"
+
+/**
+ * @file
+ * Emits the attacker's user task (Section 6).
+ *
+ * The generated program models a local unprivileged attacker: it idles
+ * for a configurable warm-up (so the attack lands mid-workload), stages
+ * the Figure 10 exploit string into its own buffer, and invokes the
+ * vulnerable sys_logmsg with an over-long length. If the kernel were
+ * unprotected, the hijacked return would run the gadget chain, call
+ * k_set_root, and stealthily resume the attacker in user mode.
+ */
+
+namespace rsafe::attack {
+
+/** The built attacker task. */
+struct AttackProgram {
+    isa::Image image;
+    Addr entry = 0;
+    RopChain chain;
+};
+
+/**
+ * Build the attacker task image.
+ *
+ * @param kernel       the victim kernel (scanned for gadgets).
+ * @param code_base    load address for the attacker code (user segment).
+ * @param staging_buf  user-data address the payload is staged at.
+ * @param delay_iters  busy-loop iterations before mounting the attack.
+ */
+AttackProgram build_attacker_program(const kernel::GuestKernel& kernel,
+                                     Addr code_base, Addr staging_buf,
+                                     std::uint64_t delay_iters);
+
+}  // namespace rsafe::attack
+
+#endif  // RSAFE_ATTACK_ATTACK_MOUNTER_H_

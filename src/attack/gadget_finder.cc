@@ -1,0 +1,86 @@
+#include "attack/gadget_finder.h"
+
+namespace rsafe::attack {
+
+using isa::Opcode;
+
+GadgetFinder::GadgetFinder(const isa::Image& image, std::size_t max_instrs)
+{
+    // Enumerate every suffix of length 1..max_instrs ending at each ret.
+    for (Addr addr = image.base(); addr + kInstrBytes <= image.end();
+         addr += kInstrBytes) {
+        const auto instr = image.instr_at(addr);
+        if (!instr || instr->op != Opcode::kRet)
+            continue;
+        for (std::size_t len = 1; len <= max_instrs; ++len) {
+            const Addr start = addr - (len - 1) * kInstrBytes;
+            if (start < image.base())
+                break;
+            Gadget gadget;
+            gadget.addr = start;
+            bool ok = true;
+            for (std::size_t i = 0; i < len; ++i) {
+                const auto g = image.instr_at(start + i * kInstrBytes);
+                if (!g) {
+                    ok = false;
+                    break;
+                }
+                gadget.instrs.push_back(*g);
+            }
+            if (ok)
+                gadgets_.push_back(std::move(gadget));
+        }
+    }
+}
+
+std::optional<Addr>
+GadgetFinder::find_pop_ret(std::uint8_t reg) const
+{
+    for (const auto& gadget : gadgets_) {
+        if (gadget.instrs.size() == 2 &&
+            gadget.instrs[0].op == Opcode::kPop &&
+            gadget.instrs[0].rd == reg) {
+            return gadget.addr;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Addr>
+GadgetFinder::find_load_ret(std::uint8_t rd, std::uint8_t base) const
+{
+    for (const auto& gadget : gadgets_) {
+        if (gadget.instrs.size() == 2 &&
+            gadget.instrs[0].op == Opcode::kLd &&
+            gadget.instrs[0].rd == rd && gadget.instrs[0].rs1 == base &&
+            gadget.instrs[0].imm == 0) {
+            return gadget.addr;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Addr>
+GadgetFinder::find_callr(std::uint8_t reg) const
+{
+    for (const auto& gadget : gadgets_) {
+        if (gadget.instrs.size() == 2 &&
+            gadget.instrs[0].op == Opcode::kCallr &&
+            gadget.instrs[0].rs1 == reg) {
+            return gadget.addr;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Addr>
+GadgetFinder::find_ret() const
+{
+    for (const auto& gadget : gadgets_) {
+        if (gadget.instrs.size() == 1)
+            return gadget.addr;
+    }
+    return std::nullopt;
+}
+
+}  // namespace rsafe::attack

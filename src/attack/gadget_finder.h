@@ -1,0 +1,63 @@
+#ifndef RSAFE_ATTACK_GADGET_FINDER_H_
+#define RSAFE_ATTACK_GADGET_FINDER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * Gadget discovery over a victim code image (Appendix A, Figure 10a).
+ *
+ * "The executable is scanned for instances of the return instruction.
+ * We decode a few bytes before three returns creating three gadgets" —
+ * this scanner enumerates every instruction suffix ending in `ret` and
+ * offers pattern queries for the gadget shapes the Figure 10 chain needs:
+ * pop-then-ret, load-then-ret, and indirect-call gadgets.
+ */
+
+namespace rsafe::attack {
+
+/** One discovered gadget: a short instruction run ending in ret. */
+struct Gadget {
+    Addr addr = 0;                   ///< address of the first instruction
+    std::vector<isa::Instr> instrs;  ///< includes the terminating ret
+};
+
+/** Scans an image for return-terminated gadgets. */
+class GadgetFinder {
+  public:
+    /**
+     * @param image       the victim code image (e.g., the guest kernel).
+     * @param max_instrs  longest gadget to enumerate (instructions,
+     *                    including the ret).
+     */
+    explicit GadgetFinder(const isa::Image& image,
+                          std::size_t max_instrs = 4);
+
+    /** All discovered gadgets. */
+    const std::vector<Gadget>& gadgets() const { return gadgets_; }
+
+    /** @return address of a `pop rN; ret` gadget. */
+    std::optional<Addr> find_pop_ret(std::uint8_t reg) const;
+
+    /** @return address of a `ld rd, [base+0]; ret` gadget. */
+    std::optional<Addr> find_load_ret(std::uint8_t rd,
+                                      std::uint8_t base) const;
+
+    /** @return address of a `callr rN` instruction followed by ret. */
+    std::optional<Addr> find_callr(std::uint8_t reg) const;
+
+    /** @return address of a bare `ret` gadget. */
+    std::optional<Addr> find_ret() const;
+
+  private:
+    std::vector<Gadget> gadgets_;
+};
+
+}  // namespace rsafe::attack
+
+#endif  // RSAFE_ATTACK_GADGET_FINDER_H_

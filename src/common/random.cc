@@ -1,0 +1,103 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace rsafe {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::next_below(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::next_below: bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = bound * (UINT64_MAX / bound);
+    std::uint64_t value;
+    do {
+        value = next();
+    } while (value >= limit);
+    return value % bound;
+}
+
+std::uint64_t
+Rng::next_range(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::next_range: lo > hi");
+    if (lo == 0 && hi == UINT64_MAX)
+        return next();
+    return lo + next_below(hi - lo + 1);
+}
+
+double
+Rng::next_double()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return next_double() < p;
+}
+
+std::uint64_t
+Rng::next_interval(double mean_interval)
+{
+    if (mean_interval <= 1.0)
+        return 1;
+    // Exponentially distributed inter-arrival time with the given mean.
+    const double u = next_double();
+    const double gap = -mean_interval * std::log(1.0 - u);
+    const double clamped = gap < 1.0 ? 1.0 : gap;
+    return static_cast<std::uint64_t>(clamped);
+}
+
+}  // namespace rsafe

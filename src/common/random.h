@@ -1,0 +1,52 @@
+#ifndef RSAFE_COMMON_RANDOM_H_
+#define RSAFE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of "randomness" in the simulator (device arrival times,
+ * workload structure, packet payloads) is derived from an explicitly seeded
+ * Xoshiro256** stream so that an entire recorded execution is a pure
+ * function of its seeds. This is what makes the record/replay determinism
+ * property testable.
+ */
+
+namespace rsafe {
+
+/** Xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng {
+  public:
+    /** Construct from a single 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next 64-bit pseudo-random value. */
+    std::uint64_t next();
+
+    /** @return a value uniformly distributed in [0, bound). @p bound > 0. */
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /** @return a value uniformly distributed in [lo, hi]. */
+    std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double next_double();
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Sample a geometric-ish gap so that events occur on average every
+     * @p mean_interval trials. Always returns at least 1.
+     */
+    std::uint64_t next_interval(double mean_interval);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace rsafe
+
+#endif  // RSAFE_COMMON_RANDOM_H_

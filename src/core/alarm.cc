@@ -1,0 +1,55 @@
+#include "core/alarm.h"
+
+#include <sstream>
+
+namespace rsafe::core {
+
+void
+AlarmManager::add(replay::AlarmAnalysis analysis)
+{
+    ++by_cause_[analysis.cause];
+    analyses_.push_back(std::move(analysis));
+}
+
+std::vector<const replay::AlarmAnalysis*>
+AlarmManager::attacks() const
+{
+    std::vector<const replay::AlarmAnalysis*> out;
+    for (const auto& analysis : analyses_)
+        if (analysis.is_attack)
+            out.push_back(&analysis);
+    return out;
+}
+
+bool
+AlarmManager::attack_detected() const
+{
+    for (const auto& analysis : analyses_)
+        if (analysis.is_attack)
+            return true;
+    return false;
+}
+
+std::size_t
+AlarmManager::count(replay::AlarmCause cause) const
+{
+    auto it = by_cause_.find(cause);
+    return it == by_cause_.end() ? 0 : it->second;
+}
+
+std::string
+AlarmManager::summary() const
+{
+    std::ostringstream os;
+    os << "alarms analyzed: " << analyses_.size() << "\n";
+    for (const auto& [cause, count] : by_cause_)
+        os << "  " << replay::alarm_cause_name(cause) << ": " << count
+           << "\n";
+    for (const auto& analysis : analyses_) {
+        if (analysis.is_attack)
+            os << analysis.report;
+    }
+    return os.str();
+}
+
+}  // namespace rsafe::core

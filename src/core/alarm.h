@@ -1,0 +1,53 @@
+#ifndef RSAFE_CORE_ALARM_H_
+#define RSAFE_CORE_ALARM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replay/alarm_replayer.h"
+
+/**
+ * @file
+ * Alarm aggregation across the RnR-Safe pipeline.
+ *
+ * The AlarmManager collects the analyses produced by alarm replayers,
+ * classifies the run-level verdict (any confirmed attack vs. all alarms
+ * explained as false positives), and renders the operator-facing summary.
+ */
+
+namespace rsafe::core {
+
+/** Aggregated alarm outcomes of one monitored execution. */
+class AlarmManager {
+  public:
+    /** Record one completed alarm analysis. */
+    void add(replay::AlarmAnalysis analysis);
+
+    /** @return all analyses, in analysis order. */
+    const std::vector<replay::AlarmAnalysis>& analyses() const
+    {
+        return analyses_;
+    }
+
+    /** @return analyses that confirmed an attack. */
+    std::vector<const replay::AlarmAnalysis*> attacks() const;
+
+    /** @return true if any analysis confirmed an attack. */
+    bool attack_detected() const;
+
+    /** @return number of alarms classified as @p cause. */
+    std::size_t count(replay::AlarmCause cause) const;
+
+    /** @return a multi-line human-readable summary. */
+    std::string summary() const;
+
+  private:
+    std::vector<replay::AlarmAnalysis> analyses_;
+    std::map<replay::AlarmCause, std::size_t> by_cause_;
+};
+
+}  // namespace rsafe::core
+
+#endif  // RSAFE_CORE_ALARM_H_

@@ -1,0 +1,37 @@
+#include "core/dos_detector.h"
+
+#include "common/log.h"
+
+namespace rsafe::core {
+
+DosDetector::DosDetector(Cycles window_cycles, std::uint64_t min_switches)
+    : window_cycles_(window_cycles), min_switches_(min_switches)
+{
+    if (window_cycles == 0)
+        fatal("DosDetector: zero window");
+}
+
+void
+DosDetector::sample(Cycles now, std::uint64_t ctx_switches)
+{
+    if (!primed_) {
+        primed_ = true;
+        window_start_ = now;
+        switches_at_window_start_ = ctx_switches;
+        return;
+    }
+    if (now - window_start_ < window_cycles_)
+        return;
+    const std::uint64_t delta = ctx_switches - switches_at_window_start_;
+    if (delta < min_switches_) {
+        DosAlarm alarm;
+        alarm.window_start = window_start_;
+        alarm.window_end = now;
+        alarm.switches_in_window = delta;
+        alarms_.push_back(alarm);
+    }
+    window_start_ = now;
+    switches_at_window_start_ = ctx_switches;
+}
+
+}  // namespace rsafe::core

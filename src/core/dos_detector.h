@@ -1,0 +1,58 @@
+#ifndef RSAFE_CORE_DOS_DETECTOR_H_
+#define RSAFE_CORE_DOS_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+/**
+ * @file
+ * The DOS detector of Table 1 (row 3).
+ *
+ * First-line detection: the hypervisor samples the guest kernel's
+ * context-switch counter; if the counter "has not increased much for a
+ * while", an alarm is raised. The replay's role is to identify the code
+ * that dominated execution during the stalled window — here served by a
+ * PC-attribution profile collected during replay.
+ */
+
+namespace rsafe::core {
+
+/** A scheduler-inactivity alarm. */
+struct DosAlarm {
+    Cycles window_start = 0;
+    Cycles window_end = 0;
+    std::uint64_t switches_in_window = 0;
+};
+
+/** Context-switch-rate watchdog. */
+class DosDetector {
+  public:
+    /**
+     * @param window_cycles  sampling window length.
+     * @param min_switches   alarm if a window sees fewer switches.
+     */
+    DosDetector(Cycles window_cycles, std::uint64_t min_switches);
+
+    /**
+     * Feed one sample of (current cycle, context-switch counter); call
+     * periodically — e.g., at every VM exit the hypervisor takes.
+     */
+    void sample(Cycles now, std::uint64_t ctx_switches);
+
+    /** Alarms raised so far. */
+    const std::vector<DosAlarm>& alarms() const { return alarms_; }
+
+  private:
+    Cycles window_cycles_;
+    std::uint64_t min_switches_;
+    Cycles window_start_ = 0;
+    std::uint64_t switches_at_window_start_ = 0;
+    bool primed_ = false;
+    std::vector<DosAlarm> alarms_;
+};
+
+}  // namespace rsafe::core
+
+#endif  // RSAFE_CORE_DOS_DETECTOR_H_

@@ -1,0 +1,64 @@
+#include "core/framework.h"
+
+#include "common/log.h"
+
+namespace rsafe::core {
+
+RnrSafeFramework::RnrSafeFramework(VmFactory factory, FrameworkConfig config)
+    : factory_(std::move(factory)), config_(std::move(config))
+{
+    if (!factory_)
+        fatal("RnrSafeFramework: null VM factory");
+}
+
+FrameworkResult
+RnrSafeFramework::run()
+{
+    FrameworkResult result;
+
+    // 1. Monitored recording.
+    result.recorded_vm = factory_();
+    result.recorder = std::make_unique<rnr::Recorder>(
+        result.recorded_vm.get(), config_.recorder);
+    result.record_result = result.recorder->run(config_.max_instructions);
+
+    const rnr::InputLog& log = result.recorder->log();
+    result.alarms_logged =
+        log.find_all(rnr::RecordType::kRasAlarm).size();
+
+    // 2. Checkpointing replay.
+    result.cr_vm = factory_();
+    result.cr = std::make_unique<replay::CheckpointReplayer>(
+        result.cr_vm.get(), &log, config_.cr);
+    result.cr_outcome = result.cr->run();
+    result.underflows_resolved = result.cr->underflows_resolved();
+
+    // 3. Alarm replays, one per unresolved alarm.
+    for (const auto& pending : result.cr->pending_alarms()) {
+        if (!pending.checkpoint)
+            panic("pending alarm without a checkpoint");
+        rnr::ReplayOptions ar_options = config_.cr.replay;
+        ar_options.trap_kernel_call_ret = true;
+
+        auto ar_vm = factory_();
+        replay::AlarmReplayer ar(ar_vm.get(), &log, *pending.checkpoint,
+                                 ar_options);
+        ++result.alarm_replays;
+        auto analysis = ar.analyze(pending.log_index);
+
+        if (analysis.cause == replay::AlarmCause::kNeedsDeeperAnalysis) {
+            // Re-run with more instrumentation (Section 4.6.2): trace
+            // user-mode call/ret as well.
+            ar_options.trap_user_call_ret = true;
+            auto deep_vm = factory_();
+            replay::AlarmReplayer deep_ar(deep_vm.get(), &log,
+                                          *pending.checkpoint, ar_options);
+            ++result.alarm_replays;
+            analysis = deep_ar.analyze(pending.log_index);
+        }
+        result.alarms.add(std::move(analysis));
+    }
+    return result;
+}
+
+}  // namespace rsafe::core

@@ -1,0 +1,82 @@
+#ifndef RSAFE_CORE_FRAMEWORK_H_
+#define RSAFE_CORE_FRAMEWORK_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/alarm.h"
+#include "hv/vm.h"
+#include "replay/checkpoint_replayer.h"
+#include "rnr/recorder.h"
+
+/**
+ * @file
+ * The RnR-Safe framework facade: the full Figure 1 pipeline.
+ *
+ * One call to run() performs:
+ *  1. monitored recording — a Recorder executes the workload in the
+ *     recorded VM with the RAS security hardware armed, producing the
+ *     input log with alarm/evict markers;
+ *  2. checkpointing replay — a CheckpointReplayer re-executes the log,
+ *     takes periodic incremental checkpoints, and auto-resolves
+ *     underflow alarms against Evict records;
+ *  3. alarm replay — for every remaining alarm, an AlarmReplayer is
+ *     launched from the checkpoint preceding it; if the first pass lacks
+ *     instrumentation for the alarm's context (a user-mode alarm under
+ *     kernel-only tracing), the AR is re-run at the deeper analysis
+ *     level, exactly as Section 4.6.2 envisions.
+ *
+ * The caller supplies a VmFactory that builds identically-configured VMs
+ * (same images, tasks, and device seeds); the recorded VM, the CR VM, and
+ * each AR VM are separate instances of it.
+ */
+
+namespace rsafe::core {
+
+/** Builds one more identically-configured VM. */
+using VmFactory = std::function<std::unique_ptr<hv::Vm>()>;
+
+/** Pipeline configuration. */
+struct FrameworkConfig {
+    rnr::RecorderOptions recorder;
+    replay::CrOptions cr;
+    /** Stop the recorded run after this many guest instructions. */
+    InstrCount max_instructions = ~static_cast<InstrCount>(0);
+};
+
+/** Everything the pipeline produced. */
+struct FrameworkResult {
+    hv::RunResult record_result = hv::RunResult::kHalted;
+    rnr::ReplayOutcome cr_outcome = rnr::ReplayOutcome::kFinished;
+    AlarmManager alarms;
+
+    /** Raw alarm markers in the log. */
+    std::size_t alarms_logged = 0;
+    /** Underflow alarms the CR resolved itself. */
+    std::uint64_t underflows_resolved = 0;
+    /** Alarm replays that were launched. */
+    std::size_t alarm_replays = 0;
+
+    // The pipeline components, kept alive for inspection by callers.
+    std::unique_ptr<hv::Vm> recorded_vm;
+    std::unique_ptr<rnr::Recorder> recorder;
+    std::unique_ptr<hv::Vm> cr_vm;
+    std::unique_ptr<replay::CheckpointReplayer> cr;
+};
+
+/** The RnR-Safe pipeline. */
+class RnrSafeFramework {
+  public:
+    RnrSafeFramework(VmFactory factory, FrameworkConfig config);
+
+    /** Run record -> checkpointing replay -> alarm replays. */
+    FrameworkResult run();
+
+  private:
+    VmFactory factory_;
+    FrameworkConfig config_;
+};
+
+}  // namespace rsafe::core
+
+#endif  // RSAFE_CORE_FRAMEWORK_H_

@@ -1,0 +1,82 @@
+#include "core/jop_detector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rsafe::core {
+
+JopDetector::JopDetector(const std::vector<const isa::Image*>& images,
+                         std::size_t hardware_slots)
+{
+    for (const isa::Image* image : images) {
+        if (image == nullptr)
+            fatal("JopDetector: null image");
+        for (const auto& [name, range] : image->functions())
+            functions_.push_back(Fn{range.begin, range.end, false});
+    }
+    std::sort(functions_.begin(), functions_.end(),
+              [](const Fn& a, const Fn& b) { return a.begin < b.begin; });
+
+    // Mark the hardware-table subset: the largest functions stand in for
+    // "the most common" ones (we have no profile feedback here; size is
+    // a stable deterministic proxy).
+    std::vector<std::size_t> order(functions_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::size_t a,
+                                                 std::size_t b) {
+        const Addr size_a = functions_[a].end - functions_[a].begin;
+        const Addr size_b = functions_[b].end - functions_[b].begin;
+        if (size_a != size_b)
+            return size_a > size_b;
+        return functions_[a].begin < functions_[b].begin;
+    });
+    hardware_count_ = std::min(hardware_slots, functions_.size());
+    for (std::size_t i = 0; i < hardware_count_; ++i)
+        functions_[order[i]].in_hardware_table = true;
+}
+
+const JopDetector::Fn*
+JopDetector::function_containing(Addr addr) const
+{
+    auto it = std::upper_bound(
+        functions_.begin(), functions_.end(), addr,
+        [](Addr value, const Fn& fn) { return value < fn.begin; });
+    if (it == functions_.begin())
+        return nullptr;
+    --it;
+    if (addr >= it->begin && addr < it->end)
+        return &*it;
+    return nullptr;
+}
+
+JopVerdict
+JopDetector::check(Addr branch_pc, Addr target, bool hardware_only) const
+{
+    // Legal if the target is the entry point of a (tabled) function.
+    const Fn* target_fn = function_containing(target);
+    if (target_fn && target == target_fn->begin &&
+        (!hardware_only || target_fn->in_hardware_table)) {
+        return JopVerdict::kLegalEntry;
+    }
+    // Legal if the branch stays within its own function.
+    const Fn* branch_fn = function_containing(branch_pc);
+    if (branch_fn && target >= branch_fn->begin && target < branch_fn->end)
+        return JopVerdict::kLegalInternal;
+    return JopVerdict::kAlarm;
+}
+
+JopVerdict
+JopDetector::check_hardware(Addr branch_pc, Addr target) const
+{
+    return check(branch_pc, target, /*hardware_only=*/true);
+}
+
+JopVerdict
+JopDetector::check_full(Addr branch_pc, Addr target) const
+{
+    return check(branch_pc, target, /*hardware_only=*/false);
+}
+
+}  // namespace rsafe::core

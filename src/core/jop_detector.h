@@ -1,0 +1,77 @@
+#ifndef RSAFE_CORE_JOP_DETECTOR_H_
+#define RSAFE_CORE_JOP_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * The JOP detector of Table 1 (row 2).
+ *
+ * First-line hardware: a small table holding the begin/end addresses of
+ * the N most common functions. An indirect branch or call is legal if its
+ * target is the first instruction of a tabled function, or lies within
+ * the function the branch itself is in; anything else raises an alarm.
+ *
+ * Replay role: verify the same conditions against the complete function
+ * table (including the "less common" functions the hardware table had no
+ * room for) — targets legal under the full table are false positives.
+ */
+
+namespace rsafe::core {
+
+/** Verdict of a JOP check. */
+enum class JopVerdict {
+    kLegalEntry,     ///< target is a known function's first instruction
+    kLegalInternal,  ///< target stays within the branch's own function
+    kAlarm,          ///< not explainable by the available table
+};
+
+/** Hardware/replay JOP target checker. */
+class JopDetector {
+  public:
+    /**
+     * Build from the code image(s).
+     * @param images          all executable images (kernel + user).
+     * @param hardware_slots  size of the hardware table; the hardware
+     *                        check uses only the @p hardware_slots largest
+     *                        functions ("most common" proxy), the replay
+     *                        check uses all of them.
+     */
+    JopDetector(const std::vector<const isa::Image*>& images,
+                std::size_t hardware_slots);
+
+    /** First-line hardware check (small table). */
+    JopVerdict check_hardware(Addr branch_pc, Addr target) const;
+
+    /** Replay verification (full table). */
+    JopVerdict check_full(Addr branch_pc, Addr target) const;
+
+    /** @return number of functions in the hardware table. */
+    std::size_t hardware_table_size() const { return hardware_count_; }
+
+    /** @return total functions known to the replay check. */
+    std::size_t full_table_size() const { return functions_.size(); }
+
+  private:
+    struct Fn {
+        Addr begin;
+        Addr end;
+        bool in_hardware_table;
+    };
+
+    JopVerdict check(Addr branch_pc, Addr target, bool hardware_only) const;
+    const Fn* function_containing(Addr addr) const;
+
+    std::vector<Fn> functions_;  ///< sorted by begin address
+    std::size_t hardware_count_ = 0;
+};
+
+}  // namespace rsafe::core
+
+#endif  // RSAFE_CORE_JOP_DETECTOR_H_

@@ -1,0 +1,44 @@
+#include "core/rop_detector.h"
+
+namespace rsafe::core {
+
+rnr::RecorderOptions
+rop_recorder_options(RopHardwareLevel level)
+{
+    rnr::RecorderOptions options;
+    options.ras_alarms = true;
+    options.evict_exits = true;
+    switch (level) {
+      case RopHardwareLevel::kBasic:
+        options.manage_backras = false;
+        options.whitelists = false;
+        break;
+      case RopHardwareLevel::kBackRas:
+        options.manage_backras = true;
+        options.whitelists = false;
+        break;
+      case RopHardwareLevel::kFull:
+        options.manage_backras = true;
+        options.whitelists = true;
+        break;
+    }
+    return options;
+}
+
+FalseAlarmRates
+false_alarm_rates(const cpu::CpuStats& cpu_stats, std::uint64_t alarm_count)
+{
+    FalseAlarmRates rates;
+    const double million =
+        static_cast<double>(cpu_stats.instructions) / 1e6;
+    if (million <= 0)
+        return rates;
+    rates.whitelist_suppressed =
+        static_cast<double>(cpu_stats.ras_whitelisted) / million;
+    rates.backras_suppressed =
+        static_cast<double>(cpu_stats.ras_hits_restored) / million;
+    rates.passed_to_replayers = static_cast<double>(alarm_count) / million;
+    return rates;
+}
+
+}  // namespace rsafe::core

@@ -1,0 +1,49 @@
+#ifndef RSAFE_CORE_ROP_DETECTOR_H_
+#define RSAFE_CORE_ROP_DETECTOR_H_
+
+#include <cstdint>
+
+#include "cpu/cpu.h"
+#include "rnr/recorder.h"
+
+/**
+ * @file
+ * The ROP detector of Table 1 (row 1): configuration presets for the
+ * RAS-based first-line detection hardware and the Figure 8 accounting of
+ * kernel false alarms (suppressed by the whitelist, suppressed by the
+ * BackRAS, or passed to the replayers).
+ */
+
+namespace rsafe::core {
+
+/** Hardware configurations for the RAS-based detector. */
+enum class RopHardwareLevel {
+    /** Basic design (Section 4.2): RAS alarms with no extensions —
+     *  catches everything but floods the replayers with false alarms. */
+    kBasic,
+    /** + BackRAS save/restore on context switches (Section 4.3). */
+    kBackRas,
+    /** + the Ret/Tar whitelists (Section 4.4) — the full RnR-Safe. */
+    kFull,
+};
+
+/** @return recorder options implementing @p level. */
+rnr::RecorderOptions rop_recorder_options(RopHardwareLevel level);
+
+/** Kernel false-alarm accounting per million instructions (Figure 8). */
+struct FalseAlarmRates {
+    double whitelist_suppressed = 0;  ///< non-procedural returns absorbed
+    double backras_suppressed = 0;    ///< hits via BackRAS-restored entries
+    double passed_to_replayers = 0;   ///< alarms that reached the log
+};
+
+/**
+ * Compute Figure 8 rates from a recorded run's CPU and hypervisor
+ * statistics. @p alarm_count is the number of alarm markers in the log.
+ */
+FalseAlarmRates false_alarm_rates(const cpu::CpuStats& cpu_stats,
+                                  std::uint64_t alarm_count);
+
+}  // namespace rsafe::core
+
+#endif  // RSAFE_CORE_ROP_DETECTOR_H_

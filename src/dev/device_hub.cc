@@ -1,0 +1,133 @@
+#include "dev/device_hub.h"
+
+#include "common/log.h"
+
+namespace rsafe::dev {
+
+DeviceHub::DeviceHub(const DeviceConfig& config, mem::PhysMem* mem)
+    : mem_(mem),
+      disk_(config.disk_blocks),
+      timer_(config.seed * 3 + 1, config.timer_tick_period),
+      nic_(config.seed * 5 + 2, config.nic_mean_gap, config.nic_min_packet,
+           config.nic_max_packet),
+      blockdev_(&disk_, config.seed * 7 + 3, config.disk_mean_latency)
+{
+    if (mem_ == nullptr)
+        fatal("DeviceHub: null guest memory");
+}
+
+Word
+DeviceHub::io_read(std::uint16_t port, Cycles now)
+{
+    switch (port) {
+      case kPortDiskStatus:
+        (void)now;
+        return blockdev_.status();
+      default:
+        warn(strcat_args("DeviceHub: read of unknown port ", port));
+        return 0;
+    }
+}
+
+void
+DeviceHub::io_write(std::uint16_t port, Word value, Cycles now)
+{
+    switch (port) {
+      case kPortDiskBlock:
+        blockdev_.set_block(value);
+        break;
+      case kPortDiskAddr:
+        blockdev_.set_addr(value);
+        break;
+      case kPortDiskGoRead:
+        blockdev_.go(now, /*is_read=*/true);
+        break;
+      case kPortDiskGoWrite: {
+        // DMA write: snapshot the guest buffer at submission time.
+        std::vector<std::uint8_t> payload(kDiskBlockSize);
+        mem_->read_block(blockdev_.cmd_addr(), payload.data(),
+                         kDiskBlockSize);
+        blockdev_.go(now, /*is_read=*/false, payload);
+        break;
+      }
+      case kPortConsole:
+        break;  // Debug output; intentionally discarded.
+      default:
+        warn(strcat_args("DeviceHub: write of unknown port ", port));
+        break;
+    }
+}
+
+Word
+DeviceHub::mmio_read(Addr addr, Cycles now)
+{
+    switch (addr - kMmioBase) {
+      case kNicStatus:
+        nic_.advance(now);
+        return nic_.rx_available();
+      case kNicRxLen:
+        return last_rx_len_;
+      default:
+        warn("DeviceHub: read of unknown MMIO register");
+        return 0;
+    }
+}
+
+IoSideEffect
+DeviceHub::mmio_write(Addr addr, Word value, Cycles now)
+{
+    IoSideEffect effect;
+    switch (addr - kMmioBase) {
+      case kNicRxBuf: {
+        nic_.advance(now);
+        Packet pkt = nic_.rx_pop();
+        last_rx_len_ = pkt.payload.size();
+        if (!pkt.payload.empty()) {
+            effect.has_dma = true;
+            effect.dma_addr = value;
+            effect.dma_data = std::move(pkt.payload);
+        }
+        break;
+      }
+      case kNicTx:
+        nic_.tx(static_cast<std::size_t>(value));
+        break;
+      default:
+        warn("DeviceHub: write of unknown MMIO register");
+        break;
+    }
+    return effect;
+}
+
+Cycles
+DeviceHub::next_event_cycle() const
+{
+    const Cycles tick = timer_.next_tick();
+    const Cycles disk_done = blockdev_.next_completion();
+    return tick < disk_done ? tick : disk_done;
+}
+
+std::optional<AsyncEvent>
+DeviceHub::take_event(Cycles now)
+{
+    if (timer_.take_tick(now)) {
+        AsyncEvent event;
+        event.vector = kIrqTimer;
+        return event;
+    }
+    if (auto done = blockdev_.take_completion(now)) {
+        AsyncEvent event;
+        event.vector = kIrqDisk;
+        event.disk = std::move(done);
+        return event;
+    }
+    return std::nullopt;
+}
+
+std::optional<DiskCompletion>
+DeviceHub::force_disk_completion()
+{
+    return blockdev_.take_completion(~static_cast<Cycles>(0));
+}
+
+}  // namespace rsafe::dev

@@ -1,0 +1,36 @@
+#include "dev/timer.h"
+
+namespace rsafe::dev {
+
+Timer::Timer(std::uint64_t seed, Cycles tick_period)
+    : rng_(seed),
+      tick_period_(tick_period),
+      next_tick_(tick_period == 0 ? ~static_cast<Cycles>(0) : tick_period)
+{
+}
+
+std::uint64_t
+Timer::read_tsc(Cycles now)
+{
+    // Host clock = guest cycles + accumulated drift. The drift accumulates
+    // pseudo-randomly per read, modelling host-side preemption and clock
+    // skew: successive reads are monotone but not a pure function of the
+    // guest cycle count.
+    drift_ += rng_.next_below(64);
+    return now + drift_;
+}
+
+bool
+Timer::take_tick(Cycles now)
+{
+    if (tick_period_ == 0 || now < next_tick_)
+        return false;
+    // Schedule the next tick relative to the one that fired so the tick
+    // rate stays constant even if servicing was delayed.
+    do {
+        next_tick_ += tick_period_;
+    } while (next_tick_ <= now);
+    return true;
+}
+
+}  // namespace rsafe::dev

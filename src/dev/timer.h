@@ -1,0 +1,60 @@
+#ifndef RSAFE_DEV_TIMER_H_
+#define RSAFE_DEV_TIMER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/types.h"
+
+/**
+ * @file
+ * The virtual timestamp counter and periodic timer-tick interrupt source.
+ *
+ * rdtsc is the canonical synchronous non-deterministic event of Section
+ * 7.3: the value depends on host wall-clock behaviour, so the recording
+ * hypervisor traps it and logs the result. We model host behaviour as the
+ * guest cycle count plus a seeded pseudo-random drift, which makes the
+ * value unpredictable from guest state alone (so replay genuinely needs
+ * the log) while keeping whole-simulation runs reproducible from seeds.
+ *
+ * The timer also raises the periodic tick interrupt that drives the guest
+ * kernel's preemptive scheduler (an asynchronous event).
+ */
+
+namespace rsafe::dev {
+
+/** Virtual TSC + periodic tick device. */
+class Timer {
+  public:
+    /**
+     * @param seed          seed for the host-drift PRNG.
+     * @param tick_period   cycles between timer-tick interrupts
+     *                      (0 disables ticking).
+     */
+    Timer(std::uint64_t seed, Cycles tick_period);
+
+    /** Read the timestamp counter at guest cycle @p now (non-pure!). */
+    std::uint64_t read_tsc(Cycles now);
+
+    /** @return cycle of the next tick interrupt, or ~0 if disabled. */
+    Cycles next_tick() const { return next_tick_; }
+
+    /**
+     * Consume a due tick.
+     * @return true if a tick fired at or before @p now.
+     */
+    bool take_tick(Cycles now);
+
+    /** @return the configured tick period in cycles. */
+    Cycles tick_period() const { return tick_period_; }
+
+  private:
+    Rng rng_;
+    Cycles tick_period_;
+    Cycles next_tick_;
+    std::uint64_t drift_ = 0;
+};
+
+}  // namespace rsafe::dev
+
+#endif  // RSAFE_DEV_TIMER_H_

@@ -1,0 +1,34 @@
+#include "hv/back_ras.h"
+
+namespace rsafe::hv {
+
+void
+BackRasTable::save(ThreadId tid, cpu::SavedRas saved)
+{
+    bytes_transferred_ += 8 * saved.entries.size() + 8;  // entries + count
+    entries_[tid] = std::move(saved);
+}
+
+cpu::SavedRas
+BackRasTable::load(ThreadId tid)
+{
+    auto it = entries_.find(tid);
+    if (it == entries_.end())
+        return {};
+    bytes_transferred_ += 8 * it->second.entries.size() + 8;
+    return it->second;
+}
+
+void
+BackRasTable::erase(ThreadId tid)
+{
+    entries_.erase(tid);
+}
+
+void
+BackRasTable::restore(std::map<ThreadId, cpu::SavedRas> entries)
+{
+    entries_ = std::move(entries);
+}
+
+}  // namespace rsafe::hv

@@ -1,0 +1,60 @@
+#ifndef RSAFE_HV_BACK_RAS_H_
+#define RSAFE_HV_BACK_RAS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.h"
+#include "cpu/ras.h"
+
+/**
+ * @file
+ * The hypervisor-side BackRAS store (Section 4.3, Figure 2).
+ *
+ * The BackRAS array lives "in a memory area inaccessible to the guest
+ * machine", keyed by thread ID — we model it as a host-side hash map from
+ * tid to saved RAS contents, exactly as Section 5.2.1 describes ("a hash
+ * table mapping a thread's ID to its BackRAS entry"). Save/restore byte
+ * counts are tracked to reproduce the BackRAS bandwidth of Figure 6(b).
+ */
+
+namespace rsafe::hv {
+
+/** Host-side array of per-thread saved RAS contents. */
+class BackRasTable {
+  public:
+    /** Store @p saved as thread @p tid's BackRAS entry. */
+    void save(ThreadId tid, cpu::SavedRas saved);
+
+    /** @return thread @p tid's entry (empty if none); counts bandwidth. */
+    cpu::SavedRas load(ThreadId tid);
+
+    /** Remove thread @p tid's entry (thread killed; Section 5.2.2). */
+    void erase(ThreadId tid);
+
+    /** @return true if @p tid currently has an entry. */
+    bool contains(ThreadId tid) const { return entries_.count(tid) != 0; }
+
+    /** @return number of live entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Whole-table copy (stored into checkpoints). */
+    const std::map<ThreadId, cpu::SavedRas>& entries() const
+    {
+        return entries_;
+    }
+
+    /** Replace the whole table (checkpoint restore). */
+    void restore(std::map<ThreadId, cpu::SavedRas> entries);
+
+    /** @return total bytes moved by saves+restores (8 bytes/entry). */
+    std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+  private:
+    std::map<ThreadId, cpu::SavedRas> entries_;
+    std::uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace rsafe::hv
+
+#endif  // RSAFE_HV_BACK_RAS_H_

@@ -1,0 +1,311 @@
+#include "hv/hypervisor.h"
+
+#include "common/log.h"
+#include "kernel/layout.h"
+
+namespace rsafe::hv {
+
+using cpu::Costs;
+
+// ---------------------------------------------------------------------------
+// VmEnvBase
+// ---------------------------------------------------------------------------
+
+VmEnvBase::VmEnvBase(Vm* vm, bool manage_backras, bool whitelists)
+    : vm_(vm), intro_(&vm->mem()), manage_backras_(manage_backras)
+{
+    auto& cpu = vm_->cpu();
+    const auto& kernel = vm_->guest_kernel();
+    cpu.vmcs().controls.whitelist_enabled = whitelists;
+    if (whitelists) {
+        cpu.ras().set_ret_whitelist({kernel.switch_ret_pc});
+        cpu.ras().set_tar_whitelist({kernel.finish_resched,
+                                     kernel.finish_fork,
+                                     kernel.finish_kthread});
+    }
+    if (manage_backras_) {
+        cpu.vmcs().breakpoints.insert(kernel.stack_switch_pc);
+        cpu.vmcs().breakpoints.insert(kernel.thread_exit_bp);
+        if (kernel.thread_spawn_bp != 0)
+            cpu.vmcs().breakpoints.insert(kernel.thread_spawn_bp);
+    }
+    cpu.set_env(this);
+}
+
+void
+VmEnvBase::on_breakpoint(Addr pc)
+{
+    const auto& kernel = vm_->guest_kernel();
+    if (pc == kernel.stack_switch_pc) {
+        handle_context_switch();
+    } else if (pc == kernel.thread_exit_bp) {
+        handle_thread_exit();
+    } else if (pc == kernel.thread_spawn_bp) {
+        handle_thread_spawn();
+    }
+}
+
+void
+VmEnvBase::handle_thread_spawn()
+{
+    // The kernel just created a task, possibly reusing a dead slot's
+    // thread ID; any stale BackRAS entry for that tid must go before the
+    // new thread first runs (Section 5.2.2). The new tid is in a register
+    // at the trap point (kernel spawn-path convention).
+    const auto tid = static_cast<ThreadId>(vm_->cpu().reg(2));
+    backras_.erase(tid);
+    ++stats_.thread_spawns;
+}
+
+void
+VmEnvBase::handle_context_switch()
+{
+    auto& cpu = vm_->cpu();
+    // The next thread's stack pointer is in a register at the trap point;
+    // walk sp -> task_struct -> tid (Section 5.2.1).
+    const Addr new_sp = cpu.reg(kSwitchSpReg);
+    const ThreadId new_tid = intro_.tid_of_sp(new_sp);
+
+    if (manage_backras_) {
+        // Microcode: dump the RAS into the departing thread's BackRAS
+        // entry (discarded if that thread just died), then reload the
+        // arriving thread's entry.
+        cpu::SavedRas saved = cpu.ras().save_and_clear();
+        cpu.add_cycles(Costs::kRasSave);
+        if (have_current_ && !dying_)
+            backras_.save(current_tid_, std::move(saved));
+        dying_ = false;
+        cpu.ras().load(backras_.load(new_tid));
+        cpu.add_cycles(Costs::kRasRestore);
+    }
+
+    current_tid_ = new_tid;
+    have_current_ = true;
+    ++stats_.context_switches;
+    hook_context_switch(new_tid);
+}
+
+void
+VmEnvBase::handle_thread_exit()
+{
+    // The dying thread's ID via introspection; delete its BackRAS entry
+    // now, and discard the RAS dump at the upcoming context switch so the
+    // entry is not silently recreated for a reused tid (Section 5.2.2).
+    const std::size_t slot = intro_.current_slot();
+    const ThreadId tid = intro_.tid_of_slot(slot);
+    backras_.erase(tid);
+    if (have_current_ && tid == current_tid_)
+        dying_ = true;
+    ++stats_.thread_exits;
+}
+
+void
+VmEnvBase::hook_context_switch(ThreadId tid)
+{
+    (void)tid;
+}
+
+void
+VmEnvBase::restore_context(ThreadId tid, bool have, bool dying)
+{
+    current_tid_ = tid;
+    have_current_ = have;
+    dying_ = dying;
+}
+
+// ---------------------------------------------------------------------------
+// Hypervisor (live)
+// ---------------------------------------------------------------------------
+
+Hypervisor::Hypervisor(Vm* vm, const HvOptions& options)
+    : VmEnvBase(vm, options.manage_backras, options.whitelists),
+      options_(options)
+{
+    auto& cpu = vm_->cpu();
+    cpu.vmcs().controls.exit_on_io = options.mediate_io;
+    cpu.vmcs().controls.exit_on_rdtsc = options.trap_rdtsc;
+    cpu.vmcs().controls.ras_alarm_enabled = options.ras_alarms;
+    cpu.vmcs().controls.ras_evict_exit = options.evict_exits;
+    cpu.set_pv_bus(this);
+}
+
+RunResult
+Hypervisor::run(InstrCount max_icount)
+{
+    auto& cpu = vm_->cpu();
+    while (true) {
+        Cycles stop = vm_->hub().next_event_cycle();
+        // If injections are pending delivery, poll again soon.
+        if (!irq_queue_.empty() || cpu.vmcs().pending_irq) {
+            const Cycles retry = cpu.cycles() + 5000;
+            if (retry < stop)
+                stop = retry;
+        }
+        const auto reason = cpu.run(stop, max_icount);
+        switch (reason) {
+          case cpu::StopReason::kCycleLimit:
+            process_device_events();
+            break;
+          case cpu::StopReason::kHalt:
+            hook_halt();
+            return RunResult::kHalted;
+          case cpu::StopReason::kInstrLimit:
+            return RunResult::kInstrLimit;
+          case cpu::StopReason::kPerfStop:
+            // Live mode never arms the perf counter; treat as a limit.
+            return RunResult::kInstrLimit;
+          case cpu::StopReason::kMemFault:
+          case cpu::StopReason::kBadInstr:
+            warn("guest fault: " + cpu.fault_reason());
+            return RunResult::kGuestFault;
+        }
+    }
+}
+
+void
+Hypervisor::process_device_events()
+{
+    auto& cpu = vm_->cpu();
+    auto& hub = vm_->hub();
+    while (auto event = hub.take_event(cpu.cycles())) {
+        // Device-side completion effects apply as soon as the hypervisor
+        // takes the event: the controller is free again and any read DMA
+        // lands in guest memory — even if the interrupt has to wait for
+        // an earlier injection to be delivered.
+        if (event->disk) {
+            if (event->disk->is_read) {
+                vm_->mem().write_block(event->disk->guest_addr,
+                                       event->disk->data.data(),
+                                       event->disk->data.size());
+            }
+            hook_disk_complete();
+        }
+        irq_queue_.push_back(std::move(*event));
+    }
+
+    if (!cpu.vmcs().pending_irq && !irq_queue_.empty()) {
+        dev::AsyncEvent event = std::move(irq_queue_.front());
+        irq_queue_.pop_front();
+        // The asynchronous VMExit that injects the interrupt.
+        cpu.add_cycles(Costs::kVmTransition);
+        cpu.vmcs().pending_irq = event.vector;
+        ++stats_.irq_injections;
+        hook_irq_inject(event.vector);
+    }
+}
+
+Word
+Hypervisor::on_rdtsc()
+{
+    auto& cpu = vm_->cpu();
+    const Word value = vm_->hub().read_tsc(cpu.cycles());
+    hook_rdtsc(value);
+    return value;
+}
+
+Word
+Hypervisor::on_io_in(std::uint16_t port)
+{
+    const Word value = vm_->hub().io_read(port, vm_->cpu().cycles());
+    hook_io_in(port, value);
+    return value;
+}
+
+void
+Hypervisor::on_io_out(std::uint16_t port, Word value)
+{
+    vm_->hub().io_write(port, value, vm_->cpu().cycles());
+    // The write may have started a transfer completing before the stop
+    // this run slice was armed with.
+    vm_->cpu().tighten_stop(vm_->hub().next_event_cycle());
+}
+
+Word
+Hypervisor::on_mmio_read(Addr addr)
+{
+    const Word value = vm_->hub().mmio_read(addr, vm_->cpu().cycles());
+    hook_mmio_read(addr, value);
+    return value;
+}
+
+void
+Hypervisor::on_mmio_write(Addr addr, Word value)
+{
+    auto effect = vm_->hub().mmio_write(addr, value, vm_->cpu().cycles());
+    if (effect.has_dma) {
+        vm_->mem().write_block(effect.dma_addr, effect.dma_data.data(),
+                               effect.dma_data.size());
+        stats_.net_dma_bytes += effect.dma_data.size();
+        ++stats_.net_packets;
+        hook_nic_dma(effect.dma_addr, effect.dma_data);
+    }
+}
+
+void
+Hypervisor::on_ras_alarm(const cpu::RasAlarm& alarm)
+{
+    switch (alarm.kind) {
+      case cpu::RasAlarmKind::kMispredict:
+        ++stats_.alarms_mispredict;
+        break;
+      case cpu::RasAlarmKind::kUnderflow:
+        ++stats_.alarms_underflow;
+        break;
+      case cpu::RasAlarmKind::kWhitelistMiss:
+        ++stats_.alarms_whitelist_miss;
+        break;
+    }
+    hook_ras_alarm(alarm);
+}
+
+void
+Hypervisor::on_ras_evict(Addr evicted)
+{
+    ++stats_.evict_records;
+    hook_ras_evict(evicted);
+}
+
+void
+Hypervisor::on_call_ret(const cpu::CallRetEvent& event)
+{
+    (void)event;  // Only the alarm replayer traps call/ret.
+}
+
+Word
+Hypervisor::pv_rdtsc()
+{
+    return vm_->hub().read_tsc(vm_->cpu().cycles());
+}
+
+Word
+Hypervisor::pv_io_in(std::uint16_t port)
+{
+    return vm_->hub().io_read(port, vm_->cpu().cycles());
+}
+
+void
+Hypervisor::pv_io_out(std::uint16_t port, Word value)
+{
+    vm_->hub().io_write(port, value, vm_->cpu().cycles());
+    vm_->cpu().tighten_stop(vm_->hub().next_event_cycle());
+}
+
+Word
+Hypervisor::pv_mmio_read(Addr addr)
+{
+    return vm_->hub().mmio_read(addr, vm_->cpu().cycles());
+}
+
+void
+Hypervisor::pv_mmio_write(Addr addr, Word value)
+{
+    auto effect = vm_->hub().mmio_write(addr, value, vm_->cpu().cycles());
+    if (effect.has_dma) {
+        vm_->mem().write_block(effect.dma_addr, effect.dma_data.data(),
+                               effect.dma_data.size());
+        stats_.net_dma_bytes += effect.dma_data.size();
+        ++stats_.net_packets;
+    }
+}
+
+}  // namespace rsafe::hv

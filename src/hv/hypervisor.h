@@ -1,0 +1,174 @@
+#ifndef RSAFE_HV_HYPERVISOR_H_
+#define RSAFE_HV_HYPERVISOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "cpu/cpu.h"
+#include "hv/back_ras.h"
+#include "hv/introspect.h"
+#include "hv/vm.h"
+
+/**
+ * @file
+ * The hypervisor: VM-exit handling shared by every execution mode, plus
+ * the live environment used for plain runs and (via the Recorder subclass)
+ * for monitored recording.
+ *
+ * VmEnvBase implements the paper's Section 5.2 hypervisor duties that are
+ * common to the recorded VM and both replayers: trapping the guest
+ * kernel's stack-switch instruction, introspecting the next thread's ID
+ * from its stack pointer, driving the BackRAS save/restore microcode, and
+ * recycling BackRAS entries when threads die.
+ *
+ * Hypervisor adds the live device plumbing: mediated (or paravirtual)
+ * I/O against the DeviceHub and asynchronous event injection.
+ */
+
+namespace rsafe::hv {
+
+/** Register the kernel publishes the next thread's sp in at the switch. */
+inline constexpr std::size_t kSwitchSpReg = 14;
+
+/** Counters kept by the hypervisor across a run. */
+struct HvStats {
+    std::uint64_t context_switches = 0;
+    std::uint64_t thread_exits = 0;
+    std::uint64_t thread_spawns = 0;
+    std::uint64_t irq_injections = 0;
+    std::uint64_t net_dma_bytes = 0;
+    std::uint64_t net_packets = 0;
+    std::uint64_t alarms_mispredict = 0;
+    std::uint64_t alarms_underflow = 0;
+    std::uint64_t alarms_whitelist_miss = 0;
+    std::uint64_t evict_records = 0;
+};
+
+/** Exit handling common to recording and replaying environments. */
+class VmEnvBase : public cpu::CpuEnv {
+  public:
+    /**
+     * @param vm               the machine this environment drives.
+     * @param manage_backras   install the context-switch/thread-exit traps
+     *                         and run the BackRAS microcode (Section 4.3).
+     * @param whitelists       install the Ret/Tar whitelists (Section 4.4).
+     */
+    VmEnvBase(Vm* vm, bool manage_backras, bool whitelists);
+
+    /** The hypervisor-side BackRAS store. */
+    BackRasTable& backras() { return backras_; }
+    const BackRasTable& backras() const { return backras_; }
+
+    /** @return the tid of the thread currently running in the guest. */
+    ThreadId current_tid() const { return current_tid_; }
+
+    /** @return true once a first context switch established a thread. */
+    bool have_current_tid() const { return have_current_; }
+
+    /** Guest-state introspection helper. */
+    const Introspector& introspector() const { return intro_; }
+
+    /** Aggregate counters. */
+    const HvStats& stats() const { return stats_; }
+
+    /** Breakpoint dispatch: context switch / thread exit. */
+    void on_breakpoint(Addr pc) override;
+
+    /**
+     * Restore the per-thread context-tracking state (checkpoint restore).
+     */
+    void restore_context(ThreadId tid, bool have, bool dying);
+
+    /** Expose tracking state for checkpointing. @{ */
+    bool context_dying() const { return dying_; }
+    /** @} */
+
+  protected:
+    /** Extension point: a context switch to @p tid just happened. */
+    virtual void hook_context_switch(ThreadId tid);
+
+    void handle_context_switch();
+    void handle_thread_exit();
+    void handle_thread_spawn();
+
+    Vm* vm_;
+    Introspector intro_;
+    BackRasTable backras_;
+    HvStats stats_;
+    ThreadId current_tid_ = 0;
+    bool have_current_ = false;
+    bool dying_ = false;
+    bool manage_backras_;
+};
+
+/** Configuration of a live (recording-side) hypervisor. */
+struct HvOptions {
+    bool mediate_io = true;      ///< false = paravirtual drivers (NoRecPV)
+    bool trap_rdtsc = false;     ///< required for recording
+    bool manage_backras = true;  ///< BackRAS save/restore at switches
+    bool whitelists = true;      ///< Ret/Tar whitelist hardware
+    bool ras_alarms = false;     ///< raise ROP alarms (recorded VM)
+    bool evict_exits = false;    ///< dump about-to-be-evicted RAS entries
+};
+
+/** Why Hypervisor::run() stopped. */
+enum class RunResult {
+    kHalted,       ///< workload finished (guest halt)
+    kInstrLimit,   ///< reached the requested instruction budget
+    kGuestFault,   ///< guest memory fault / bad instruction
+};
+
+/** The live hypervisor: devices are real, I/O is mediated or PV. */
+class Hypervisor : public VmEnvBase, public cpu::PvBus {
+  public:
+    Hypervisor(Vm* vm, const HvOptions& options);
+
+    /** Execute the guest until halt, fault, or @p max_icount. */
+    RunResult run(InstrCount max_icount);
+
+    /** The options this environment was built with. */
+    const HvOptions& options() const { return options_; }
+
+    // CpuEnv: mediated device accesses (live).
+    Word on_rdtsc() override;
+    Word on_io_in(std::uint16_t port) override;
+    void on_io_out(std::uint16_t port, Word value) override;
+    Word on_mmio_read(Addr addr) override;
+    void on_mmio_write(Addr addr, Word value) override;
+    void on_ras_alarm(const cpu::RasAlarm& alarm) override;
+    void on_ras_evict(Addr evicted) override;
+    void on_call_ret(const cpu::CallRetEvent& event) override;
+
+    // PvBus: unmediated device accesses (paravirtual baseline).
+    Word pv_rdtsc() override;
+    Word pv_io_in(std::uint16_t port) override;
+    void pv_io_out(std::uint16_t port, Word value) override;
+    Word pv_mmio_read(Addr addr) override;
+    void pv_mmio_write(Addr addr, Word value) override;
+
+  protected:
+    /** Recording hooks (no-ops in the plain live hypervisor). @{ */
+    virtual void hook_rdtsc(Word value) {}
+    virtual void hook_io_in(std::uint16_t port, Word value) {}
+    virtual void hook_mmio_read(Addr addr, Word value) {}
+    virtual void hook_nic_dma(Addr addr,
+                              const std::vector<std::uint8_t>& data) {}
+    virtual void hook_irq_inject(std::uint8_t vector) {}
+    virtual void hook_disk_complete() {}
+    virtual void hook_ras_alarm(const cpu::RasAlarm& alarm) {}
+    virtual void hook_ras_evict(Addr evicted) {}
+    virtual void hook_halt() {}
+    /** @} */
+
+    /** Drain due device events and inject at most one pending IRQ. */
+    void process_device_events();
+
+    HvOptions options_;
+    std::deque<dev::AsyncEvent> irq_queue_;
+};
+
+}  // namespace rsafe::hv
+
+#endif  // RSAFE_HV_HYPERVISOR_H_

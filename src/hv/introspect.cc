@@ -1,0 +1,63 @@
+#include "hv/introspect.h"
+
+#include "common/log.h"
+#include "kernel/layout.h"
+
+namespace rsafe::hv {
+
+std::size_t
+Introspector::slot_of_sp(Addr sp) const
+{
+    return kernel::task_slot_of_sp(sp);
+}
+
+ThreadId
+Introspector::tid_of_slot(std::size_t slot) const
+{
+    const Addr ts = kernel::task_struct_addr(slot);
+    return static_cast<ThreadId>(
+        mem_->read_raw(ts + kernel::kTaskOffTid, 8));
+}
+
+ThreadId
+Introspector::tid_of_sp(Addr sp) const
+{
+    const std::size_t slot = slot_of_sp(sp);
+    if (slot >= kernel::kMaxTasks)
+        panic("Introspector: stack pointer outside all task stacks");
+    return tid_of_slot(slot);
+}
+
+std::size_t
+Introspector::current_slot() const
+{
+    return static_cast<std::size_t>(
+        mem_->read_raw(kernel::kSchedCurrent, 8));
+}
+
+Word
+Introspector::task_state(std::size_t slot) const
+{
+    const Addr ts = kernel::task_struct_addr(slot);
+    return mem_->read_raw(ts + kernel::kTaskOffState, 8);
+}
+
+Word
+Introspector::context_switches() const
+{
+    return mem_->read_raw(kernel::kSchedCtxSwitches, 8);
+}
+
+Word
+Introspector::live_user_tasks() const
+{
+    return mem_->read_raw(kernel::kSchedLiveUserTasks, 8);
+}
+
+Word
+Introspector::root_flag() const
+{
+    return mem_->read_raw(kernel::kKernelRootFlag, 8);
+}
+
+}  // namespace rsafe::hv

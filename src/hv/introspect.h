@@ -1,0 +1,56 @@
+#ifndef RSAFE_HV_INTROSPECT_H_
+#define RSAFE_HV_INTROSPECT_H_
+
+#include "common/types.h"
+#include "mem/phys_mem.h"
+
+/**
+ * @file
+ * Guest-kernel introspection (Section 5.2.1).
+ *
+ * The hypervisor never relies on guest cooperation: it reads scheduler and
+ * task state directly out of guest memory, using the task_struct layout
+ * from kernel/layout.h. The central operation mirrors the paper's: given
+ * the next thread's stack pointer (visible in a register at the
+ * context-switch trap), locate its task_struct and read its thread ID.
+ */
+
+namespace rsafe::hv {
+
+/** Read-only view of guest kernel state. */
+class Introspector {
+  public:
+    explicit Introspector(const mem::PhysMem* mem) : mem_(mem) {}
+
+    /** @return the task slot owning the stack containing @p sp,
+     *  or kMaxTasks if @p sp is not in any task stack. */
+    std::size_t slot_of_sp(Addr sp) const;
+
+    /** @return the tid stored in slot @p slot's task_struct. */
+    ThreadId tid_of_slot(std::size_t slot) const;
+
+    /** sp -> task_struct -> tid: the full Section 5.2.1 walk. */
+    ThreadId tid_of_sp(Addr sp) const;
+
+    /** @return the scheduler's current task slot. */
+    std::size_t current_slot() const;
+
+    /** @return the task state word of slot @p slot. */
+    Word task_state(std::size_t slot) const;
+
+    /** @return the guest's context-switch counter (DOS detector input). */
+    Word context_switches() const;
+
+    /** @return the number of live user tasks. */
+    Word live_user_tasks() const;
+
+    /** @return the kernel "root" flag (attack-evidence word). */
+    Word root_flag() const;
+
+  private:
+    const mem::PhysMem* mem_;
+};
+
+}  // namespace rsafe::hv
+
+#endif  // RSAFE_HV_INTROSPECT_H_

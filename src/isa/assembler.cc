@@ -1,0 +1,193 @@
+#include "isa/assembler.h"
+
+#include "common/log.h"
+
+namespace rsafe::isa {
+
+Assembler::Assembler(Addr base) : base_(base)
+{
+    if (base % kInstrBytes != 0)
+        fatal("Assembler: base address must be 8-byte aligned");
+}
+
+Addr
+Assembler::here() const
+{
+    return base_ + bytes_.size();
+}
+
+void
+Assembler::label(const std::string& name)
+{
+    if (labels_.count(name))
+        fatal("Assembler: duplicate label '" + name + "'");
+    labels_[name] = here();
+}
+
+void
+Assembler::func_begin(const std::string& name)
+{
+    if (!open_function_.empty())
+        fatal("Assembler: nested func_begin('" + name + "')");
+    label(name);
+    open_function_ = name;
+    open_function_begin_ = here();
+}
+
+void
+Assembler::func_end()
+{
+    if (open_function_.empty())
+        fatal("Assembler: func_end with no open function");
+    functions_[open_function_] = SymbolRange{open_function_begin_, here()};
+    open_function_.clear();
+}
+
+void
+Assembler::emit(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                std::uint8_t rs2, std::int32_t imm)
+{
+    Instr instr{op, rd, rs1, rs2, imm};
+    const auto enc = encode(instr);
+    bytes_.insert(bytes_.end(), enc.begin(), enc.end());
+}
+
+void
+Assembler::emit_label_ref(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                          std::uint8_t rs2, const std::string& target)
+{
+    fixups_.push_back(Fixup{bytes_.size(), target});
+    emit(op, rd, rs1, rs2, 0);
+}
+
+void Assembler::nop() { emit(Opcode::kNop); }
+void Assembler::halt() { emit(Opcode::kHalt); }
+
+void Assembler::add(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kAdd, rd, rs1, rs2); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kSub, rd, rs1, rs2); }
+void Assembler::mul(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kMul, rd, rs1, rs2); }
+void Assembler::divu(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kDivu, rd, rs1, rs2); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kAnd, rd, rs1, rs2); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kOr, rd, rs1, rs2); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kXor, rd, rs1, rs2); }
+void Assembler::shl(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kShl, rd, rs1, rs2); }
+void Assembler::shr(Reg rd, Reg rs1, Reg rs2) { emit(Opcode::kShr, rd, rs1, rs2); }
+
+void Assembler::addi(Reg rd, Reg rs1, std::int32_t imm) { emit(Opcode::kAddi, rd, rs1, 0, imm); }
+void Assembler::andi(Reg rd, Reg rs1, std::int32_t imm) { emit(Opcode::kAndi, rd, rs1, 0, imm); }
+void Assembler::ori(Reg rd, Reg rs1, std::int32_t imm) { emit(Opcode::kOri, rd, rs1, 0, imm); }
+void Assembler::xori(Reg rd, Reg rs1, std::int32_t imm) { emit(Opcode::kXori, rd, rs1, 0, imm); }
+void Assembler::shli(Reg rd, Reg rs1, std::int32_t imm) { emit(Opcode::kShli, rd, rs1, 0, imm); }
+void Assembler::shri(Reg rd, Reg rs1, std::int32_t imm) { emit(Opcode::kShri, rd, rs1, 0, imm); }
+
+void
+Assembler::ldi(Reg rd, std::int64_t value)
+{
+    const auto lo32 = static_cast<std::int32_t>(value);
+    if (static_cast<std::int64_t>(lo32) == value) {
+        emit(Opcode::kLdi, rd, 0, 0, lo32);
+        return;
+    }
+    // Two-instruction sequence for full 64-bit constants.
+    const auto hi = static_cast<std::int32_t>(value >> 32);
+    const auto lo = static_cast<std::int32_t>(value & 0xffffffff);
+    emit(Opcode::kLdi, rd, 0, 0, hi);
+    emit(Opcode::kLdiu, rd, 0, 0, lo);
+}
+
+void
+Assembler::ldi_label(Reg rd, const std::string& target)
+{
+    emit_label_ref(Opcode::kLdi, rd, 0, 0, target);
+}
+
+void Assembler::mov(Reg rd, Reg rs1) { emit(Opcode::kMov, rd, rs1); }
+
+void Assembler::ld(Reg rd, Reg base, std::int32_t offset) { emit(Opcode::kLd, rd, base, 0, offset); }
+void Assembler::st(Reg base, std::int32_t offset, Reg value) { emit(Opcode::kSt, 0, base, value, offset); }
+void Assembler::ldb(Reg rd, Reg base, std::int32_t offset) { emit(Opcode::kLdb, rd, base, 0, offset); }
+void Assembler::stb(Reg base, std::int32_t offset, Reg value) { emit(Opcode::kStb, 0, base, value, offset); }
+
+void Assembler::beq(Reg rs1, Reg rs2, const std::string& t) { emit_label_ref(Opcode::kBeq, 0, rs1, rs2, t); }
+void Assembler::bne(Reg rs1, Reg rs2, const std::string& t) { emit_label_ref(Opcode::kBne, 0, rs1, rs2, t); }
+void Assembler::blt(Reg rs1, Reg rs2, const std::string& t) { emit_label_ref(Opcode::kBlt, 0, rs1, rs2, t); }
+void Assembler::bge(Reg rs1, Reg rs2, const std::string& t) { emit_label_ref(Opcode::kBge, 0, rs1, rs2, t); }
+void Assembler::bltu(Reg rs1, Reg rs2, const std::string& t) { emit_label_ref(Opcode::kBltu, 0, rs1, rs2, t); }
+void Assembler::bgeu(Reg rs1, Reg rs2, const std::string& t) { emit_label_ref(Opcode::kBgeu, 0, rs1, rs2, t); }
+
+void Assembler::jmp(const std::string& t) { emit_label_ref(Opcode::kJmp, 0, 0, 0, t); }
+void Assembler::jmpr(Reg rs1) { emit(Opcode::kJmpr, 0, rs1); }
+void Assembler::call(const std::string& t) { emit_label_ref(Opcode::kCall, 0, 0, 0, t); }
+void Assembler::callr(Reg rs1) { emit(Opcode::kCallr, 0, rs1); }
+void Assembler::ret() { emit(Opcode::kRet); }
+void Assembler::push(Reg rs1) { emit(Opcode::kPush, 0, rs1); }
+void Assembler::pop(Reg rd) { emit(Opcode::kPop, rd); }
+
+void Assembler::getsp(Reg rd) { emit(Opcode::kGetsp, rd); }
+void Assembler::setsp(Reg rs1) { emit(Opcode::kSetsp, 0, rs1); }
+void Assembler::addsp(std::int32_t delta) { emit(Opcode::kAddsp, 0, 0, 0, delta); }
+
+void Assembler::rdtsc(Reg rd) { emit(Opcode::kRdtsc, rd); }
+void Assembler::in(Reg rd, std::uint16_t port) { emit(Opcode::kIn, rd, 0, 0, port); }
+void Assembler::out(std::uint16_t port, Reg rs1) { emit(Opcode::kOut, 0, rs1, 0, port); }
+void Assembler::syscall() { emit(Opcode::kSyscall); }
+void Assembler::iret() { emit(Opcode::kIret); }
+void Assembler::cli() { emit(Opcode::kCli); }
+void Assembler::sti() { emit(Opcode::kSti); }
+
+void
+Assembler::word(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+}
+
+void
+Assembler::space(std::size_t count)
+{
+    bytes_.insert(bytes_.end(), count, 0);
+}
+
+void
+Assembler::bytes(const std::vector<std::uint8_t>& data)
+{
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void
+Assembler::align(std::size_t alignment)
+{
+    if (alignment == 0 || (alignment & (alignment - 1)) != 0)
+        fatal("Assembler::align: alignment must be a power of two");
+    while ((base_ + bytes_.size()) % alignment != 0)
+        bytes_.push_back(0);
+}
+
+Image
+Assembler::link()
+{
+    if (!open_function_.empty())
+        fatal("Assembler::link: unclosed function '" + open_function_ + "'");
+    for (const auto& fixup : fixups_) {
+        auto it = labels_.find(fixup.target);
+        if (it == labels_.end())
+            fatal("Assembler: undefined label '" + fixup.target + "'");
+        const Addr target = it->second;
+        if (target > 0xffffffffULL)
+            fatal("Assembler: label '" + fixup.target +
+                  "' out of 32-bit immediate range");
+        const auto uimm = static_cast<std::uint32_t>(target);
+        bytes_[fixup.offset + 4] = static_cast<std::uint8_t>(uimm & 0xff);
+        bytes_[fixup.offset + 5] = static_cast<std::uint8_t>((uimm >> 8) & 0xff);
+        bytes_[fixup.offset + 6] = static_cast<std::uint8_t>((uimm >> 16) & 0xff);
+        bytes_[fixup.offset + 7] = static_cast<std::uint8_t>((uimm >> 24) & 0xff);
+    }
+    Image image(base_, bytes_);
+    for (const auto& [name, addr] : labels_)
+        image.add_symbol(name, addr);
+    for (const auto& [name, range] : functions_)
+        image.add_function(name, range.begin, range.end);
+    return image;
+}
+
+}  // namespace rsafe::isa

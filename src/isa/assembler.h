@@ -1,0 +1,151 @@
+#ifndef RSAFE_ISA_ASSEMBLER_H_
+#define RSAFE_ISA_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * A programmatic two-pass assembler for the guest ISA.
+ *
+ * Guest code (the kernel, workload programs, the vulnerable victim of the
+ * ROP example) is emitted through this builder API using string labels for
+ * control-flow targets; link() resolves labels to absolute addresses and
+ * produces an Image.
+ *
+ * Register names follow the guest ABI used by the kernel builder:
+ *   r0        syscall number / return value
+ *   r1..r5    arguments and caller-saved temporaries
+ *   r6..r9    caller-saved temporaries
+ *   r10..r13  callee-saved
+ *   r14, r15  kernel scratch (never touched by user code)
+ */
+
+namespace rsafe::isa {
+
+/** Register aliases for readable emitter code. */
+enum Reg : std::uint8_t {
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+};
+
+/** Two-pass label-resolving assembler producing Image objects. */
+class Assembler {
+  public:
+    /** Start assembling at guest address @p base. */
+    explicit Assembler(Addr base);
+
+    /** @return the address the next emitted byte will occupy. */
+    Addr here() const;
+
+    /** Bind @p name to the current address. */
+    void label(const std::string& name);
+
+    /** Begin a function symbol at the current address. */
+    void func_begin(const std::string& name);
+
+    /** End the function most recently begun. */
+    void func_end();
+
+    // --- Instruction emitters (one per opcode family) ---
+    void nop();
+    void halt();
+
+    void add(Reg rd, Reg rs1, Reg rs2);
+    void sub(Reg rd, Reg rs1, Reg rs2);
+    void mul(Reg rd, Reg rs1, Reg rs2);
+    void divu(Reg rd, Reg rs1, Reg rs2);
+    void and_(Reg rd, Reg rs1, Reg rs2);
+    void or_(Reg rd, Reg rs1, Reg rs2);
+    void xor_(Reg rd, Reg rs1, Reg rs2);
+    void shl(Reg rd, Reg rs1, Reg rs2);
+    void shr(Reg rd, Reg rs1, Reg rs2);
+
+    void addi(Reg rd, Reg rs1, std::int32_t imm);
+    void andi(Reg rd, Reg rs1, std::int32_t imm);
+    void ori(Reg rd, Reg rs1, std::int32_t imm);
+    void xori(Reg rd, Reg rs1, std::int32_t imm);
+    void shli(Reg rd, Reg rs1, std::int32_t imm);
+    void shri(Reg rd, Reg rs1, std::int32_t imm);
+
+    void ldi(Reg rd, std::int64_t value);  ///< expands to ldi/ldiu pair if needed
+    void ldi_label(Reg rd, const std::string& target);  ///< rd = addr of label
+    void mov(Reg rd, Reg rs1);
+
+    void ld(Reg rd, Reg base, std::int32_t offset);
+    void st(Reg base, std::int32_t offset, Reg value);
+    void ldb(Reg rd, Reg base, std::int32_t offset);
+    void stb(Reg base, std::int32_t offset, Reg value);
+
+    void beq(Reg rs1, Reg rs2, const std::string& target);
+    void bne(Reg rs1, Reg rs2, const std::string& target);
+    void blt(Reg rs1, Reg rs2, const std::string& target);
+    void bge(Reg rs1, Reg rs2, const std::string& target);
+    void bltu(Reg rs1, Reg rs2, const std::string& target);
+    void bgeu(Reg rs1, Reg rs2, const std::string& target);
+
+    void jmp(const std::string& target);
+    void jmpr(Reg rs1);
+    void call(const std::string& target);
+    void callr(Reg rs1);
+    void ret();
+    void push(Reg rs1);
+    void pop(Reg rd);
+
+    void getsp(Reg rd);
+    void setsp(Reg rs1);
+    void addsp(std::int32_t delta);
+
+    void rdtsc(Reg rd);
+    void in(Reg rd, std::uint16_t port);
+    void out(std::uint16_t port, Reg rs1);
+    void syscall();
+    void iret();
+    void cli();
+    void sti();
+
+    // --- Data emitters ---
+    /** Emit a raw 64-bit little-endian word. */
+    void word(std::uint64_t value);
+    /** Emit @p count zero bytes. */
+    void space(std::size_t count);
+    /** Emit raw bytes. */
+    void bytes(const std::vector<std::uint8_t>& data);
+    /** Align the cursor to @p alignment bytes (power of two). */
+    void align(std::size_t alignment);
+
+    /**
+     * Resolve all label references and produce the final image.
+     * fatal() on undefined labels or out-of-range targets.
+     */
+    Image link();
+
+  private:
+    void emit(Opcode op, std::uint8_t rd = 0, std::uint8_t rs1 = 0,
+              std::uint8_t rs2 = 0, std::int32_t imm = 0);
+    void emit_label_ref(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                        std::uint8_t rs2, const std::string& target);
+
+    struct Fixup {
+        std::size_t offset;  ///< byte offset of the instruction
+        std::string target;
+    };
+
+    Addr base_;
+    std::vector<std::uint8_t> bytes_;
+    std::map<std::string, Addr> labels_;
+    std::vector<Fixup> fixups_;
+    std::map<std::string, SymbolRange> functions_;
+    std::string open_function_;
+    Addr open_function_begin_ = 0;
+};
+
+}  // namespace rsafe::isa
+
+#endif  // RSAFE_ISA_ASSEMBLER_H_

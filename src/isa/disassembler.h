@@ -1,0 +1,31 @@
+#ifndef RSAFE_ISA_DISASSEMBLER_H_
+#define RSAFE_ISA_DISASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * Text disassembly of guest instructions, used by the alarm replayer's
+ * forensic reports (gadget listings) and by debugging tests.
+ */
+
+namespace rsafe::isa {
+
+/** Render a single decoded instruction as text (e.g., "addi r1, r2, 8"). */
+std::string disassemble(const Instr& instr);
+
+/**
+ * Disassemble @p count instructions starting at @p addr inside @p image,
+ * one line per instruction, each prefixed with its address in hex.
+ */
+std::string disassemble_range(const Image& image, Addr addr,
+                              std::size_t count);
+
+}  // namespace rsafe::isa
+
+#endif  // RSAFE_ISA_DISASSEMBLER_H_

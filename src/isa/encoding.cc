@@ -1,0 +1,113 @@
+#include "isa/encoding.h"
+
+#include <cstring>
+
+namespace rsafe::isa {
+
+namespace {
+
+constexpr const char* kNames[] = {
+    "nop",  "halt",
+    "add",  "sub",  "mul",  "divu", "and",  "or",   "xor",  "shl",  "shr",
+    "addi", "andi", "ori",  "xori", "shli", "shri",
+    "ldi",  "ldiu", "mov",
+    "ld",   "st",   "ldb",  "stb",
+    "beq",  "bne",  "blt",  "bge",  "bltu", "bgeu",
+    "jmp",  "jmpr", "call", "callr", "ret", "push", "pop",
+    "getsp", "setsp", "addsp",
+    "rdtsc", "in",  "out",  "syscall", "iret", "cli", "sti",
+};
+
+static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                  static_cast<std::size_t>(Opcode::kCount),
+              "opcode name table out of sync with Opcode enum");
+
+}  // namespace
+
+const char*
+opcode_name(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    if (idx >= static_cast<std::size_t>(Opcode::kCount))
+        return "<bad>";
+    return kNames[idx];
+}
+
+bool
+opcode_valid(std::uint8_t raw)
+{
+    return raw < static_cast<std::uint8_t>(Opcode::kCount);
+}
+
+std::array<std::uint8_t, kInstrBytes>
+encode(const Instr& instr)
+{
+    std::array<std::uint8_t, kInstrBytes> out{};
+    out[0] = static_cast<std::uint8_t>(instr.op);
+    out[1] = instr.rd;
+    out[2] = instr.rs1;
+    out[3] = instr.rs2;
+    const auto uimm = static_cast<std::uint32_t>(instr.imm);
+    out[4] = static_cast<std::uint8_t>(uimm & 0xff);
+    out[5] = static_cast<std::uint8_t>((uimm >> 8) & 0xff);
+    out[6] = static_cast<std::uint8_t>((uimm >> 16) & 0xff);
+    out[7] = static_cast<std::uint8_t>((uimm >> 24) & 0xff);
+    return out;
+}
+
+bool
+decode(const std::uint8_t* bytes, Instr* out)
+{
+    if (!opcode_valid(bytes[0]))
+        return false;
+    out->op = static_cast<Opcode>(bytes[0]);
+    out->rd = bytes[1];
+    out->rs1 = bytes[2];
+    out->rs2 = bytes[3];
+    std::uint32_t uimm = 0;
+    uimm |= static_cast<std::uint32_t>(bytes[4]);
+    uimm |= static_cast<std::uint32_t>(bytes[5]) << 8;
+    uimm |= static_cast<std::uint32_t>(bytes[6]) << 16;
+    uimm |= static_cast<std::uint32_t>(bytes[7]) << 24;
+    out->imm = static_cast<std::int32_t>(uimm);
+    if (out->rd >= kNumRegs || out->rs1 >= kNumRegs || out->rs2 >= kNumRegs)
+        return false;
+    return true;
+}
+
+bool
+is_control_flow(Opcode op)
+{
+    switch (op) {
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu:
+      case Opcode::kJmp:
+      case Opcode::kJmpr:
+      case Opcode::kCall:
+      case Opcode::kCallr:
+      case Opcode::kRet:
+      case Opcode::kSyscall:
+      case Opcode::kIret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+is_call(Opcode op)
+{
+    return op == Opcode::kCall || op == Opcode::kCallr;
+}
+
+bool
+is_indirect_branch(Opcode op)
+{
+    return op == Opcode::kJmpr || op == Opcode::kCallr;
+}
+
+}  // namespace rsafe::isa

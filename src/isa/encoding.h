@@ -1,0 +1,134 @@
+#ifndef RSAFE_ISA_ENCODING_H_
+#define RSAFE_ISA_ENCODING_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+/**
+ * @file
+ * The guest instruction set of the RnR-Safe simulator.
+ *
+ * The guest machine is a 64-bit RISC-like uniprocessor with sixteen general
+ * purpose registers, a dedicated stack pointer, and a fixed 8-byte
+ * instruction encoding:
+ *
+ *     byte 0   opcode
+ *     byte 1   rd
+ *     byte 2   rs1
+ *     byte 3   rs2
+ *     bytes 4-7  imm32 (little-endian, sign-extended where noted)
+ *
+ * The ISA deliberately contains everything the paper's threat model needs:
+ *  - call/ret with on-stack return addresses (ROP target surface),
+ *  - indirect jumps and calls (JOP target surface),
+ *  - byte stores (buffer-overflow string copies),
+ *  - rdtsc / in / out / mmio (the non-deterministic inputs of Section 7.3),
+ *  - syscall/iret and a stack-switch instruction (kernel context switches).
+ */
+
+namespace rsafe::isa {
+
+/** Number of general-purpose registers (r0..r15). */
+inline constexpr std::size_t kNumRegs = 16;
+
+/** All guest opcodes. */
+enum class Opcode : std::uint8_t {
+    kNop = 0,
+    kHalt,       ///< Stop the virtual machine (benign end of workload).
+
+    // ALU register-register: rd = rs1 OP rs2.
+    kAdd, kSub, kMul, kDivu, kAnd, kOr, kXor, kShl, kShr,
+
+    // ALU register-immediate: rd = rs1 OP sext(imm).
+    kAddi, kAndi, kOri, kXori, kShli, kShri,
+
+    kLdi,        ///< rd = sext(imm32).
+    kLdiu,       ///< rd = (rd << 32) | zext(imm32) — builds 64-bit consts.
+    kMov,        ///< rd = rs1.
+
+    // Memory: 64-bit words and single bytes.
+    kLd,         ///< rd = mem64[rs1 + sext(imm)].
+    kSt,         ///< mem64[rs1 + sext(imm)] = rs2.
+    kLdb,        ///< rd = zext(mem8[rs1 + sext(imm)]).
+    kStb,        ///< mem8[rs1 + sext(imm)] = rs2 & 0xff.
+
+    // Control flow. Branch/jump targets are absolute guest addresses.
+    kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+    kJmp,        ///< pc = imm.
+    kJmpr,       ///< pc = rs1 (indirect jump).
+    kCall,       ///< push pc+8; RAS push; pc = imm.
+    kCallr,      ///< push pc+8; RAS push; pc = rs1 (indirect call).
+    kRet,        ///< pop target from the stack; RAS predicts/pops.
+    kPush,       ///< sp -= 8; mem64[sp] = rs1.
+    kPop,        ///< rd = mem64[sp]; sp += 8.
+
+    // Stack-pointer manipulation.
+    kGetsp,      ///< rd = sp.
+    kSetsp,      ///< sp = rs1 (the kernel's single stack-switch point).
+    kAddsp,      ///< sp += sext(imm).
+
+    // Privileged / trapping / non-deterministic.
+    kRdtsc,      ///< rd = timestamp (non-deterministic input).
+    kIn,         ///< rd = io_port[imm] (pio read).
+    kOut,        ///< io_port[imm] = rs1 (pio write).
+    kSyscall,    ///< Trap into the guest kernel (r0 holds the number).
+    kIret,       ///< Return from syscall/interrupt (pops pc, flags).
+    kCli,        ///< Disable guest interrupt delivery.
+    kSti,        ///< Enable guest interrupt delivery.
+
+    kCount
+};
+
+/** @return the mnemonic for @p op (e.g., "add"). */
+const char* opcode_name(Opcode op);
+
+/** @return true if @p raw is a defined opcode byte. */
+bool opcode_valid(std::uint8_t raw);
+
+/** A decoded instruction. */
+struct Instr {
+    Opcode op = Opcode::kNop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+
+    /** @return imm sign-extended to 64 bits. */
+    std::int64_t simm() const { return static_cast<std::int64_t>(imm); }
+
+    /** @return imm zero-extended to 64 bits (for absolute addresses). */
+    std::uint64_t uimm() const
+    {
+        return static_cast<std::uint64_t>(static_cast<std::uint32_t>(imm));
+    }
+
+    bool operator==(const Instr&) const = default;
+};
+
+/** Encode @p instr into its 8-byte representation. */
+std::array<std::uint8_t, kInstrBytes> encode(const Instr& instr);
+
+/**
+ * Decode 8 bytes into an instruction.
+ *
+ * @param bytes  pointer to at least kInstrBytes bytes.
+ * @param out    decoded instruction on success.
+ * @return false if the opcode byte is not a defined opcode.
+ */
+bool decode(const std::uint8_t* bytes, Instr* out);
+
+/** @return true if @p op is a control-transfer instruction. */
+bool is_control_flow(Opcode op);
+
+/** @return true if @p op is kCall or kCallr. */
+bool is_call(Opcode op);
+
+/** @return true for the indirect transfers kJmpr / kCallr. */
+bool is_indirect_branch(Opcode op);
+
+}  // namespace rsafe::isa
+
+#endif  // RSAFE_ISA_ENCODING_H_

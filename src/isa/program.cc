@@ -1,0 +1,70 @@
+#include "isa/program.h"
+
+#include "common/log.h"
+
+namespace rsafe::isa {
+
+void
+Image::add_symbol(const std::string& name, Addr addr)
+{
+    symbols_[name] = addr;
+}
+
+void
+Image::add_function(const std::string& name, Addr begin, Addr end)
+{
+    symbols_[name] = begin;
+    functions_[name] = SymbolRange{begin, end};
+}
+
+Addr
+Image::symbol(const std::string& name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        fatal("Image: undefined symbol '" + name + "'");
+    return it->second;
+}
+
+std::optional<Addr>
+Image::find_symbol(const std::string& name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<SymbolRange>
+Image::find_function(const std::string& name) const
+{
+    auto it = functions_.find(name);
+    if (it == functions_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Image::function_at(Addr addr) const
+{
+    for (const auto& [name, range] : functions_) {
+        if (addr >= range.begin && addr < range.end)
+            return name;
+    }
+    return {};
+}
+
+std::optional<Instr>
+Image::instr_at(Addr addr) const
+{
+    if (addr < base_ || addr + kInstrBytes > end())
+        return std::nullopt;
+    if ((addr - base_) % kInstrBytes != 0)
+        return std::nullopt;
+    Instr instr;
+    if (!decode(bytes_.data() + (addr - base_), &instr))
+        return std::nullopt;
+    return instr;
+}
+
+}  // namespace rsafe::isa

@@ -1,0 +1,97 @@
+#ifndef RSAFE_ISA_PROGRAM_H_
+#define RSAFE_ISA_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+
+/**
+ * @file
+ * A linked guest program image: raw bytes at a base address plus a symbol
+ * table. Both the guest kernel and user workloads are built into Image
+ * objects by the Assembler and then loaded into guest physical memory.
+ *
+ * The hypervisor uses the symbol table for the operations Section 5 of the
+ * paper performs on the real kernel binary: populating the return/target
+ * whitelists, placing PC breakpoints on the stack-switch instruction and
+ * the thread-exit function, and introspecting task_struct fields.
+ */
+
+namespace rsafe::isa {
+
+/** A named address range (e.g., a function) inside an image. */
+struct SymbolRange {
+    Addr begin = 0;
+    Addr end = 0;  ///< one past the last byte
+};
+
+/** A loadable guest program image. */
+class Image {
+  public:
+    Image() = default;
+    Image(Addr base, std::vector<std::uint8_t> bytes)
+        : base_(base), bytes_(std::move(bytes)) {}
+
+    /** @return the load address of the first byte. */
+    Addr base() const { return base_; }
+
+    /** @return one past the last loaded byte. */
+    Addr end() const { return base_ + bytes_.size(); }
+
+    /** @return size of the image in bytes. */
+    std::size_t size() const { return bytes_.size(); }
+
+    /** @return the raw image bytes. */
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+    /** Define symbol @p name at @p addr. */
+    void add_symbol(const std::string& name, Addr addr);
+
+    /** Define a function symbol covering [begin, end). */
+    void add_function(const std::string& name, Addr begin, Addr end);
+
+    /** @return the address of @p name; fatal() if undefined. */
+    Addr symbol(const std::string& name) const;
+
+    /** @return the address of @p name, or nullopt. */
+    std::optional<Addr> find_symbol(const std::string& name) const;
+
+    /** @return the function range for @p name, or nullopt. */
+    std::optional<SymbolRange> find_function(const std::string& name) const;
+
+    /** @return all function symbols, by name. */
+    const std::map<std::string, SymbolRange>& functions() const
+    {
+        return functions_;
+    }
+
+    /** @return all point symbols, by name. */
+    const std::map<std::string, Addr>& symbols() const { return symbols_; }
+
+    /**
+     * @return the name of the function containing @p addr, or empty.
+     * Used by forensic reports to translate raw PCs.
+     */
+    std::string function_at(Addr addr) const;
+
+    /**
+     * Decode the instruction at @p addr.
+     * @return nullopt if out of range, misaligned, or undecodable.
+     */
+    std::optional<Instr> instr_at(Addr addr) const;
+
+  private:
+    Addr base_ = 0;
+    std::vector<std::uint8_t> bytes_;
+    std::map<std::string, Addr> symbols_;
+    std::map<std::string, SymbolRange> functions_;
+};
+
+}  // namespace rsafe::isa
+
+#endif  // RSAFE_ISA_PROGRAM_H_

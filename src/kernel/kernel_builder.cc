@@ -1,0 +1,593 @@
+#include "kernel/kernel_builder.h"
+
+#include "common/log.h"
+#include "cpu/cpu.h"
+#include "dev/device_hub.h"
+#include "isa/assembler.h"
+#include "kernel/layout.h"
+
+namespace rsafe::kernel {
+
+using isa::Assembler;
+using isa::Reg;
+using isa::R0;
+using isa::R1;
+using isa::R2;
+using isa::R3;
+using isa::R4;
+using isa::R5;
+using isa::R10;
+using isa::R12;
+using isa::R13;
+using isa::R14;
+using isa::R15;
+
+static_assert(kIvtBase == cpu::kIvtBase,
+              "kernel layout and CPU disagree on the IVT base");
+static_assert(kIvtSlotSyscall == cpu::kIvtSyscallSlot,
+              "kernel layout and CPU disagree on the syscall IVT slot");
+
+namespace {
+
+/** r_dst = &task_struct(r_slot); clobbers r_tmp. */
+void
+emit_task_struct_addr(Assembler& a, Reg r_dst, Reg r_slot, Reg r_tmp)
+{
+    a.ldi(r_tmp, static_cast<std::int64_t>(kTaskStructSize));
+    a.mul(r_dst, r_slot, r_tmp);
+    a.ldi(r_tmp, static_cast<std::int64_t>(kTaskTableBase));
+    a.add(r_dst, r_dst, r_tmp);
+}
+
+/** mem64[abs_addr] += 1; clobbers r_a, r_b. */
+void
+emit_inc_word(Assembler& a, Addr abs_addr, Reg r_a, Reg r_b)
+{
+    a.ldi(r_a, static_cast<std::int64_t>(abs_addr));
+    a.ld(r_b, r_a, 0);
+    a.addi(r_b, r_b, 1);
+    a.st(r_a, 0, r_b);
+}
+
+}  // namespace
+
+GuestKernel
+build_kernel()
+{
+    Assembler a(kKernelCodeBase);
+
+    // -----------------------------------------------------------------
+    // Boot: install the IVT, set current = 0, launch task slot 0 by
+    // entering the scheduler's stack-switch tail.
+    // -----------------------------------------------------------------
+    a.label("k_boot");
+    a.ldi(R15, static_cast<std::int64_t>(kIvtBase));
+    a.ldi_label(R14, "k_timer_handler");
+    a.st(R15, 8 * kIvtSlotTimer, R14);
+    a.ldi_label(R14, "k_disk_handler");
+    a.st(R15, 8 * kIvtSlotDisk, R14);
+    a.ldi_label(R14, "k_syscall_entry");
+    a.st(R15, 8 * kIvtSlotSyscall, R14);
+    a.ldi(R14, 0);
+    a.ldi(R15, static_cast<std::int64_t>(kSchedCurrent));
+    a.st(R15, 0, R14);
+    // r14 = task 0's saved sp, then fall into the switch tail.
+    a.ldi(R15, static_cast<std::int64_t>(task_struct_addr(0)));
+    a.ld(R14, R15, kTaskOffSavedSp);
+    a.jmp("k_stack_switch");
+
+    // -----------------------------------------------------------------
+    // schedule(): round-robin context switch.
+    // Clobbers r14/r15 (kernel-reserved); preserves r0..r13 — the whole
+    // caller-visible register file must survive a switch, since the
+    // interleaved task uses every register freely.
+    // -----------------------------------------------------------------
+    a.func_begin("schedule");
+    for (int reg = 0; reg <= 13; ++reg)
+        a.push(static_cast<Reg>(reg));
+    // The address switch_ret will pop when this thread is resumed.
+    a.ldi_label(R14, "finish_resched");
+    a.push(R14);
+    // r10 = current slot, r11 = &ts(current).
+    a.ldi(R15, static_cast<std::int64_t>(kSchedCurrent));
+    a.ld(R10, R15, 0);
+    emit_task_struct_addr(a, isa::R11, R10, R15);
+    // Save sp into current->saved_sp.
+    a.getsp(R12);
+    a.st(isa::R11, kTaskOffSavedSp, R12);
+    // Scan for the next runnable slot, starting after current.
+    a.mov(R12, R10);
+    a.label("k_sched_loop");
+    a.addi(R12, R12, 1);
+    a.ldi(R13, static_cast<std::int64_t>(kMaxTasks));
+    a.blt(R12, R13, "k_sched_nowrap");
+    a.ldi(R12, 0);
+    a.label("k_sched_nowrap");
+    emit_task_struct_addr(a, R13, R12, R14);
+    a.ld(R14, R13, kTaskOffState);
+    a.ldi(R15, static_cast<std::int64_t>(kTaskStateRunnable));
+    a.beq(R14, R15, "k_sched_found");
+    a.bne(R12, R10, "k_sched_loop");
+    // Wrapped around: is current itself still runnable?
+    a.ld(R14, isa::R11, kTaskOffState);
+    a.ldi(R15, static_cast<std::int64_t>(kTaskStateRunnable));
+    a.beq(R14, R15, "k_sched_self");
+    // Nothing runnable at all: the workload is finished.
+    a.halt();
+    a.label("k_sched_self");
+    a.mov(R13, isa::R11);
+    a.label("k_sched_found");
+    // current = r12; ctx_switches++.
+    a.ldi(R15, static_cast<std::int64_t>(kSchedCurrent));
+    a.st(R15, 0, R12);
+    emit_inc_word(a, kSchedCtxSwitches, R15, R14);
+    // r14 = next->saved_sp; switch stacks.
+    a.ld(R14, R13, kTaskOffSavedSp);
+    // The single stack-switch instruction the hypervisor traps on
+    // (Section 5.2.1). The new thread's sp is visible in r14 here.
+    a.label("k_stack_switch");
+    a.setsp(R14);
+    // The non-procedural return (Section 4.4): its on-stack target was
+    // placed by the scheduler (or by the stack seeder for fresh tasks)
+    // and is one of the three finish_* labels below.
+    a.label("k_switch_ret");
+    a.ret();
+    a.func_end();
+
+    // Target 1: resuming a previously-switched-out thread.
+    a.label("finish_resched");
+    for (int reg = 13; reg >= 0; --reg)
+        a.pop(static_cast<Reg>(reg));
+    a.ret();
+
+    // Target 2: first run of a user task -> iret into user mode.
+    a.label("finish_fork");
+    a.ldi(R15, static_cast<std::int64_t>(kSchedCurrent));
+    a.ld(R14, R15, 0);
+    emit_task_struct_addr(a, R14, R14, R13);
+    a.ld(R14, R14, kTaskOffEntry);
+    a.ldi(R13, 2);  // flags: user mode, interrupts enabled
+    a.push(R13);
+    a.push(R14);
+    a.iret();
+
+    // Target 3: first run of a kernel thread -> call its body.
+    a.label("finish_kthread");
+    a.ldi(R15, static_cast<std::int64_t>(kSchedCurrent));
+    a.ld(R14, R15, 0);
+    emit_task_struct_addr(a, R14, R14, R13);
+    a.ld(R14, R14, kTaskOffEntry);
+    a.callr(R14);
+    // A kernel thread that returns terminates like sys_exit.
+    a.jmp("k_sc_exit");
+
+    // -----------------------------------------------------------------
+    // Idle kernel thread (task slot 0). Opens the interrupt window the
+    // timer tick needs, and halts the machine when no user tasks remain.
+    // -----------------------------------------------------------------
+    a.func_begin("k_idle");
+    a.label("k_idle_loop");
+    a.ldi(R1, static_cast<std::int64_t>(kSchedLiveUserTasks));
+    a.ld(R2, R1, 0);
+    a.ldi(R3, 0);
+    a.beq(R2, R3, "k_idle_halt");
+    a.sti();
+    a.nop();
+    a.nop();
+    a.cli();
+    a.call("schedule");
+    a.jmp("k_idle_loop");
+    a.label("k_idle_halt");
+    a.halt();
+    a.func_end();
+
+    // -----------------------------------------------------------------
+    // Interrupt handlers. The timer tick preempts (calls schedule); the
+    // disk handler just records the completion.
+    // -----------------------------------------------------------------
+    a.func_begin("k_timer_handler");
+    a.push(R0);
+    a.push(R1);
+    emit_inc_word(a, kSchedTicks, R0, R1);
+    a.call("schedule");
+    a.pop(R1);
+    a.pop(R0);
+    a.iret();
+    a.func_end();
+
+    a.func_begin("k_disk_handler");
+    a.push(R0);
+    a.push(R1);
+    // A completion *counter*: waiters snapshot it at submission and wait
+    // for it to advance, so one waiter's completion can never be
+    // swallowed by the next submitter (as a boolean flag could be).
+    emit_inc_word(a, kDiskDoneFlag, R0, R1);
+    a.pop(R1);
+    a.pop(R0);
+    a.iret();
+    a.func_end();
+
+    // -----------------------------------------------------------------
+    // Syscall dispatch. Number in r0; syscalls clobber r0..r5.
+    // -----------------------------------------------------------------
+    a.func_begin("k_syscall_entry");
+    auto dispatch = [&a](Word number, const std::string& target) {
+        a.ldi(R15, static_cast<std::int64_t>(number));
+        a.beq(R0, R15, target);
+    };
+    dispatch(kSysYield, "k_sc_yield");
+    dispatch(kSysExit, "k_sc_exit");
+    dispatch(kSysGetTime, "k_sc_gettime");
+    dispatch(kSysNicRecv, "k_sc_nic_recv");
+    dispatch(kSysDiskRead, "k_sc_disk_read");
+    dispatch(kSysDiskWrite, "k_sc_disk_write");
+    dispatch(kSysNicSend, "k_sc_nic_send");
+    dispatch(kSysBugcheck, "k_sc_bugcheck");
+    dispatch(kSysLogMsg, "k_sc_logmsg");
+    dispatch(kSysSpin, "k_sc_spin");
+    dispatch(kSysChecksum, "k_sc_checksum");
+    dispatch(kSysSpawn, "k_sc_spawn");
+    a.iret();  // unknown syscall: no-op
+    a.func_end();
+
+    // sys_spawn(r1 = entry) -> r0 = new tid (or ~0 if no slot). Reuses
+    // free or dead slots — and with them their thread IDs — which is why
+    // the hypervisor must trap here and reset any stale BackRAS entry
+    // (Section 5.2.2).
+    a.func_begin("k_sc_spawn");
+    a.ldi(R2, 1);  // slot 0 is the idle kernel thread
+    a.label("k_spawn_scan");
+    a.ldi(R3, static_cast<std::int64_t>(kMaxTasks));
+    a.bgeu(R2, R3, "k_spawn_fail");
+    emit_task_struct_addr(a, R4, R2, R5);
+    a.ld(R5, R4, kTaskOffState);
+    a.ldi(R3, static_cast<std::int64_t>(kTaskStateRunnable));
+    a.bne(R5, R3, "k_spawn_found");
+    a.addi(R2, R2, 1);
+    a.jmp("k_spawn_scan");
+    a.label("k_spawn_found");
+    // Initialize the task_struct: tid = slot (ID reuse), runnable, user.
+    a.st(R4, kTaskOffTid, R2);
+    a.ldi(R3, static_cast<std::int64_t>(kTaskStateRunnable));
+    a.st(R4, kTaskOffState, R3);
+    a.st(R4, kTaskOffEntry, R1);
+    a.ldi(R3, 0);
+    a.st(R4, kTaskOffKind, R3);
+    // Seed the fresh stack: the switch-return target is finish_fork.
+    a.addi(R5, R2, 1);
+    a.ldi(R3, static_cast<std::int64_t>(kTaskStackSize));
+    a.mul(R5, R5, R3);
+    a.ldi(R3, static_cast<std::int64_t>(kTaskStackBase));
+    a.add(R5, R5, R3);
+    a.addi(R5, R5, -8);
+    a.ldi_label(R3, "finish_fork");
+    a.st(R5, 0, R3);
+    a.st(R4, kTaskOffSavedSp, R5);
+    emit_inc_word(a, kSchedLiveUserTasks, R3, R5);
+    // The hypervisor traps here to reset the reused tid's BackRAS entry.
+    a.label("k_thread_spawn_bp");
+    a.nop();
+    a.mov(R0, R2);
+    a.iret();
+    a.label("k_spawn_fail");
+    a.ldi(R0, -1);
+    a.iret();
+    a.func_end();
+
+    // sys_checksum: run the recursive driver checksum over a user buffer
+    // (a stand-in for copy/validate paths that make kernels call-dense).
+    a.func_begin("k_sc_checksum");
+    a.call("k_csum");
+    a.iret();
+    a.func_end();
+
+    // sys_spin: burn kernel time with interrupts masked — the scheduler
+    // starvation a DOS attack induces (Table 1's third row).
+    a.func_begin("k_sc_spin");
+    a.ldi(R2, 0);
+    a.label("k_sc_spin_loop");
+    a.bgeu(R2, R1, "k_sc_spin_done");
+    a.addi(R2, R2, 1);
+    a.jmp("k_sc_spin_loop");
+    a.label("k_sc_spin_done");
+    a.iret();
+    a.func_end();
+
+    a.func_begin("k_sc_yield");
+    a.call("schedule");
+    a.iret();
+    a.func_end();
+
+    // sys_exit: mark the current task dead and switch away forever.
+    // The label doubles as the hypervisor's thread-exit trap point.
+    a.func_begin("k_sc_exit");
+    a.ldi(R1, static_cast<std::int64_t>(kSchedCurrent));
+    a.ld(R2, R1, 0);
+    emit_task_struct_addr(a, R3, R2, R4);
+    a.ldi(R4, static_cast<std::int64_t>(kTaskStateDead));
+    a.st(R3, kTaskOffState, R4);
+    a.ld(R4, R3, kTaskOffKind);
+    a.ldi(R5, 0);
+    a.bne(R4, R5, "k_sc_exit_sched");
+    // A user task died: live_user_tasks--.
+    a.ldi(R4, static_cast<std::int64_t>(kSchedLiveUserTasks));
+    a.ld(R5, R4, 0);
+    a.addi(R5, R5, -1);
+    a.st(R4, 0, R5);
+    a.label("k_sc_exit_sched");
+    a.call("schedule");
+    // Unreachable: a dead task is never rescheduled.
+    a.halt();
+    a.func_end();
+
+    a.func_begin("k_sc_gettime");
+    a.rdtsc(R0);
+    a.iret();
+    a.func_end();
+
+    // sys_nic_recv: poll the NIC; DMA a packet into the user buffer and
+    // checksum it with the deliberately deep-recursive driver routine.
+    a.func_begin("k_sc_nic_recv");
+    a.ldi(R2, static_cast<std::int64_t>(dev::kMmioBase + dev::kNicStatus));
+    a.ld(R3, R2, 0);
+    a.ldi(R4, 0);
+    a.beq(R3, R4, "k_sc_nic_none");
+    a.ldi(R2, static_cast<std::int64_t>(dev::kMmioBase + dev::kNicRxBuf));
+    a.st(R2, 0, R1);
+    a.ldi(R2, static_cast<std::int64_t>(dev::kMmioBase + dev::kNicRxLen));
+    a.ld(R0, R2, 0);
+    a.mov(R2, R0);
+    a.push(R0);
+    a.call("k_nic_rx_0");
+    a.pop(R0);
+    a.iret();
+    a.label("k_sc_nic_none");
+    a.ldi(R0, 0);
+    a.iret();
+    a.func_end();
+
+    // The layered receive path (netif -> ip -> transport -> socket ...):
+    // real drivers nest several functions deep before payload processing,
+    // which is what pushes the recursive checksum past the RAS depth
+    // "under extreme loads" (Section 8.2).
+    constexpr int kNicRxLayers = 5;
+    for (int layer = 0; layer < kNicRxLayers; ++layer) {
+        a.func_begin(strcat_args("k_nic_rx_", layer));
+        if (layer + 1 < kNicRxLayers)
+            a.call(strcat_args("k_nic_rx_", layer + 1));
+        else
+            a.call("k_csum");
+        a.ret();
+        a.func_end();
+    }
+
+    // k_csum(r1 = buf, r2 = len) -> r0: linear recursion, 32 bytes per
+    // frame. Packets larger than ~1350 bytes push a 48-entry RAS past its
+    // depth — the "deep procedure nesting of the network driver code
+    // under extreme loads" behind apache's underflow alarms (Section 8.2).
+    a.func_begin("k_csum");
+    a.ldi(R3, 32);
+    a.bgeu(R3, R2, "k_csum_base");
+    // Sum the two 16-byte halves through the leaf helper (the call-dense
+    // structure of real kernel byte-bashing helpers).
+    a.push(R2);
+    a.call("k_csum_leaf");
+    a.mov(R4, R0);
+    a.addi(R1, R1, 16);
+    a.call("k_csum_leaf");
+    a.add(R4, R4, R0);
+    a.push(R4);
+    a.addi(R1, R1, 16);
+    a.pop(R4);
+    a.pop(R2);
+    a.push(R4);
+    a.addi(R2, R2, -32);
+    a.call("k_csum");
+    a.pop(R4);
+    a.add(R0, R0, R4);
+    a.ret();
+    a.label("k_csum_base");
+    a.ldi(R0, 0);
+    a.ldi(R3, 0);
+    a.label("k_csum_base_loop");
+    a.bgeu(R3, R2, "k_csum_base_done");
+    a.ldb(R4, R1, 0);
+    a.add(R0, R0, R4);
+    a.addi(R1, R1, 1);
+    a.addi(R3, R3, 1);
+    a.jmp("k_csum_base_loop");
+    a.label("k_csum_base_done");
+    a.ret();
+    a.func_end();
+
+    // k_csum_leaf(r1 = ptr) -> r0: sum of the 16 bytes at r1.
+    a.func_begin("k_csum_leaf");
+    a.ld(R0, R1, 0);
+    a.ld(R5, R1, 8);
+    a.add(R0, R0, R5);
+    a.ret();
+    a.func_end();
+
+    // sys_disk_read / sys_disk_write: program the DMA controller via
+    // port I/O and wait for the completion interrupt, yielding while
+    // the transfer is in flight.
+    // Waiting is done by spinning with a periodic interrupt window (so the
+    // completion IRQ and the timer tick can be delivered) rather than by
+    // rescheduling on every poll — keeping the context-switch rate at the
+    // timer-tick scale, as in a kernel that blocks waiters.
+    auto emit_disk_syscall = [&](const std::string& name, dev::Port go_port) {
+        a.func_begin(name);
+        a.label(name + "_wait_idle");
+        // Contention wait: poll the status port directly (a tight
+        // spinlock-style wait, not the layered request path).
+        a.in(R3, dev::kPortDiskStatus);
+        a.ldi(R4, 1);
+        a.beq(R3, R4, name + "_issue");
+        a.sti();
+        for (int pad = 0; pad < 8; ++pad)
+            a.nop();
+        a.cli();
+        a.jmp(name + "_wait_idle");
+        a.label(name + "_issue");
+        a.ldi(R3, 0);
+        a.out(dev::kPortDiskBlock, R1);
+        a.out(dev::kPortDiskAddr, R2);
+        a.out(go_port, R3);
+        // Snapshot the completion counter; interrupts are off, so our
+        // completion cannot fire before the snapshot.
+        a.ldi(R4, static_cast<std::int64_t>(kDiskDoneFlag));
+        a.ld(R2, R4, 0);
+        a.label(name + "_wait_done");
+        a.sti();
+        for (int pad = 0; pad < 12; ++pad)
+            a.nop();
+        a.cli();
+        a.call("k_disk_check_done");
+        a.beq(R3, R2, name + "_wait_done");
+        a.ldi(R0, 0);
+        a.iret();
+        a.func_end();
+    };
+    // Polling goes through helper layers, as the layered block stack of
+    // a real kernel would (request queue -> driver -> controller).
+    a.func_begin("k_disk_poll_status");
+    a.call("k_disk_poll_status_hw");
+    a.ret();
+    a.func_end();
+    a.func_begin("k_disk_poll_status_hw");
+    a.in(R3, dev::kPortDiskStatus);
+    a.ret();
+    a.func_end();
+    a.func_begin("k_disk_check_done");
+    a.ldi(R4, static_cast<std::int64_t>(kDiskDoneFlag));
+    a.ld(R3, R4, 0);
+    a.ret();
+    a.func_end();
+
+    emit_disk_syscall("k_sc_disk_read", dev::kPortDiskGoRead);
+    emit_disk_syscall("k_sc_disk_write", dev::kPortDiskGoWrite);
+
+    a.func_begin("k_sc_nic_send");
+    a.ldi(R2, static_cast<std::int64_t>(dev::kMmioBase + dev::kNicTx));
+    a.st(R2, 0, R1);
+    a.ldi(R0, 0);
+    a.iret();
+    a.func_end();
+
+    // sys_bugcheck: a recoverable kernel bug deep in a call chain. The
+    // recovery path abandons the nested frames (imperfect nesting,
+    // Section 4.5) and terminates the thread, orphaning its RAS entries.
+    a.func_begin("k_sc_bugcheck");
+    a.call("k_buggy_a");
+    a.iret();  // never reached
+    a.func_end();
+    a.func_begin("k_buggy_a");
+    a.call("k_buggy_b");
+    a.ret();
+    a.func_end();
+    a.func_begin("k_buggy_b");
+    a.call("k_buggy_c");
+    a.ret();
+    a.func_end();
+    a.func_begin("k_buggy_c");
+    // "Bug detected": recover by killing the current thread without
+    // unwinding. The jmp (not ret) leaves three orphaned RAS entries.
+    a.jmp("k_sc_exit");
+    a.func_end();
+
+    // -----------------------------------------------------------------
+    // sys_logmsg: the vulnerable syscall of Section 6 / Figure 10. Copies
+    // r2 bytes from user memory into a 128-byte stack buffer with no
+    // bounds check.
+    // -----------------------------------------------------------------
+    a.func_begin("k_sc_logmsg");
+    a.call("k_vulnerable");
+    a.label("k_sc_logmsg_ret_site");
+    a.iret();
+    a.func_end();
+
+    a.func_begin("k_vulnerable");
+    a.push(R10);
+    a.addsp(-static_cast<std::int32_t>(kLogMsgBufBytes));
+    a.getsp(R3);
+    a.ldi(R4, 0);
+    a.label("k_vuln_copy");
+    a.bgeu(R4, R2, "k_vuln_done");
+    a.ldb(R5, R1, 0);
+    a.stb(R3, 0, R5);
+    a.addi(R1, R1, 1);
+    a.addi(R3, R3, 1);
+    a.addi(R4, R4, 1);
+    a.jmp("k_vuln_copy");
+    a.label("k_vuln_done");
+    a.addsp(static_cast<std::int32_t>(kLogMsgBufBytes));
+    a.pop(R10);
+    a.label("k_vulnerable_ret");
+    a.ret();  // <- the hijacked return
+    a.func_end();
+
+    // -----------------------------------------------------------------
+    // The attacker's target: a privileged function that flips the "root"
+    // flag. Reaching it via the gadget chain is the proof of compromise.
+    // -----------------------------------------------------------------
+    a.func_begin("k_set_root");
+    a.ldi(R1, static_cast<std::int64_t>(kKernelRootFlag));
+    a.ldi(R2, 1);
+    a.st(R1, 0, R2);
+    a.ret();
+    a.func_end();
+
+    // -----------------------------------------------------------------
+    // Utility functions whose epilogues happen to be useful gadgets —
+    // the "existing correct code unwittingly providing malware
+    // instructions" of Appendix A.
+    // -----------------------------------------------------------------
+
+    // Tail: pop r1; ret  (gadget G1).
+    a.func_begin("k_util_swap_save");
+    a.push(R1);
+    a.mov(R5, R1);
+    a.ld(R4, R5, 0);
+    a.st(R5, 0, R4);
+    a.label("k_gadget_pop_r1");
+    a.pop(R1);
+    a.ret();
+    a.func_end();
+
+    // Tail: ld r2, [r1]; ret  (gadget G2).
+    a.func_begin("k_util_deref");
+    a.ldi(R2, 0);
+    a.label("k_gadget_ld_r2");
+    a.ld(R2, R1, 0);
+    a.ret();
+    a.func_end();
+
+    // Tail: callr r2; ret  (gadget G3).
+    a.func_begin("k_util_invoke");
+    a.ldi(R1, 0);
+    a.label("k_gadget_callr_r2");
+    a.callr(R2);
+    a.ret();
+    a.func_end();
+
+    GuestKernel kernel;
+    kernel.image = a.link();
+    if (kernel.image.end() > kKernelCodeLimit)
+        fatal("kernel image overflows its code segment");
+    const auto& image = kernel.image;
+    kernel.boot = image.symbol("k_boot");
+    kernel.stack_switch_pc = image.symbol("k_stack_switch");
+    kernel.switch_ret_pc = image.symbol("k_switch_ret");
+    kernel.finish_resched = image.symbol("finish_resched");
+    kernel.finish_fork = image.symbol("finish_fork");
+    kernel.finish_kthread = image.symbol("finish_kthread");
+    kernel.thread_exit_bp = image.symbol("k_sc_exit");
+    kernel.thread_spawn_bp = image.symbol("k_thread_spawn_bp");
+    kernel.idle_entry = image.symbol("k_idle");
+    kernel.set_root = image.symbol("k_set_root");
+    kernel.vulnerable_ret = image.symbol("k_vulnerable_ret");
+    kernel.logmsg_ret_site = image.symbol("k_sc_logmsg_ret_site");
+    return kernel;
+}
+
+}  // namespace rsafe::kernel

@@ -1,0 +1,58 @@
+#ifndef RSAFE_KERNEL_KERNEL_BUILDER_H_
+#define RSAFE_KERNEL_KERNEL_BUILDER_H_
+
+#include "common/types.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * Builds the guest micro-kernel image.
+ *
+ * The kernel is a preemptive round-robin multitasking kernel written in the
+ * guest ISA. It exhibits, by construction, every RAS false-positive source
+ * the paper enumerates (Section 4.1):
+ *
+ *  - multithreading: the scheduler switches stacks at one single SETSP
+ *    instruction (`k_stack_switch`), leaving per-thread RAS state behind;
+ *  - a non-procedural return: `k_switch_ret` returns through an address the
+ *    scheduler placed on the new stack, targeting one of exactly three
+ *    locations (`finish_resched`, `finish_fork`, `finish_kthread`) — the
+ *    Ret/Tar whitelist entries;
+ *  - RAS underflow: the NIC driver checksums packets with a deep recursive
+ *    routine (`k_csum`), overflowing a 48-entry RAS under load;
+ *  - imperfect nesting: the bug-recovery path (`sys_bugcheck`) abandons a
+ *    nested call chain and terminates the thread.
+ *
+ * It also contains the Section 6 attack surface: a vulnerable syscall
+ * (`sys_logmsg`) that copies a user buffer into a fixed 128-byte stack
+ * buffer without a bounds check, utility functions whose tails are usable
+ * ROP gadgets, and a privileged `k_set_root` function an attacker wants to
+ * reach.
+ */
+
+namespace rsafe::kernel {
+
+/** The built kernel plus the addresses the hypervisor needs. */
+struct GuestKernel {
+    isa::Image image;
+
+    Addr boot = 0;             ///< initial guest PC
+    Addr stack_switch_pc = 0;  ///< the single SETSP (context-switch trap)
+    Addr switch_ret_pc = 0;    ///< the non-procedural return (RetWhitelist)
+    Addr finish_resched = 0;   ///< TarWhitelist[0]
+    Addr finish_fork = 0;      ///< TarWhitelist[1]
+    Addr finish_kthread = 0;   ///< TarWhitelist[2]
+    Addr thread_exit_bp = 0;   ///< trap: recycle the dying thread's BackRAS
+    Addr thread_spawn_bp = 0;  ///< trap: reset the new thread's BackRAS
+    Addr idle_entry = 0;       ///< kernel-thread body of task 0
+    Addr set_root = 0;         ///< the attacker's target function
+    Addr vulnerable_ret = 0;   ///< the hijacked return in k_vulnerable
+    Addr logmsg_ret_site = 0;  ///< legitimate return site of k_vulnerable
+};
+
+/** Emit the guest kernel at kKernelCodeBase. */
+GuestKernel build_kernel();
+
+}  // namespace rsafe::kernel
+
+#endif  // RSAFE_KERNEL_KERNEL_BUILDER_H_

@@ -1,0 +1,156 @@
+#ifndef RSAFE_KERNEL_LAYOUT_H_
+#define RSAFE_KERNEL_LAYOUT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+/**
+ * @file
+ * Guest physical memory layout and the guest kernel ABI.
+ *
+ * The layout is fixed and public: the hypervisor introspects the task table
+ * and scheduler state (Section 5.2.1 finds a task_struct from a stack
+ * pointer), workload generators emit code against the syscall ABI, and the
+ * attack builder computes absolute addresses (the guest has no ASLR, which
+ * is exactly the setting ROP attackers exploit).
+ */
+
+namespace rsafe::kernel {
+
+// ---------------------------------------------------------------------------
+// Physical memory map.
+// ---------------------------------------------------------------------------
+
+/** Guest RAM size. */
+inline constexpr std::size_t kGuestRamBytes = 32 * 1024 * 1024;
+
+/** Interrupt vector table (8-byte slots; slot indices below). */
+inline constexpr Addr kIvtBase = 0x1000;
+
+/** Kernel code segment (read + execute after boot). */
+inline constexpr Addr kKernelCodeBase = 0x2000;
+inline constexpr Addr kKernelCodeLimit = 0x10000;
+
+/** Kernel data segment (task table, scheduler state, driver state). */
+inline constexpr Addr kKernelDataBase = 0x10000;
+inline constexpr Addr kKernelDataLimit = 0x20000;
+
+/** Kernel task stacks: one per task slot, growing down within the slot. */
+inline constexpr Addr kTaskStackBase = 0x20000;
+inline constexpr std::size_t kTaskStackSize = 0x2000;  ///< 8 KiB each
+inline constexpr std::size_t kMaxTasks = 16;
+
+/** User code segment (read + execute). */
+inline constexpr Addr kUserCodeBase = 0x60000;
+inline constexpr Addr kUserCodeLimit = 0x100000;
+
+/** User data segment (buffers, jmp_bufs, packet buffers). */
+inline constexpr Addr kUserDataBase = 0x100000;
+inline constexpr Addr kUserDataLimit = 0x400000;
+
+/** Workload working-set region (page-dirtying traffic for checkpoints). */
+inline constexpr Addr kWorkingSetBase = 0x400000;
+inline constexpr Addr kWorkingSetLimit = 0x1400000;
+
+/** @return the top (initial sp) of task slot @p slot's stack. */
+constexpr Addr
+task_stack_top(std::size_t slot)
+{
+    return kTaskStackBase + (slot + 1) * kTaskStackSize;
+}
+
+/** @return the lowest valid address of task slot @p slot's stack. */
+constexpr Addr
+task_stack_bottom(std::size_t slot)
+{
+    return kTaskStackBase + slot * kTaskStackSize;
+}
+
+/**
+ * @return the task slot whose stack contains @p sp, or kMaxTasks.
+ * This is the hypervisor's sp -> task_struct introspection step.
+ */
+constexpr std::size_t
+task_slot_of_sp(Addr sp)
+{
+    if (sp <= kTaskStackBase ||
+        sp > kTaskStackBase + kMaxTasks * kTaskStackSize) {
+        return kMaxTasks;
+    }
+    return static_cast<std::size_t>((sp - 1 - kTaskStackBase) /
+                                    kTaskStackSize);
+}
+
+// ---------------------------------------------------------------------------
+// IVT slots.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kIvtSlotTimer = 0;
+inline constexpr std::size_t kIvtSlotDisk = 1;
+inline constexpr std::size_t kIvtSlotSyscall = 7;
+
+// ---------------------------------------------------------------------------
+// Task table ("task_struct" array) and scheduler state, introspectable.
+// ---------------------------------------------------------------------------
+
+/** task_struct field offsets within one kTaskStructSize-byte slot. */
+inline constexpr Addr kTaskTableBase = kKernelDataBase;
+inline constexpr std::size_t kTaskStructSize = 64;
+inline constexpr std::size_t kTaskOffTid = 0;
+inline constexpr std::size_t kTaskOffState = 8;
+inline constexpr std::size_t kTaskOffSavedSp = 16;
+inline constexpr std::size_t kTaskOffEntry = 24;
+inline constexpr std::size_t kTaskOffKind = 32;   ///< 0 user, 1 kthread
+
+/** Task states. */
+inline constexpr Word kTaskStateFree = 0;
+inline constexpr Word kTaskStateRunnable = 1;
+inline constexpr Word kTaskStateDead = 2;
+
+/** @return guest address of task slot @p slot's task_struct. */
+constexpr Addr
+task_struct_addr(std::size_t slot)
+{
+    return kTaskTableBase + slot * kTaskStructSize;
+}
+
+/** Scheduler/driver state words (one 8-byte word each). */
+inline constexpr Addr kSchedBase = kTaskTableBase + kMaxTasks * kTaskStructSize;
+inline constexpr Addr kSchedCurrent = kSchedBase + 0;        ///< current slot
+inline constexpr Addr kSchedCtxSwitches = kSchedBase + 8;    ///< DOS counter
+inline constexpr Addr kSchedLiveUserTasks = kSchedBase + 16;
+inline constexpr Addr kSchedTicks = kSchedBase + 24;
+inline constexpr Addr kDiskDoneFlag = kSchedBase + 32;
+inline constexpr Addr kKernelRootFlag = kSchedBase + 40;  ///< attack evidence
+inline constexpr Addr kKernelScratch = kSchedBase + 48;
+
+// ---------------------------------------------------------------------------
+// Syscall ABI. Number in r0; args in r1..r3; result in r0.
+// Syscalls may clobber r0..r5; r14/r15 are kernel-reserved at all times.
+// ---------------------------------------------------------------------------
+
+inline constexpr Word kSysYield = 0;
+inline constexpr Word kSysExit = 1;
+inline constexpr Word kSysGetTime = 2;
+inline constexpr Word kSysNicRecv = 3;   ///< r1 = buffer; ret r0 = length
+inline constexpr Word kSysDiskRead = 4;  ///< r1 = block, r2 = buffer
+inline constexpr Word kSysDiskWrite = 5; ///< r1 = block, r2 = buffer
+inline constexpr Word kSysNicSend = 6;   ///< r1 = length
+inline constexpr Word kSysBugcheck = 7;  ///< kernel bug-recovery path
+inline constexpr Word kSysLogMsg = 8;    ///< r1 = msg ptr, r2 = len (VULN!)
+inline constexpr Word kSysSpin = 9;      ///< r1 = iterations; kernel-mode
+                                         ///< busy loop with interrupts off
+                                         ///< (the DOS scenario of Table 1)
+inline constexpr Word kSysChecksum = 10; ///< r1 = buf, r2 = len: recursive
+                                         ///< kernel checksum (call-dense)
+inline constexpr Word kSysSpawn = 11;    ///< r1 = entry: create a user task
+                                         ///< (reuses dead slots and their
+                                         ///< thread IDs, Section 5.2.2)
+
+/** Size of the (deliberately unchecked) sys_logmsg stack buffer. */
+inline constexpr std::size_t kLogMsgBufBytes = 128;
+
+}  // namespace rsafe::kernel
+
+#endif  // RSAFE_KERNEL_LAYOUT_H_

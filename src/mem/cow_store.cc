@@ -1,0 +1,16 @@
+#include "mem/cow_store.h"
+
+#include <cstring>
+
+namespace rsafe::mem {
+
+PageRef
+CowStore::store(const std::uint8_t* data)
+{
+    auto page = std::make_shared<PageCopy>();
+    std::memcpy(page->data(), data, kPageSize);
+    ++pages_copied_;
+    return page;
+}
+
+}  // namespace rsafe::mem

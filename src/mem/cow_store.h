@@ -1,0 +1,49 @@
+#ifndef RSAFE_MEM_COW_STORE_H_
+#define RSAFE_MEM_COW_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+/**
+ * @file
+ * Shared immutable page/block storage for incremental checkpoints.
+ *
+ * A checkpoint "keeps copies of only the pages and blocks that have been
+ * modified since the previous checkpoint; for each unmodified page or
+ * block, it keeps a pointer to it in the latest checkpoint that modified
+ * it" (Section 4.6.1). PageRef is that pointer: consecutive checkpoints
+ * share unmodified pages by reference, and recycling a checkpoint frees a
+ * page only when no later checkpoint still points at it — which shared
+ * ownership gives us for free.
+ */
+
+namespace rsafe::mem {
+
+/** An immutable copy of one page or disk block. */
+using PageCopy = std::array<std::uint8_t, kPageSize>;
+
+/** Shared reference to an immutable page copy. */
+using PageRef = std::shared_ptr<const PageCopy>;
+
+/** Allocation/accounting front-end for checkpoint page copies. */
+class CowStore {
+  public:
+    /** Copy @p data (kPageSize bytes) into a new shared immutable page. */
+    PageRef store(const std::uint8_t* data);
+
+    /** @return total pages ever copied through this store. */
+    std::uint64_t pages_copied() const { return pages_copied_; }
+
+    /** @return total bytes ever copied through this store. */
+    std::uint64_t bytes_copied() const { return pages_copied_ * kPageSize; }
+
+  private:
+    std::uint64_t pages_copied_ = 0;
+};
+
+}  // namespace rsafe::mem
+
+#endif  // RSAFE_MEM_COW_STORE_H_

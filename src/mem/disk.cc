@@ -1,0 +1,67 @@
+#include "mem/disk.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace rsafe::mem {
+
+Disk::Disk(std::size_t num_blocks) : blocks_(num_blocks)
+{
+    if (num_blocks == 0)
+        fatal("Disk: zero-sized disk");
+    bytes_.assign(num_blocks * kDiskBlockSize, 0);
+}
+
+void
+Disk::read_block(BlockNum block, std::uint8_t* out) const
+{
+    if (block >= blocks_)
+        panic("Disk::read_block out of range");
+    std::memcpy(out, bytes_.data() + block * kDiskBlockSize, kDiskBlockSize);
+}
+
+void
+Disk::write_block(BlockNum block, const std::uint8_t* data)
+{
+    if (block >= blocks_)
+        panic("Disk::write_block out of range");
+    std::memcpy(bytes_.data() + block * kDiskBlockSize, data, kDiskBlockSize);
+    dirty_.insert(block);
+}
+
+const std::uint8_t*
+Disk::block_data(BlockNum block) const
+{
+    if (block >= blocks_)
+        panic("Disk::block_data out of range");
+    return bytes_.data() + block * kDiskBlockSize;
+}
+
+std::vector<BlockNum>
+Disk::dirty_blocks() const
+{
+    std::vector<BlockNum> blocks(dirty_.begin(), dirty_.end());
+    std::sort(blocks.begin(), blocks.end());
+    return blocks;
+}
+
+void
+Disk::clear_dirty()
+{
+    dirty_.clear();
+}
+
+std::uint64_t
+Disk::content_hash() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const auto byte : bytes_) {
+        hash ^= byte;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+}  // namespace rsafe::mem

@@ -1,0 +1,60 @@
+#ifndef RSAFE_MEM_DISK_H_
+#define RSAFE_MEM_DISK_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+/**
+ * @file
+ * The guest's virtual disk image.
+ *
+ * Checkpoints must include disk blocks the VM has written (Section 4.6.1):
+ * if replayed execution later reads them back, the data is not in the input
+ * log, so it must come from the checkpointed disk state. The disk therefore
+ * tracks dirty blocks exactly like PhysMem tracks dirty pages.
+ */
+
+namespace rsafe::mem {
+
+/** A block-addressable virtual disk with dirty-block tracking. */
+class Disk {
+  public:
+    /** Create a disk of @p num_blocks blocks, zero-filled. */
+    explicit Disk(std::size_t num_blocks);
+
+    /** @return number of blocks. */
+    std::size_t num_blocks() const { return blocks_; }
+
+    /** Read block @p block into @p out (kDiskBlockSize bytes). */
+    void read_block(BlockNum block, std::uint8_t* out) const;
+
+    /** Write block @p block from @p data; marks it dirty. */
+    void write_block(BlockNum block, const std::uint8_t* data);
+
+    /** @return pointer to the raw bytes of @p block. */
+    const std::uint8_t* block_data(BlockNum block) const;
+
+    /** @return blocks written since the last clear_dirty(), sorted. */
+    std::vector<BlockNum> dirty_blocks() const;
+
+    /** @return number of dirty blocks. */
+    std::size_t dirty_count() const { return dirty_.size(); }
+
+    /** Forget dirty state (checkpoint interval boundary). */
+    void clear_dirty();
+
+    /** FNV-1a hash over the disk contents. */
+    std::uint64_t content_hash() const;
+
+  private:
+    std::size_t blocks_;
+    std::vector<std::uint8_t> bytes_;
+    std::unordered_set<BlockNum> dirty_;
+};
+
+}  // namespace rsafe::mem
+
+#endif  // RSAFE_MEM_DISK_H_

@@ -1,0 +1,179 @@
+#include "mem/phys_mem.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace rsafe::mem {
+
+PhysMem::PhysMem(std::size_t size)
+{
+    const std::size_t pages = (size + kPageSize - 1) / kPageSize;
+    if (pages == 0)
+        fatal("PhysMem: zero-sized memory");
+    bytes_.assign(pages * kPageSize, 0);
+    perms_.assign(pages, kPermRW);
+}
+
+void
+PhysMem::set_perms(Addr addr, std::size_t len, std::uint8_t perms)
+{
+    if (!in_range(addr, len))
+        fatal("PhysMem::set_perms: range out of bounds");
+    const Addr first = page_of(addr);
+    const Addr last = page_of(addr + (len == 0 ? 0 : len - 1));
+    for (Addr p = first; p <= last; ++p)
+        perms_[p] = perms;
+}
+
+std::uint8_t
+PhysMem::perms_at(Addr addr) const
+{
+    if (!in_range(addr, 1))
+        return kPermNone;
+    return perms_[page_of(addr)];
+}
+
+MemResult
+PhysMem::read(Addr addr, std::size_t len, Word* out) const
+{
+    if (!in_range(addr, len))
+        return MemResult::kOutOfRange;
+    // All accesses here are <= 8 bytes and never cross a page boundary in
+    // practice (stack and data are 8-byte aligned), but check both pages.
+    const Addr last = addr + len - 1;
+    if (!(perms_[page_of(addr)] & kPermRead) ||
+        !(perms_[page_of(last)] & kPermRead)) {
+        return MemResult::kNoPerm;
+    }
+    Word value = 0;
+    for (std::size_t i = 0; i < len; ++i)
+        value |= static_cast<Word>(bytes_[addr + i]) << (8 * i);
+    *out = value;
+    return MemResult::kOk;
+}
+
+MemResult
+PhysMem::write(Addr addr, std::size_t len, Word value)
+{
+    if (!in_range(addr, len))
+        return MemResult::kOutOfRange;
+    const Addr last = addr + len - 1;
+    if (!(perms_[page_of(addr)] & kPermWrite) ||
+        !(perms_[page_of(last)] & kPermWrite)) {
+        return MemResult::kNoPerm;
+    }
+    for (std::size_t i = 0; i < len; ++i)
+        bytes_[addr + i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+    mark_dirty_range(addr, len);
+    return MemResult::kOk;
+}
+
+MemResult
+PhysMem::fetch(Addr addr, std::uint8_t out[kInstrBytes]) const
+{
+    if (!in_range(addr, kInstrBytes))
+        return MemResult::kOutOfRange;
+    if (!(perms_[page_of(addr)] & kPermExec))
+        return MemResult::kNoPerm;
+    std::memcpy(out, bytes_.data() + addr, kInstrBytes);
+    return MemResult::kOk;
+}
+
+Word
+PhysMem::read_raw(Addr addr, std::size_t len) const
+{
+    if (!in_range(addr, len))
+        panic("PhysMem::read_raw out of range");
+    Word value = 0;
+    for (std::size_t i = 0; i < len; ++i)
+        value |= static_cast<Word>(bytes_[addr + i]) << (8 * i);
+    return value;
+}
+
+void
+PhysMem::write_raw(Addr addr, std::size_t len, Word value)
+{
+    if (!in_range(addr, len))
+        panic("PhysMem::write_raw out of range");
+    for (std::size_t i = 0; i < len; ++i)
+        bytes_[addr + i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+    mark_dirty_range(addr, len);
+}
+
+void
+PhysMem::write_block(Addr addr, const std::uint8_t* data, std::size_t len)
+{
+    if (!in_range(addr, len))
+        panic("PhysMem::write_block out of range");
+    std::memcpy(bytes_.data() + addr, data, len);
+    mark_dirty_range(addr, len);
+}
+
+void
+PhysMem::read_block(Addr addr, std::uint8_t* data, std::size_t len) const
+{
+    if (!in_range(addr, len))
+        panic("PhysMem::read_block out of range");
+    std::memcpy(data, bytes_.data() + addr, len);
+}
+
+void
+PhysMem::load_image(const isa::Image& image)
+{
+    write_block(image.base(), image.bytes().data(), image.size());
+}
+
+const std::uint8_t*
+PhysMem::page_data(Addr page) const
+{
+    if (page >= num_pages())
+        panic("PhysMem::page_data out of range");
+    return bytes_.data() + page * kPageSize;
+}
+
+void
+PhysMem::restore_page(Addr page, const std::uint8_t* data)
+{
+    if (page >= num_pages())
+        panic("PhysMem::restore_page out of range");
+    std::memcpy(bytes_.data() + page * kPageSize, data, kPageSize);
+    dirty_.insert(page);
+}
+
+std::vector<Addr>
+PhysMem::dirty_pages() const
+{
+    std::vector<Addr> pages(dirty_.begin(), dirty_.end());
+    std::sort(pages.begin(), pages.end());
+    return pages;
+}
+
+void
+PhysMem::clear_dirty()
+{
+    dirty_.clear();
+}
+
+std::uint64_t
+PhysMem::content_hash() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const auto byte : bytes_) {
+        hash ^= byte;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+void
+PhysMem::mark_dirty_range(Addr addr, std::size_t len)
+{
+    const Addr first = page_of(addr);
+    const Addr last = page_of(addr + (len == 0 ? 0 : len - 1));
+    for (Addr p = first; p <= last; ++p)
+        dirty_.insert(p);
+}
+
+}  // namespace rsafe::mem

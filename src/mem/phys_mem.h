@@ -1,0 +1,115 @@
+#ifndef RSAFE_MEM_PHYS_MEM_H_
+#define RSAFE_MEM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * Guest physical memory with page permissions and dirty tracking.
+ *
+ * The guest runs with a flat physical mapping (no guest paging): the memory
+ * system's job here is (a) byte/word storage, (b) the W^X permission policy
+ * that motivates code-reuse attacks (Appendix A of the paper), and (c) the
+ * per-page dirty tracking that the checkpointing replayer's incremental
+ * copy-on-write checkpoints are built from (Section 4.6.1).
+ */
+
+namespace rsafe::mem {
+
+/** Per-page permission bits. */
+enum PagePerm : std::uint8_t {
+    kPermNone = 0,
+    kPermRead = 1 << 0,
+    kPermWrite = 1 << 1,
+    kPermExec = 1 << 2,
+    kPermRW = kPermRead | kPermWrite,
+    kPermRX = kPermRead | kPermExec,
+};
+
+/** Result of a guest memory access. */
+enum class MemResult {
+    kOk,
+    kOutOfRange,   ///< address beyond configured RAM
+    kNoPerm,       ///< permission violation (e.g., store to an X page)
+};
+
+/** Flat guest RAM with page permissions and dirty-page tracking. */
+class PhysMem {
+  public:
+    /** Create @p size bytes of RAM (rounded up to whole pages), all RW. */
+    explicit PhysMem(std::size_t size);
+
+    /** @return RAM size in bytes. */
+    std::size_t size() const { return bytes_.size(); }
+
+    /** @return number of RAM pages. */
+    std::size_t num_pages() const { return bytes_.size() / kPageSize; }
+
+    /** Set the permissions of every page overlapping [addr, addr+len). */
+    void set_perms(Addr addr, std::size_t len, std::uint8_t perms);
+
+    /** @return the permission bits of the page containing @p addr. */
+    std::uint8_t perms_at(Addr addr) const;
+
+    /** Guest data read of @p len <= 8 bytes (little-endian). */
+    MemResult read(Addr addr, std::size_t len, Word* out) const;
+
+    /** Guest data write of @p len <= 8 bytes; honors W and marks dirty. */
+    MemResult write(Addr addr, std::size_t len, Word value);
+
+    /** Instruction fetch: requires X permission on the page. */
+    MemResult fetch(Addr addr, std::uint8_t out[kInstrBytes]) const;
+
+    /**
+     * Privileged access by the simulator/hypervisor: ignores permissions.
+     * Used for image loading, device DMA (which marks pages dirty), VM
+     * introspection, and checkpoint restore.
+     * @{
+     */
+    Word read_raw(Addr addr, std::size_t len) const;
+    void write_raw(Addr addr, std::size_t len, Word value);
+    void write_block(Addr addr, const std::uint8_t* data, std::size_t len);
+    void read_block(Addr addr, std::uint8_t* data, std::size_t len) const;
+    /** @} */
+
+    /** Load a program image (bytes + permissions applied separately). */
+    void load_image(const isa::Image& image);
+
+    /** @return pointer to the raw bytes of page @p page. */
+    const std::uint8_t* page_data(Addr page) const;
+
+    /** Overwrite page @p page with @p data (kPageSize bytes); marks dirty. */
+    void restore_page(Addr page, const std::uint8_t* data);
+
+    /** @return pages written since the last clear_dirty(). */
+    std::vector<Addr> dirty_pages() const;
+
+    /** @return number of dirty pages (cheap). */
+    std::size_t dirty_count() const { return dirty_.size(); }
+
+    /** Forget dirty state (checkpoint interval boundary). */
+    void clear_dirty();
+
+    /** FNV-1a hash over all RAM bytes; the determinism test oracle. */
+    std::uint64_t content_hash() const;
+
+  private:
+    bool in_range(Addr addr, std::size_t len) const
+    {
+        return addr + len <= bytes_.size() && addr + len >= addr;
+    }
+    void mark_dirty_range(Addr addr, std::size_t len);
+
+    std::vector<std::uint8_t> bytes_;
+    std::vector<std::uint8_t> perms_;
+    std::unordered_set<Addr> dirty_;
+};
+
+}  // namespace rsafe::mem
+
+#endif  // RSAFE_MEM_PHYS_MEM_H_

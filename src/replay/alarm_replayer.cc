@@ -1,0 +1,208 @@
+#include "replay/alarm_replayer.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "isa/disassembler.h"
+#include "kernel/layout.h"
+
+namespace rsafe::replay {
+
+const char*
+alarm_cause_name(AlarmCause cause)
+{
+    switch (cause) {
+      case AlarmCause::kRopAttack: return "ROP-ATTACK";
+      case AlarmCause::kImperfectNesting: return "imperfect-nesting";
+      case AlarmCause::kBenignUnderflow: return "benign-underflow";
+      case AlarmCause::kHardwareArtifact: return "hardware-artifact";
+      case AlarmCause::kWhitelistViolation: return "whitelist-violation";
+      case AlarmCause::kNeedsDeeperAnalysis: return "needs-deeper-analysis";
+    }
+    return "<bad>";
+}
+
+rnr::ReplayOptions
+AlarmReplayer::force_tracing(rnr::ReplayOptions options)
+{
+    options.trap_kernel_call_ret = true;
+    return options;
+}
+
+AlarmReplayer::AlarmReplayer(hv::Vm* vm, const rnr::InputLog* log,
+                             const Checkpoint& checkpoint,
+                             const rnr::ReplayOptions& options)
+    : rnr::Replayer(vm, log, checkpoint.log_pos, force_tracing(options)),
+      shadow_({vm->guest_kernel().switch_ret_pc},
+              {vm->guest_kernel().finish_resched,
+               vm->guest_kernel().finish_fork,
+               vm->guest_kernel().finish_kthread})
+{
+    restore_checkpoint(checkpoint, vm_, this);
+    start_cycles_ = vm_->cpu().cycles();
+
+    // "It reads the checkpoint's BackRAS into a software data structure
+    // that it uses to simulate the RAS" (Section 4.6.2).
+    for (const auto& [tid, saved] : checkpoint.backras)
+        shadow_.init_thread(tid, saved);
+    if (checkpoint.have_current_tid) {
+        shadow_.init_thread(checkpoint.current_tid, checkpoint.ras);
+        shadow_.switch_to(checkpoint.current_tid);
+    }
+}
+
+void
+AlarmReplayer::on_call_ret(const cpu::CallRetEvent& event)
+{
+    if (event.is_call) {
+        shadow_.on_call(event.link);
+        return;
+    }
+    Addr expected = 0;
+    const RetVerdict verdict =
+        shadow_.on_ret(event.pc, event.target, &expected);
+    last_ret_verdict_ = verdict;
+    last_ret_event_ = event;
+    last_ret_expected_ = expected;
+}
+
+void
+AlarmReplayer::hook_context_switch(ThreadId tid)
+{
+    shadow_.switch_to(tid);
+}
+
+bool
+AlarmReplayer::hook_positional_record(const rnr::LogRecord& record)
+{
+    if (record.type == rnr::RecordType::kRasEvict) {
+        shadow_.note_evict(record.tid, record.addr);
+        return true;
+    }
+    if (record.type == rnr::RecordType::kRasAlarm) {
+        if (log_pos() - 1 == target_index_) {
+            reached_target_ = true;
+            return false;  // stop: the state at the alarm is now live
+        }
+        // Alarms other than the target one are handled by their own ARs.
+    }
+    return true;
+}
+
+AlarmAnalysis
+AlarmReplayer::analyze(std::size_t alarm_log_index)
+{
+    target_index_ = alarm_log_index;
+    reached_target_ = false;
+    const auto outcome = run();
+    if (!reached_target_ || outcome != rnr::ReplayOutcome::kStopRequested) {
+        panic("AlarmReplayer: did not reach the target alarm record");
+    }
+    return build_analysis(log_->at(alarm_log_index));
+}
+
+std::vector<Addr>
+AlarmReplayer::scan_gadget_chain(Addr sp) const
+{
+    // Walk the corrupted stack upward; every word that points into kernel
+    // code is (part of) the gadget chain the attacker staged.
+    std::vector<Addr> chain;
+    const auto& image = vm_->guest_kernel().image;
+    for (int i = 0; i < 16; ++i) {
+        const Addr addr = sp + 8 * i;
+        if (addr + 8 > vm_->mem().size())
+            break;
+        const Word word = vm_->mem().read_raw(addr, 8);
+        if (word >= image.base() && word < image.end())
+            chain.push_back(word);
+    }
+    return chain;
+}
+
+AlarmAnalysis
+AlarmReplayer::build_analysis(const rnr::LogRecord& record)
+{
+    AlarmAnalysis analysis;
+    analysis.alarm_record = record;
+    analysis.tid = record.tid;
+    analysis.ret_pc = record.alarm.ret_pc;
+    analysis.actual_target = record.alarm.actual;
+    analysis.analysis_cycles = vm_->cpu().cycles() - start_cycles_;
+
+    const bool kernel_alarm = record.alarm.kernel_mode;
+    const bool traced = vm_->cpu().vmcs().controls.trap_user_call_ret ||
+                        kernel_alarm;
+    if (!traced || !last_ret_verdict_ ||
+        last_ret_event_.pc != record.alarm.ret_pc) {
+        // The analysis level did not instrument the faulting context
+        // (e.g., a user-mode alarm under kernel-only tracing): rerun me
+        // with deeper instrumentation (Section 4.6.2 allows multiple AR
+        // runs at increasing levels).
+        analysis.cause = AlarmCause::kNeedsDeeperAnalysis;
+        analysis.is_attack = false;
+        analysis.report = "alarm context not instrumented at this "
+                          "analysis level; rerun with user tracing";
+        return analysis;
+    }
+
+    switch (*last_ret_verdict_) {
+      case RetVerdict::kMatch:
+        analysis.cause = AlarmCause::kHardwareArtifact;
+        break;
+      case RetVerdict::kWhitelistOk:
+        analysis.cause = AlarmCause::kHardwareArtifact;
+        break;
+      case RetVerdict::kImperfectNesting:
+        analysis.cause = AlarmCause::kImperfectNesting;
+        break;
+      case RetVerdict::kUnderflowBenign:
+        analysis.cause = AlarmCause::kBenignUnderflow;
+        break;
+      case RetVerdict::kWhitelistViolation:
+        analysis.cause = AlarmCause::kWhitelistViolation;
+        analysis.is_attack = true;
+        break;
+      case RetVerdict::kRopDetected:
+        analysis.cause = AlarmCause::kRopAttack;
+        analysis.is_attack = true;
+        break;
+    }
+
+    analysis.expected_target = last_ret_expected_;
+    const auto& image = vm_->guest_kernel().image;
+    analysis.faulting_function = image.function_at(analysis.ret_pc);
+    analysis.call_site_function = image.function_at(analysis.expected_target);
+
+    std::ostringstream report;
+    report << "alarm @icount " << record.icount << " tid " << analysis.tid
+           << (kernel_alarm ? " [kernel]" : " [user]") << ": "
+           << alarm_cause_name(analysis.cause) << "\n";
+    if (analysis.is_attack) {
+        analysis.gadget_chain = scan_gadget_chain(record.alarm.sp_after);
+        report << "  hijacked return at 0x" << std::hex << analysis.ret_pc
+               << std::dec;
+        if (!analysis.faulting_function.empty())
+            report << " in <" << analysis.faulting_function << ">";
+        report << "\n  legitimate call site: 0x" << std::hex
+               << analysis.expected_target << std::dec;
+        if (!analysis.call_site_function.empty())
+            report << " in <" << analysis.call_site_function << ">";
+        report << "\n  control redirected to 0x" << std::hex
+               << analysis.actual_target << std::dec;
+        const auto fn = image.function_at(analysis.actual_target);
+        if (!fn.empty())
+            report << " (inside <" << fn << ">)";
+        report << "\n  gadget chain on the corrupted stack:";
+        for (const Addr gadget : analysis.gadget_chain) {
+            report << "\n    0x" << std::hex << gadget << std::dec;
+            auto instr = image.instr_at(gadget);
+            if (instr)
+                report << "  " << isa::disassemble(*instr);
+        }
+        report << "\n";
+    }
+    analysis.report = report.str();
+    return analysis;
+}
+
+}  // namespace rsafe::replay

@@ -1,0 +1,111 @@
+#ifndef RSAFE_REPLAY_ALARM_REPLAYER_H_
+#define RSAFE_REPLAY_ALARM_REPLAYER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "replay/checkpoint.h"
+#include "replay/shadow_ras.h"
+#include "rnr/replayer.h"
+
+/**
+ * @file
+ * The Alarm Replayer (Section 4.6.2).
+ *
+ * Launched from the checkpoint immediately preceding an alarm, the AR
+ * re-executes the log range while trapping on every (kernel) call and
+ * return instruction and modelling an unbounded software RAS initialized
+ * from the checkpoint's BackRAS. At the alarm marker it classifies the
+ * mismatch: a false positive (imperfect nesting, deep underflow, hardware
+ * artifact) or a real ROP — in which case it assembles a forensic report:
+ * where the attack happened, which thread mounted it, and the gadget
+ * chain sitting on the corrupted stack (Section 6's where/who/what).
+ */
+
+namespace rsafe::replay {
+
+/** Classification of an analyzed alarm. */
+enum class AlarmCause {
+    kRopAttack,         ///< only explainable as a hijacked return
+    kImperfectNesting,  ///< longjmp-style unwinding (false positive)
+    kBenignUnderflow,   ///< matched an Evict record (false positive)
+    kHardwareArtifact,  ///< software RAS predicted correctly (false pos.)
+    kWhitelistViolation,///< non-procedural return to an illegal target
+    kNeedsDeeperAnalysis, ///< needs a rerun with more instrumentation
+};
+
+/** @return a short name for @p cause. */
+const char* alarm_cause_name(AlarmCause cause);
+
+/** The outcome of one alarm replay. */
+struct AlarmAnalysis {
+    bool is_attack = false;
+    AlarmCause cause = AlarmCause::kHardwareArtifact;
+    rnr::LogRecord alarm_record;
+
+    // Forensics (meaningful when is_attack).
+    ThreadId tid = 0;
+    Addr ret_pc = 0;
+    Addr actual_target = 0;
+    Addr expected_target = 0;
+    std::string faulting_function;   ///< function containing the hijacked ret
+    std::string call_site_function;  ///< function that made the call
+    std::vector<Addr> gadget_chain;  ///< stack words pointing into the kernel
+    std::string report;              ///< human-readable summary
+
+    /** Cycles the alarm replay itself consumed. */
+    Cycles analysis_cycles = 0;
+};
+
+/** The on-demand alarm replayer. */
+class AlarmReplayer : public rnr::Replayer {
+  public:
+    /**
+     * @param vm          a freshly built VM of the same configuration;
+     *                    the constructor restores @p checkpoint into it.
+     * @param log         the input log.
+     * @param checkpoint  the AR's start point.
+     * @param options     replay options; trap_kernel_call_ret is forced
+     *                    on (that is what an AR is), trap_user_call_ret
+     *                    selects the deeper analysis level.
+     */
+    AlarmReplayer(hv::Vm* vm, const rnr::InputLog* log,
+                  const Checkpoint& checkpoint,
+                  const rnr::ReplayOptions& options);
+
+    /**
+     * Replay up to the alarm record at @p alarm_log_index and classify it.
+     */
+    AlarmAnalysis analyze(std::size_t alarm_log_index);
+
+    /** The software RAS (exposed for tests). */
+    const ShadowRas& shadow() const { return shadow_; }
+
+    void on_call_ret(const cpu::CallRetEvent& event) override;
+
+  protected:
+    void hook_context_switch(ThreadId tid) override;
+    bool hook_positional_record(const rnr::LogRecord& record) override;
+
+  private:
+    static rnr::ReplayOptions force_tracing(rnr::ReplayOptions options);
+
+    AlarmAnalysis build_analysis(const rnr::LogRecord& record);
+    std::vector<Addr> scan_gadget_chain(Addr sp) const;
+
+    ShadowRas shadow_;
+    std::size_t target_index_ = ~static_cast<std::size_t>(0);
+    Cycles start_cycles_ = 0;
+
+    /** Verdict of the most recent traced return. */
+    std::optional<RetVerdict> last_ret_verdict_;
+    cpu::CallRetEvent last_ret_event_;
+    Addr last_ret_expected_ = 0;
+    bool reached_target_ = false;
+};
+
+}  // namespace rsafe::replay
+
+#endif  // RSAFE_REPLAY_ALARM_REPLAYER_H_

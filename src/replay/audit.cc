@@ -1,0 +1,82 @@
+#include "replay/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rsafe::replay {
+
+std::string
+AuditProfile::dominant_function() const
+{
+    std::string best;
+    std::uint64_t best_count = 0;
+    for (const auto& [name, count] : calls_by_function) {
+        if (!name.empty() && count > best_count) {
+            best = name;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+std::string
+AuditProfile::to_string() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> rows(
+        calls_by_function.begin(), calls_by_function.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second > b.second;
+    });
+    std::ostringstream os;
+    os << "audited " << instructions << " instructions, "
+       << context_switches << " context switches\n";
+    for (const auto& [name, count] : rows) {
+        os << "  " << count << "  "
+           << (name.empty() ? "<non-function target>" : name) << "\n";
+    }
+    return os.str();
+}
+
+ExecutionAuditor::ExecutionAuditor(hv::Vm* vm, const rnr::InputLog* log,
+                                   const Checkpoint& checkpoint,
+                                   const rnr::ReplayOptions& options)
+    : AlarmReplayer(vm, log, checkpoint, options),
+      start_icount_(checkpoint.icount)
+{
+}
+
+void
+ExecutionAuditor::on_call_ret(const cpu::CallRetEvent& event)
+{
+    AlarmReplayer::on_call_ret(event);
+    if (event.is_call) {
+        ++calls_by_target_[event.target];
+        ++calls_by_thread_[shadow().current()];
+    }
+}
+
+void
+ExecutionAuditor::hook_context_switch(ThreadId tid)
+{
+    AlarmReplayer::hook_context_switch(tid);
+    ++switches_;
+}
+
+AuditProfile
+ExecutionAuditor::audit()
+{
+    // AlarmReplayer::run stops only at a target alarm; the auditor sets
+    // none, so the replay covers the whole remaining log.
+    (void)run();
+
+    AuditProfile profile;
+    const auto& image = vm_->guest_kernel().image;
+    for (const auto& [target, count] : calls_by_target_)
+        profile.calls_by_function[image.function_at(target)] += count;
+    profile.calls_by_thread = calls_by_thread_;
+    profile.context_switches = switches_;
+    profile.instructions = vm_->cpu().icount() - start_icount_;
+    return profile;
+}
+
+}  // namespace rsafe::replay

@@ -1,0 +1,77 @@
+#ifndef RSAFE_REPLAY_AUDIT_H_
+#define RSAFE_REPLAY_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replay/alarm_replayer.h"
+#include "replay/checkpoint.h"
+#include "rnr/log_io.h"
+
+/**
+ * @file
+ * Execution auditing (Section 3.2): "an execution context can be replayed
+ * to audit the code and data state... a general mechanism for identifying
+ * security violations by auditing sensitive flows in the system."
+ *
+ * ExecutionAuditor replays a window of a recorded execution from a
+ * retained checkpoint, collecting a kernel-activity profile: which kernel
+ * functions were called, how often, and by which threads. This is the
+ * replay-side analysis the DOS detector row of Table 1 calls for
+ * ("identify reason for low switching frequency") and the forensic
+ * building block for "what did the attacker do".
+ */
+
+namespace rsafe::replay {
+
+/** The kernel-activity profile of one audited window. */
+struct AuditProfile {
+    /** Calls per kernel function (empty name = non-function target). */
+    std::map<std::string, std::uint64_t> calls_by_function;
+    /** Kernel call events per thread. */
+    std::map<ThreadId, std::uint64_t> calls_by_thread;
+    /** Context switches observed in the window. */
+    std::uint64_t context_switches = 0;
+    /** Instructions covered by the window. */
+    InstrCount instructions = 0;
+    /** True if the audit replay converged to the recorded final state
+     *  (set only when the caller supplied the expected hash). */
+    bool faithful = true;
+
+    /** @return the function with the most calls ("the code that has
+     *  dominated the system's execution time"), or empty. */
+    std::string dominant_function() const;
+
+    /** Multi-line human-readable rendering, most-called first. */
+    std::string to_string() const;
+};
+
+/** Replays a log window from a checkpoint and profiles kernel activity. */
+class ExecutionAuditor : public AlarmReplayer {
+  public:
+    /** Same contract as AlarmReplayer: @p vm is restored from
+     *  @p checkpoint; tracing of kernel call/ret is forced on. */
+    ExecutionAuditor(hv::Vm* vm, const rnr::InputLog* log,
+                     const Checkpoint& checkpoint,
+                     const rnr::ReplayOptions& options = {});
+
+    /** Replay to the end of the log and return the profile. */
+    AuditProfile audit();
+
+    void on_call_ret(const cpu::CallRetEvent& event) override;
+
+  protected:
+    void hook_context_switch(ThreadId tid) override;
+
+  private:
+    std::map<Addr, std::uint64_t> calls_by_target_;
+    std::map<ThreadId, std::uint64_t> calls_by_thread_;
+    std::uint64_t switches_ = 0;
+    InstrCount start_icount_ = 0;
+};
+
+}  // namespace rsafe::replay
+
+#endif  // RSAFE_REPLAY_AUDIT_H_

@@ -1,0 +1,128 @@
+#include "replay/checkpoint.h"
+
+#include "common/log.h"
+
+namespace rsafe::replay {
+
+CheckpointStore::CheckpointStore(std::size_t max_keep) : max_keep_(max_keep)
+{
+}
+
+std::shared_ptr<const Checkpoint>
+CheckpointStore::take(hv::Vm& vm, const hv::VmEnvBase& env,
+                      std::size_t log_pos)
+{
+    auto ck = std::make_shared<Checkpoint>();
+    ck->id = next_id_++;
+
+    auto& mem = vm.mem();
+    auto& disk = vm.hub().disk();
+    const auto prev = latest();
+
+    if (!prev) {
+        // First checkpoint: full copy.
+        for (Addr page = 0; page < mem.num_pages(); ++page) {
+            ck->pages[page] = cow_.store(mem.page_data(page));
+            ++ck->copies;
+        }
+        for (BlockNum block = 0; block < disk.num_blocks(); ++block) {
+            ck->blocks[block] = cow_.store(disk.block_data(block));
+            ++ck->copies;
+        }
+    } else {
+        // Incremental: share unmodified pages with the previous
+        // checkpoint and copy only what was dirtied in this interval.
+        ck->pages = prev->pages;
+        ck->blocks = prev->blocks;
+        for (const Addr page : mem.dirty_pages()) {
+            ck->pages[page] = cow_.store(mem.page_data(page));
+            ++ck->copies;
+        }
+        for (const BlockNum block : disk.dirty_blocks()) {
+            ck->blocks[block] = cow_.store(disk.block_data(block));
+            ++ck->copies;
+        }
+    }
+    mem.clear_dirty();
+    disk.clear_dirty();
+
+    auto& cpu = vm.cpu();
+    ck->cpu_state = cpu.state();
+    ck->cycles = cpu.cycles();
+    ck->icount = cpu.icount();
+    ck->pending_irq = cpu.vmcs().pending_irq;
+    ck->blockdev = vm.hub().blockdev().export_state();
+    ck->log_pos = log_pos;
+
+    // The hardware dumps the RAS at checkpoint time so the checkpoint
+    // holds the complete, up-to-date BackRAS (Section 4.6.1).
+    ck->ras = cpu.ras().peek();
+    ck->backras = env.backras().entries();
+    ck->current_tid = env.current_tid();
+    ck->have_current_tid = env.have_current_tid();
+    ck->context_dying = env.context_dying();
+
+    checkpoints_.push_back(ck);
+    if (max_keep_ != 0) {
+        while (checkpoints_.size() > max_keep_)
+            checkpoints_.pop_front();
+    }
+    return ck;
+}
+
+std::shared_ptr<const Checkpoint>
+CheckpointStore::latest() const
+{
+    return checkpoints_.empty() ? nullptr : checkpoints_.back();
+}
+
+std::shared_ptr<const Checkpoint>
+CheckpointStore::latest_at_or_before(InstrCount icount) const
+{
+    std::shared_ptr<const Checkpoint> best;
+    for (const auto& ck : checkpoints_) {
+        if (ck->icount <= icount)
+            best = ck;
+    }
+    return best;
+}
+
+std::shared_ptr<const Checkpoint>
+CheckpointStore::at(std::size_t i) const
+{
+    if (i >= checkpoints_.size())
+        panic("CheckpointStore::at out of range");
+    return checkpoints_[i];
+}
+
+void
+restore_checkpoint(const Checkpoint& checkpoint, hv::Vm* vm,
+                   hv::VmEnvBase* env)
+{
+    auto& mem = vm->mem();
+    auto& disk = vm->hub().disk();
+    if (checkpoint.pages.size() != mem.num_pages() ||
+        checkpoint.blocks.size() != disk.num_blocks()) {
+        fatal("restore_checkpoint: VM geometry mismatch");
+    }
+    for (const auto& [page, ref] : checkpoint.pages)
+        mem.restore_page(page, ref->data());
+    for (const auto& [block, ref] : checkpoint.blocks)
+        disk.write_block(block, ref->data());
+    mem.clear_dirty();
+    disk.clear_dirty();
+
+    auto& cpu = vm->cpu();
+    cpu.state() = checkpoint.cpu_state;
+    cpu.set_clocks(checkpoint.cycles, checkpoint.icount);
+    cpu.vmcs().pending_irq = checkpoint.pending_irq;
+    vm->hub().blockdev().import_state(checkpoint.blockdev);
+
+    cpu.ras().load(checkpoint.ras);
+    env->backras().restore(checkpoint.backras);
+    env->restore_context(checkpoint.current_tid,
+                         checkpoint.have_current_tid,
+                         checkpoint.context_dying);
+}
+
+}  // namespace rsafe::replay

@@ -1,0 +1,117 @@
+#ifndef RSAFE_REPLAY_CHECKPOINT_H_
+#define RSAFE_REPLAY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/types.h"
+#include "cpu/cpu.h"
+#include "cpu/ras.h"
+#include "dev/blockdev.h"
+#include "hv/hypervisor.h"
+#include "hv/vm.h"
+#include "mem/cow_store.h"
+
+/**
+ * @file
+ * Incremental copy-on-write checkpoints (Section 4.6.1, Figure 4).
+ *
+ * A checkpoint holds (1) the full VM state — every memory page, the
+ * processor state, and the virtual-disk contents — where pages/blocks
+ * unmodified since the previous checkpoint are shared by reference with
+ * it ("a pointer to it in the latest checkpoint that modified it");
+ * (2) the InputLogPtr, the index of the next input-log record; and
+ * (3) the BackRAS (including the live RAS of the current thread), which
+ * the alarm replayer reads into its software RAS.
+ *
+ * Recycling falls out of shared ownership: dropping a checkpoint frees a
+ * page only when no later checkpoint still references it.
+ */
+
+namespace rsafe::replay {
+
+/** One checkpoint. */
+struct Checkpoint {
+    std::uint64_t id = 0;
+
+    // (1) Full VM state, incrementally shared.
+    std::map<Addr, mem::PageRef> pages;        ///< by page number
+    std::map<BlockNum, mem::PageRef> blocks;   ///< by block number
+    cpu::CpuState cpu_state;
+    Cycles cycles = 0;
+    InstrCount icount = 0;
+    std::optional<std::uint8_t> pending_irq;
+    dev::BlockDevState blockdev;
+
+    // (2) InputLogPtr.
+    std::size_t log_pos = 0;
+
+    // (3) BackRAS + the current thread's live RAS and tracking state.
+    cpu::SavedRas ras;
+    std::map<ThreadId, cpu::SavedRas> backras;
+    ThreadId current_tid = 0;
+    bool have_current_tid = false;
+    bool context_dying = false;
+
+    /** Pages+blocks copied when this checkpoint was taken (cost basis). */
+    std::size_t copies = 0;
+};
+
+/** Builds, retains, and recycles checkpoints for one replay stream. */
+class CheckpointStore {
+  public:
+    /** Keep at most @p max_keep checkpoints (0 = unlimited history). */
+    explicit CheckpointStore(std::size_t max_keep);
+
+    /**
+     * Take a checkpoint of @p vm at the current instant.
+     *
+     * The first checkpoint copies every page/block; later ones copy only
+     * pages/blocks dirtied since the previous call and share the rest.
+     * Clears the dirty tracking.
+     *
+     * @param env      the replay environment (for BackRAS and context).
+     * @param log_pos  the InputLogPtr to store.
+     * @return the new checkpoint (owned by the store).
+     */
+    std::shared_ptr<const Checkpoint> take(hv::Vm& vm,
+                                           const hv::VmEnvBase& env,
+                                           std::size_t log_pos);
+
+    /** @return the most recent checkpoint, or nullptr. */
+    std::shared_ptr<const Checkpoint> latest() const;
+
+    /** @return the latest checkpoint with icount <= @p icount, or null. */
+    std::shared_ptr<const Checkpoint> latest_at_or_before(
+        InstrCount icount) const;
+
+    /** @return number of retained checkpoints. */
+    std::size_t size() const { return checkpoints_.size(); }
+
+    /** @return checkpoint @p i (oldest first). */
+    std::shared_ptr<const Checkpoint> at(std::size_t i) const;
+
+    /** @return total pages+blocks copied across all checkpoints. */
+    std::uint64_t total_copies() const { return cow_.pages_copied(); }
+
+  private:
+    std::size_t max_keep_;
+    std::uint64_t next_id_ = 0;
+    mem::CowStore cow_;
+    std::deque<std::shared_ptr<const Checkpoint>> checkpoints_;
+};
+
+/**
+ * Restore @p checkpoint into @p vm / @p env (the alarm replayer's first
+ * step, Section 4.6.2). The VM must have the same configuration as the
+ * one the checkpoint was taken from.
+ */
+void restore_checkpoint(const Checkpoint& checkpoint, hv::Vm* vm,
+                        hv::VmEnvBase* env);
+
+}  // namespace rsafe::replay
+
+#endif  // RSAFE_REPLAY_CHECKPOINT_H_

@@ -1,0 +1,80 @@
+#include "replay/checkpoint_replayer.h"
+
+#include "common/log.h"
+
+namespace rsafe::replay {
+
+using cpu::Costs;
+
+CheckpointReplayer::CheckpointReplayer(hv::Vm* vm, const rnr::InputLog* log,
+                                       const CrOptions& options)
+    : rnr::Replayer(vm, log, 0, options.replay), cr_options_(options),
+      store_(options.max_checkpoints)
+{
+    if (cr_options_.checkpoint_interval > 0) {
+        // The initial full checkpoint: the baseline every later
+        // incremental checkpoint chains from. Not charged to the replay
+        // (it amounts to having the initial VM image on hand).
+        store_.take(*vm_, *this, log_pos());
+        last_checkpoint_cycles_ = vm_->cpu().cycles();
+    }
+}
+
+void
+CheckpointReplayer::maybe_checkpoint()
+{
+    if (cr_options_.checkpoint_interval == 0)
+        return;
+    auto& cpu = vm_->cpu();
+    if (cpu.cycles() - last_checkpoint_cycles_ <
+        cr_options_.checkpoint_interval) {
+        return;
+    }
+    const auto ck = store_.take(*vm_, *this, log_pos());
+    const Cycles cost = Costs::kPageCopy * ck->copies;
+    cpu.add_cycles(cost);
+    overhead_.chk += cost;
+    last_checkpoint_cycles_ = cpu.cycles();
+    ++checkpoints_taken_;
+}
+
+void
+CheckpointReplayer::hook_exit_boundary()
+{
+    maybe_checkpoint();
+}
+
+bool
+CheckpointReplayer::hook_positional_record(const rnr::LogRecord& record)
+{
+    if (record.type == rnr::RecordType::kRasEvict) {
+        evicts_[record.tid].push_back(record.addr);
+        return true;
+    }
+    if (record.type != rnr::RecordType::kRasAlarm)
+        return true;
+
+    // Underflow alarms: match against the latest Evict record from the
+    // same thread (Section 4.6.2). A match proves the hardware merely ran
+    // out of RAS depth; the entry is consumed and the alarm discarded.
+    if (record.alarm.kind == cpu::RasAlarmKind::kUnderflow) {
+        auto it = evicts_.find(record.tid);
+        if (it != evicts_.end() && !it->second.empty() &&
+            it->second.back() == record.alarm.actual) {
+            it->second.pop_back();
+            ++underflows_resolved_;
+            return true;
+        }
+    }
+
+    // Anything else needs a full alarm replay, launched from the most
+    // recent checkpoint.
+    PendingAlarm pending;
+    pending.log_index = log_pos() - 1;  // hook runs just after the cursor
+    pending.record = record;
+    pending.checkpoint = store_.latest();
+    pending_.push_back(std::move(pending));
+    return true;
+}
+
+}  // namespace rsafe::replay

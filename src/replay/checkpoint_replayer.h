@@ -1,0 +1,90 @@
+#ifndef RSAFE_REPLAY_CHECKPOINT_REPLAYER_H_
+#define RSAFE_REPLAY_CHECKPOINT_REPLAYER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "replay/checkpoint.h"
+#include "rnr/replayer.h"
+
+/**
+ * @file
+ * The Checkpointing Replayer (Section 4.6.1).
+ *
+ * Runs all the time at roughly recording speed, deterministically
+ * re-executing the log while taking periodic incremental checkpoints.
+ * It additionally resolves RAS-underflow alarms itself by matching them
+ * against Evict records ("it is simpler if the CR handles this special
+ * case itself", Section 4.6.2); every other alarm is queued together
+ * with the checkpoint immediately preceding it, ready for an alarm
+ * replayer to be launched.
+ */
+
+namespace rsafe::replay {
+
+/** CheckpointReplayer configuration. */
+struct CrOptions {
+    rnr::ReplayOptions replay;
+    /** Cycles between checkpoints (0 disables checkpointing). */
+    Cycles checkpoint_interval = 10'000'000;
+    /** Checkpoints retained (0 = unlimited history). */
+    std::size_t max_checkpoints = 8;
+};
+
+/** An alarm the CR could not resolve itself. */
+struct PendingAlarm {
+    std::size_t log_index = 0;  ///< index of the alarm record in the log
+    rnr::LogRecord record;
+    /** The checkpoint immediately preceding the alarm (AR start point). */
+    std::shared_ptr<const Checkpoint> checkpoint;
+};
+
+/** The always-on checkpointing replayer. */
+class CheckpointReplayer : public rnr::Replayer {
+  public:
+    CheckpointReplayer(hv::Vm* vm, const rnr::InputLog* log,
+                       const CrOptions& options);
+
+    /** Checkpoints taken so far. */
+    CheckpointStore& checkpoints() { return store_; }
+    const CheckpointStore& checkpoints() const { return store_; }
+
+    /** Alarms awaiting alarm-replayer analysis. */
+    const std::vector<PendingAlarm>& pending_alarms() const
+    {
+        return pending_;
+    }
+
+    /** Underflow alarms auto-resolved by Evict matching. */
+    std::uint64_t underflows_resolved() const
+    {
+        return underflows_resolved_;
+    }
+
+    /** Checkpoints taken (excluding the initial full one). */
+    std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
+    /** Cycles spent copying checkpoint pages/blocks. */
+    Cycles checkpoint_cycles() const { return overhead().chk; }
+
+  protected:
+    bool hook_positional_record(const rnr::LogRecord& record) override;
+    void hook_exit_boundary() override;
+
+  private:
+    void maybe_checkpoint();
+
+    CrOptions cr_options_;
+    CheckpointStore store_;
+    Cycles last_checkpoint_cycles_ = 0;
+    std::uint64_t checkpoints_taken_ = 0;
+    std::uint64_t underflows_resolved_ = 0;
+    /** Per-thread outstanding Evict records (oldest first). */
+    std::map<ThreadId, std::vector<Addr>> evicts_;
+    std::vector<PendingAlarm> pending_;
+};
+
+}  // namespace rsafe::replay
+
+#endif  // RSAFE_REPLAY_CHECKPOINT_REPLAYER_H_

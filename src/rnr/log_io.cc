@@ -1,0 +1,130 @@
+#include "rnr/log_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace rsafe::rnr {
+
+namespace {
+constexpr std::uint64_t kLogMagic = 0x52534146454C4F47ULL;  // "RSAFELOG"
+}  // namespace
+
+std::size_t
+InputLog::append(LogRecord record)
+{
+    total_bytes_ += record.serialized_size();
+    records_.push_back(std::move(record));
+    return records_.size() - 1;
+}
+
+const LogRecord&
+InputLog::at(std::size_t index) const
+{
+    if (index >= records_.size())
+        panic(strcat_args("InputLog::at(", index, ") out of range (size=",
+                          records_.size(), ")"));
+    return records_[index];
+}
+
+std::uint64_t
+InputLog::bytes_in_range(std::size_t first, std::size_t last) const
+{
+    std::uint64_t bytes = 0;
+    for (std::size_t i = first; i < last && i < records_.size(); ++i)
+        bytes += records_[i].serialized_size();
+    return bytes;
+}
+
+std::size_t
+InputLog::find_next(RecordType type, std::size_t from) const
+{
+    for (std::size_t i = from; i < records_.size(); ++i)
+        if (records_[i].type == type)
+            return i;
+    return records_.size();
+}
+
+std::vector<std::size_t>
+InputLog::find_all(RecordType type) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        if (records_[i].type == type)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<std::uint8_t>
+InputLog::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(total_bytes_ + 16);
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>((kLogMagic >> (8 * i)) & 0xff));
+    const std::uint64_t count = records_.size();
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>((count >> (8 * i)) & 0xff));
+    for (const auto& record : records_)
+        record.serialize(&out);
+    return out;
+}
+
+bool
+InputLog::deserialize(const std::vector<std::uint8_t>& bytes, InputLog* out)
+{
+    if (bytes.size() < 16)
+        return false;
+    std::uint64_t magic = 0, count = 0;
+    for (int i = 0; i < 8; ++i)
+        magic |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    for (int i = 0; i < 8; ++i)
+        count |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+    if (magic != kLogMagic)
+        return false;
+    out->records_.clear();
+    out->total_bytes_ = 0;
+    std::size_t pos = 16;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        LogRecord record;
+        if (!LogRecord::deserialize(bytes, &pos, &record))
+            return false;
+        out->append(std::move(record));
+    }
+    return pos == bytes.size();
+}
+
+void
+InputLog::save(const std::string& path) const
+{
+    const auto bytes = serialize();
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        fatal("InputLog::save: cannot open " + path);
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file)
+        fatal("InputLog::save: write failed for " + path);
+}
+
+InputLog
+InputLog::load(const std::string& path)
+{
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file)
+        fatal("InputLog::load: cannot open " + path);
+    const auto size = static_cast<std::size_t>(file.tellg());
+    file.seekg(0);
+    std::vector<std::uint8_t> bytes(size);
+    file.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(size));
+    if (!file)
+        fatal("InputLog::load: read failed for " + path);
+    InputLog log;
+    if (!deserialize(bytes, &log))
+        fatal("InputLog::load: corrupt log file " + path);
+    return log;
+}
+
+}  // namespace rsafe::rnr

@@ -1,0 +1,286 @@
+#include "rnr/log_record.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace rsafe::rnr {
+
+namespace {
+
+void
+put_u8(std::vector<std::uint8_t>* out, std::uint8_t v)
+{
+    out->push_back(v);
+}
+
+void
+put_u32(std::vector<std::uint8_t>* out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+put_u64(std::vector<std::uint8_t>* out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+bool
+get_u8(const std::vector<std::uint8_t>& in, std::size_t* pos,
+       std::uint8_t* v)
+{
+    if (*pos + 1 > in.size())
+        return false;
+    *v = in[(*pos)++];
+    return true;
+}
+
+bool
+get_u32(const std::vector<std::uint8_t>& in, std::size_t* pos,
+        std::uint32_t* v)
+{
+    if (*pos + 4 > in.size())
+        return false;
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i)
+        out |= static_cast<std::uint32_t>(in[*pos + i]) << (8 * i);
+    *pos += 4;
+    *v = out;
+    return true;
+}
+
+bool
+get_u64(const std::vector<std::uint8_t>& in, std::size_t* pos,
+        std::uint64_t* v)
+{
+    if (*pos + 8 > in.size())
+        return false;
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i)
+        out |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
+    *pos += 8;
+    *v = out;
+    return true;
+}
+
+}  // namespace
+
+const char*
+record_type_name(RecordType type)
+{
+    switch (type) {
+      case RecordType::kRdtsc: return "rdtsc";
+      case RecordType::kIoIn: return "io-in";
+      case RecordType::kMmioRead: return "mmio-read";
+      case RecordType::kNicDma: return "nic-dma";
+      case RecordType::kIrqInject: return "irq";
+      case RecordType::kRasAlarm: return "ALARM";
+      case RecordType::kRasEvict: return "evict";
+      case RecordType::kHalt: return "halt";
+      case RecordType::kDiskComplete: return "disk-complete";
+    }
+    return "<bad>";
+}
+
+std::size_t
+LogRecord::serialized_size() const
+{
+    // type + icount, then per-type payload.
+    std::size_t size = 1 + 8;
+    switch (type) {
+      case RecordType::kRdtsc:
+        size += 8;
+        break;
+      case RecordType::kIoIn:
+        size += 2 + 8;
+        break;
+      case RecordType::kMmioRead:
+        size += 4 + 8;
+        break;
+      case RecordType::kNicDma:
+        size += 8 + 4 + payload.size();
+        break;
+      case RecordType::kIrqInject:
+        size += 1;
+        break;
+      case RecordType::kRasAlarm:
+        size += 1 + 8 * 4 + 1 + 4;
+        break;
+      case RecordType::kRasEvict:
+        size += 8 + 4;
+        break;
+      case RecordType::kHalt:
+      case RecordType::kDiskComplete:
+        break;
+    }
+    return size;
+}
+
+void
+LogRecord::serialize(std::vector<std::uint8_t>* out) const
+{
+    put_u8(out, static_cast<std::uint8_t>(type));
+    put_u64(out, icount);
+    switch (type) {
+      case RecordType::kRdtsc:
+        put_u64(out, value);
+        break;
+      case RecordType::kIoIn:
+        put_u8(out, static_cast<std::uint8_t>(addr & 0xff));
+        put_u8(out, static_cast<std::uint8_t>((addr >> 8) & 0xff));
+        put_u64(out, value);
+        break;
+      case RecordType::kMmioRead:
+        put_u32(out, static_cast<std::uint32_t>(addr - 0xF0000000ULL));
+        put_u64(out, value);
+        break;
+      case RecordType::kNicDma:
+        put_u64(out, addr);
+        put_u32(out, static_cast<std::uint32_t>(payload.size()));
+        out->insert(out->end(), payload.begin(), payload.end());
+        break;
+      case RecordType::kIrqInject:
+        put_u8(out, static_cast<std::uint8_t>(value));
+        break;
+      case RecordType::kRasAlarm:
+        put_u8(out, static_cast<std::uint8_t>(alarm.kind));
+        put_u64(out, alarm.ret_pc);
+        put_u64(out, alarm.predicted);
+        put_u64(out, alarm.actual);
+        put_u64(out, alarm.sp_after);
+        put_u8(out, alarm.kernel_mode ? 1 : 0);
+        put_u32(out, tid);
+        break;
+      case RecordType::kRasEvict:
+        put_u64(out, addr);
+        put_u32(out, tid);
+        break;
+      case RecordType::kHalt:
+      case RecordType::kDiskComplete:
+        break;
+    }
+}
+
+bool
+LogRecord::deserialize(const std::vector<std::uint8_t>& data,
+                       std::size_t* pos, LogRecord* out)
+{
+    std::uint8_t type_byte;
+    if (!get_u8(data, pos, &type_byte))
+        return false;
+    if (type_byte > static_cast<std::uint8_t>(RecordType::kDiskComplete))
+        return false;
+    out->type = static_cast<RecordType>(type_byte);
+    if (!get_u64(data, pos, &out->icount))
+        return false;
+    out->value = 0;
+    out->addr = 0;
+    out->tid = 0;
+    out->payload.clear();
+
+    switch (out->type) {
+      case RecordType::kRdtsc:
+        return get_u64(data, pos, &out->value);
+      case RecordType::kIoIn: {
+        std::uint8_t lo, hi;
+        if (!get_u8(data, pos, &lo) || !get_u8(data, pos, &hi))
+            return false;
+        out->addr = lo | (static_cast<Addr>(hi) << 8);
+        return get_u64(data, pos, &out->value);
+      }
+      case RecordType::kMmioRead: {
+        std::uint32_t offset;
+        if (!get_u32(data, pos, &offset))
+            return false;
+        out->addr = 0xF0000000ULL + offset;
+        return get_u64(data, pos, &out->value);
+      }
+      case RecordType::kNicDma: {
+        std::uint32_t len;
+        if (!get_u64(data, pos, &out->addr) || !get_u32(data, pos, &len))
+            return false;
+        if (*pos + len > data.size())
+            return false;
+        out->payload.assign(data.begin() + *pos, data.begin() + *pos + len);
+        *pos += len;
+        return true;
+      }
+      case RecordType::kIrqInject: {
+        std::uint8_t vector;
+        if (!get_u8(data, pos, &vector))
+            return false;
+        out->value = vector;
+        return true;
+      }
+      case RecordType::kRasAlarm: {
+        std::uint8_t kind, kernel_mode;
+        if (!get_u8(data, pos, &kind) ||
+            !get_u64(data, pos, &out->alarm.ret_pc) ||
+            !get_u64(data, pos, &out->alarm.predicted) ||
+            !get_u64(data, pos, &out->alarm.actual) ||
+            !get_u64(data, pos, &out->alarm.sp_after) ||
+            !get_u8(data, pos, &kernel_mode) ||
+            !get_u32(data, pos, &out->tid)) {
+            return false;
+        }
+        if (kind > static_cast<std::uint8_t>(
+                       cpu::RasAlarmKind::kWhitelistMiss)) {
+            return false;
+        }
+        out->alarm.kind = static_cast<cpu::RasAlarmKind>(kind);
+        out->alarm.kernel_mode = kernel_mode != 0;
+        return true;
+      }
+      case RecordType::kRasEvict:
+        return get_u64(data, pos, &out->addr) && get_u32(data, pos, &out->tid);
+      case RecordType::kHalt:
+      case RecordType::kDiskComplete:
+        return true;
+    }
+    return false;
+}
+
+std::string
+LogRecord::to_string() const
+{
+    std::ostringstream os;
+    os << "[" << icount << "] " << record_type_name(type);
+    switch (type) {
+      case RecordType::kRdtsc:
+        os << " value=" << value;
+        break;
+      case RecordType::kIoIn:
+        os << " port=" << addr << " value=" << value;
+        break;
+      case RecordType::kMmioRead:
+        os << " addr=0x" << std::hex << addr << std::dec
+           << " value=" << value;
+        break;
+      case RecordType::kNicDma:
+        os << " buf=0x" << std::hex << addr << std::dec
+           << " bytes=" << payload.size();
+        break;
+      case RecordType::kIrqInject:
+        os << " vector=" << value;
+        break;
+      case RecordType::kRasAlarm:
+        os << " kind=" << static_cast<int>(alarm.kind) << " ret_pc=0x"
+           << std::hex << alarm.ret_pc << " actual=0x" << alarm.actual
+           << std::dec << " tid=" << tid
+           << (alarm.kernel_mode ? " (kernel)" : " (user)");
+        break;
+      case RecordType::kRasEvict:
+        os << " evicted=0x" << std::hex << addr << std::dec
+           << " tid=" << tid;
+        break;
+      case RecordType::kHalt:
+      case RecordType::kDiskComplete:
+        break;
+    }
+    return os.str();
+}
+
+}  // namespace rsafe::rnr

@@ -1,0 +1,93 @@
+#ifndef RSAFE_RNR_RECORDER_H_
+#define RSAFE_RNR_RECORDER_H_
+
+#include "hv/hypervisor.h"
+#include "rnr/log_io.h"
+
+/**
+ * @file
+ * The recording hypervisor (the left side of Figure 1).
+ *
+ * Extends the live hypervisor with input logging and the RnR-Safe alarm
+ * machinery: rdtsc values, pio/MMIO read values, NIC DMA payloads, and
+ * asynchronous interrupt injection points are appended to the input log;
+ * RAS alarms and Evict records become log markers for the replayers.
+ *
+ * The recorder also keeps a per-category cycle-overhead attribution that
+ * reproduces the Figure 5(b) breakdown: every cycle the recorder charges
+ * beyond the NoRec baseline is attributed to rdtsc, pio/mmio, interrupts,
+ * network-content logging, or the RAS extensions.
+ */
+
+namespace rsafe::rnr {
+
+/** Recording configuration. */
+struct RecorderOptions {
+    /** Save/restore the RAS at context switches (off = RecNoRAS). */
+    bool manage_backras = true;
+    /** Raise and log ROP alarms (the RnR-Safe hardware). */
+    bool ras_alarms = true;
+    /** Log about-to-be-evicted RAS entries (Section 4.5). */
+    bool evict_exits = true;
+    /** Install the Ret/Tar whitelists (ablation hook). */
+    bool whitelists = true;
+    /** Stop the recorded VM at the first alarm (risk-averse mode). */
+    bool stop_on_alarm = false;
+};
+
+/** Cycle attribution mirroring the Figure 5(b) categories. */
+struct RecordOverhead {
+    Cycles rdtsc = 0;
+    Cycles pio_mmio = 0;
+    Cycles interrupt = 0;
+    Cycles network = 0;
+    Cycles ras = 0;
+
+    Cycles total() const
+    {
+        return rdtsc + pio_mmio + interrupt + network + ras;
+    }
+};
+
+/** The recording hypervisor. */
+class Recorder : public hv::Hypervisor {
+  public:
+    Recorder(hv::Vm* vm, const RecorderOptions& options);
+
+    /** The input log built so far (streamed to the replayers on the fly). */
+    const InputLog& log() const { return log_; }
+
+    /** Per-category overhead attribution (Figure 5b). */
+    const RecordOverhead& overhead() const { return overhead_; }
+
+    /** @return true if an alarm requested a stop (stop_on_alarm). */
+    bool alarm_stop_requested() const { return alarm_stop_; }
+
+  protected:
+    void hook_rdtsc(Word value) override;
+    void hook_io_in(std::uint16_t port, Word value) override;
+    void hook_mmio_read(Addr addr, Word value) override;
+    void hook_nic_dma(Addr addr,
+                      const std::vector<std::uint8_t>& data) override;
+    void hook_irq_inject(std::uint8_t vector) override;
+    void hook_disk_complete() override;
+    void hook_ras_alarm(const cpu::RasAlarm& alarm) override;
+    void hook_ras_evict(Addr evicted) override;
+    void hook_halt() override;
+    void hook_context_switch(ThreadId tid) override;
+
+  private:
+    /** Charge the simulated cost of appending @p record; @return cost. */
+    Cycles charge_log_write(const LogRecord& record);
+
+    static hv::HvOptions make_hv_options(const RecorderOptions& options);
+
+    RecorderOptions rec_options_;
+    InputLog log_;
+    RecordOverhead overhead_;
+    bool alarm_stop_ = false;
+};
+
+}  // namespace rsafe::rnr
+
+#endif  // RSAFE_RNR_RECORDER_H_

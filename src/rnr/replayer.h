@@ -1,0 +1,139 @@
+#ifndef RSAFE_RNR_REPLAYER_H_
+#define RSAFE_RNR_REPLAYER_H_
+
+#include "common/random.h"
+#include "hv/hypervisor.h"
+#include "rnr/log_io.h"
+
+/**
+ * @file
+ * The deterministic replayer (the right side of Figure 1).
+ *
+ * A Replayer drives a fresh (or checkpoint-restored) VM through the input
+ * log:
+ *
+ *  - synchronous events (rdtsc, pio reads, MMIO reads, NIC DMA payloads)
+ *    are injected when the guest traps at the matching instruction —
+ *    "with similar configuration of the controls on the replaying system,
+ *    these events are deterministically reproduced" (Section 7.3);
+ *  - asynchronous events (interrupt injections) will not re-trap at the
+ *    same instruction by themselves; the replayer arms a performance
+ *    counter that stops close to the recorded instruction count and then
+ *    single-steps to the exact injection point, paying ~1000 cycles per
+ *    step (Section 7.3) — the source of the interrupt-dominated replay
+ *    overhead of Figure 7(b);
+ *  - RnR-Safe markers (alarms, evict records) are positional: the
+ *    replayer stops at their instruction count and hands them to hooks
+ *    that the checkpointing and alarm replayers override.
+ *
+ * The replayed VM is a "safe platform": its hardware raises no ROP alarms
+ * and takes no eviction exits, but it still dumps the RAS at context
+ * switches so checkpoints can capture the full BackRAS (Section 4.6.1).
+ */
+
+namespace rsafe::rnr {
+
+/** Replay configuration. */
+struct ReplayOptions {
+    /** Maintain BackRAS at context switches (needed for checkpoints). */
+    bool manage_backras = true;
+    /** Honor the Ret/Tar whitelists. */
+    bool whitelists = true;
+    /** Trap kernel call/ret (alarm replayer analysis mode). */
+    bool trap_kernel_call_ret = false;
+    /** Also trap user call/ret (deep analysis of user-mode alarms). */
+    bool trap_user_call_ret = false;
+    /** Seed of the perf-counter skid model. */
+    std::uint64_t seed = 0x5eed;
+    /** Max undershoot (instructions) of the armed perf counter. */
+    std::uint32_t max_skid = 32;
+};
+
+/** Why a replay run ended. */
+enum class ReplayOutcome {
+    kFinished,      ///< reached the halt marker; guest halted
+    kLogExhausted,  ///< ran out of log records (no halt marker)
+    kStopRequested, ///< a hook asked to stop (e.g., alarm under analysis)
+    kGuestFault,    ///< replayed guest faulted
+};
+
+/** Per-category replay cycle attribution (feeds Figure 7b). */
+struct ReplayOverhead {
+    Cycles rdtsc = 0;
+    Cycles pio_mmio = 0;
+    Cycles interrupt = 0;
+    Cycles network = 0;
+    Cycles ras = 0;
+    Cycles chk = 0;  ///< filled by the checkpointing replayer
+};
+
+/** The base deterministic replayer. */
+class Replayer : public hv::VmEnvBase {
+  public:
+    /**
+     * @param vm         the replay VM (fresh boot or checkpoint-restored).
+     * @param log        the input log (must outlive the replayer).
+     * @param start_pos  log index to start consuming at (InputLogPtr).
+     */
+    Replayer(hv::Vm* vm, const InputLog* log, std::size_t start_pos,
+             const ReplayOptions& options);
+
+    /** Replay until the log ends, the guest halts, or a hook stops us. */
+    ReplayOutcome run();
+
+    /** @return the current log cursor (the InputLogPtr). */
+    std::size_t log_pos() const { return cursor_; }
+
+    /** @return total single-steps taken for async injections. */
+    std::uint64_t single_steps() const { return single_steps_; }
+
+    /** @return per-category attributed cycles. */
+    const ReplayOverhead& overhead() const { return overhead_; }
+
+    // CpuEnv: log-driven injection.
+    Word on_rdtsc() override;
+    Word on_io_in(std::uint16_t port) override;
+    void on_io_out(std::uint16_t port, Word value) override;
+    Word on_mmio_read(Addr addr) override;
+    void on_mmio_write(Addr addr, Word value) override;
+    void on_ras_alarm(const cpu::RasAlarm& alarm) override;
+    void on_ras_evict(Addr evicted) override;
+    void on_call_ret(const cpu::CallRetEvent& event) override;
+
+  protected:
+    /**
+     * A positional marker (alarm or evict record) was reached.
+     * @return false to stop the replay here.
+     */
+    virtual bool hook_positional_record(const LogRecord& record);
+
+    /**
+     * Called at each clean between-instructions VM exit (after handling a
+     * positional record); the checkpointing replayer takes checkpoints
+     * here.
+     */
+    virtual void hook_exit_boundary();
+
+    /** The next logged record of any synchronous-injection type. */
+    const LogRecord& expect_sync(RecordType type);
+
+    [[noreturn]] void divergence(const std::string& detail);
+
+    const InputLog* log_;
+    std::size_t cursor_;
+    ReplayOptions options_;
+    ReplayOverhead overhead_;
+    Rng skid_rng_;
+    std::uint64_t single_steps_ = 0;
+
+  private:
+    bool is_positional(RecordType type) const;
+    std::size_t next_positional() const;
+    void approach(InstrCount target);
+    void handle_irq(const LogRecord& record);
+    void handle_disk_complete();
+};
+
+}  // namespace rsafe::rnr
+
+#endif  // RSAFE_RNR_REPLAYER_H_

@@ -1,0 +1,88 @@
+#include "stats/stats.h"
+
+#include "common/log.h"
+
+namespace rsafe::stats {
+
+Histogram::Histogram(std::uint64_t max, std::size_t buckets)
+{
+    if (buckets == 0)
+        fatal("Histogram: need at least one bucket");
+    if (max == 0)
+        fatal("Histogram: max must be positive");
+    bucket_width_ = max / buckets;
+    if (bucket_width_ == 0)
+        bucket_width_ = 1;
+    counts_.assign(buckets + 1, 0);  // +1 for overflow
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    std::size_t idx = static_cast<std::size_t>(value / bucket_width_);
+    if (idx >= counts_.size() - 1)
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++count_;
+    sum_ += value;
+    if (value > max_sample_)
+        max_sample_ = value;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::bucket: index out of range");
+    return counts_[i];
+}
+
+void
+Histogram::reset()
+{
+    for (auto& c : counts_)
+        c = 0;
+    count_ = 0;
+    sum_ = 0;
+    max_sample_ = 0;
+}
+
+Counter&
+StatRegistry::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+std::uint64_t
+StatRegistry::value(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+        out.emplace_back(name, counter.value());
+    return out;
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto& [name, counter] : counters_)
+        counter.reset();
+}
+
+}  // namespace rsafe::stats

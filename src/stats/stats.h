@@ -1,0 +1,103 @@
+#ifndef RSAFE_STATS_STATS_H_
+#define RSAFE_STATS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named scalar counters and histograms with a
+ * StatRegistry; benches and tests read them back by name. Everything is
+ * plain 64-bit integer or double state — no global registries, so multiple
+ * simulated machines (recorder, checkpointing replayer, alarm replayer) can
+ * coexist with independent statistics.
+ */
+
+namespace rsafe::stats {
+
+/** A monotonically increasing named event counter. */
+class Counter {
+  public:
+    Counter() = default;
+
+    /** Add @p delta events. */
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+
+    /** @return the accumulated count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A fixed-bucket histogram of 64-bit samples. */
+class Histogram {
+  public:
+    /**
+     * Create a histogram covering [0, max) with @p buckets buckets;
+     * samples >= max land in the overflow bucket.
+     */
+    Histogram(std::uint64_t max, std::size_t buckets);
+    Histogram() : Histogram(1024, 16) {}
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    /** @return number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** @return arithmetic mean, or 0 if empty. */
+    double mean() const;
+
+    /** @return largest recorded sample, or 0 if empty. */
+    std::uint64_t max_sample() const { return max_sample_; }
+
+    /** @return count in bucket @p i (the last bucket is overflow). */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** @return number of buckets, including the overflow bucket. */
+    std::size_t num_buckets() const { return counts_.size(); }
+
+    /** Reset all buckets. */
+    void reset();
+
+  private:
+    std::uint64_t bucket_width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_sample_ = 0;
+};
+
+/** A by-name registry of counters owned by one simulated machine. */
+class StatRegistry {
+  public:
+    /** Get (creating if needed) the counter named @p name. */
+    Counter& counter(const std::string& name);
+
+    /** @return the counter value, or 0 if the name was never created. */
+    std::uint64_t value(const std::string& name) const;
+
+    /** @return all (name, value) pairs sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+    /** Reset every registered counter. */
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+}  // namespace rsafe::stats
+
+#endif  // RSAFE_STATS_STATS_H_

@@ -1,0 +1,89 @@
+#include "stats/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace rsafe::stats {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table: need at least one column");
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal(strcat_args("Table '", title_, "': row has ", cells.size(),
+                          " cells, expected ", headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            // Left-align the first column (labels), right-align the rest.
+            const auto pad = widths[c] - cells[c].size();
+            if (c == 0) {
+                os << cells[c] << std::string(pad, ' ');
+            } else {
+                os << std::string(pad, ' ') << cells[c];
+            }
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c > 0 ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::to_csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+}  // namespace rsafe::stats

@@ -1,0 +1,44 @@
+#ifndef RSAFE_STATS_TABLE_H_
+#define RSAFE_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Fixed-width text table and CSV emission for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables/figures as a
+ * text table (for humans) and optionally CSV (for plotting). The formatter
+ * right-aligns numeric cells and pads to the widest cell per column.
+ */
+
+namespace rsafe::stats {
+
+/** A simple column-oriented text table. */
+class Table {
+  public:
+    /** Create a table titled @p title with the given column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Render the table, with title, header rule, and aligned columns. */
+    std::string to_string() const;
+
+    /** Render as CSV (header row + data rows, no title). */
+    std::string to_csv() const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string fmt(double value, int digits = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rsafe::stats
+
+#endif  // RSAFE_STATS_TABLE_H_

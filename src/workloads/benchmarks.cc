@@ -1,0 +1,114 @@
+#include "workloads/benchmarks.h"
+
+#include "common/log.h"
+
+namespace rsafe::workloads {
+
+namespace {
+
+WorkloadProfile
+base_profile()
+{
+    WorkloadProfile profile;
+    profile.devices.timer_tick_period = 100'000;
+    profile.devices.disk_blocks = 4096;
+    profile.iterations_per_task = 1u << 30;  // run until the bench stops
+    return profile;
+}
+
+}  // namespace
+
+WorkloadProfile
+benchmark_profile(const std::string& name)
+{
+    WorkloadProfile profile = base_profile();
+    profile.name = name;
+
+    if (name == "apache") {
+        profile.seed = 0xA9AC4E;
+        profile.num_tasks = 4;
+        profile.alu_loop = 25;
+        profile.rdtsc_prob = 0.30;
+        profile.nic_poll_prob = 0.90;
+        profile.nic_send_prob = 0.60;
+        profile.disk_read_prob = 0.04;
+        profile.logmsg_prob = 0.20;
+        profile.checksum_prob = 0.0;
+        profile.rec_prob = 0.05;
+        profile.ws_writes = 3;
+        profile.ws_pages = 96;
+        profile.yield_prob = 0.02;
+        profile.devices.nic_mean_gap = 6'000;
+        profile.devices.nic_min_packet = 64;
+        profile.devices.nic_max_packet = 1400;
+        profile.devices.disk_mean_latency = 20'000;
+    } else if (name == "fileio") {
+        profile.seed = 0xF17E10;
+        profile.num_tasks = 2;
+        profile.alu_loop = 15;
+        profile.rdtsc_prob = 0.55;
+        profile.disk_read_prob = 0.50;
+        profile.disk_write_prob = 0.45;
+        profile.checksum_prob = 0.10;
+        profile.checksum_len = 128;
+        profile.ws_writes = 2;
+        profile.ws_pages = 32;
+        profile.devices.disk_mean_latency = 3'000;
+    } else if (name == "make") {
+        profile.seed = 0x3A4E;
+        profile.num_tasks = 3;
+        profile.alu_loop = 120;
+        profile.rdtsc_prob = 0.04;
+        profile.disk_read_prob = 0.015;
+        profile.disk_write_prob = 0.008;
+        profile.checksum_prob = 0.25;
+        profile.checksum_len = 480;
+        profile.rec_prob = 0.10;
+        profile.ws_writes = 6;
+        profile.ws_pages = 192;
+        profile.yield_prob = 0.02;
+        profile.devices.disk_mean_latency = 8'000;
+    } else if (name == "mysql") {
+        profile.seed = 0x5D5B;
+        profile.num_tasks = 3;
+        profile.alu_loop = 100;
+        profile.rdtsc_prob = 0.30;
+        profile.nic_poll_prob = 0.10;
+        profile.nic_send_prob = 0.50;
+        profile.disk_read_prob = 0.01;
+        profile.checksum_prob = 0.50;
+        profile.checksum_len = 512;
+        profile.ws_writes = 4;
+        profile.ws_pages = 128;
+        profile.devices.nic_mean_gap = 40'000;
+        profile.devices.nic_min_packet = 64;
+        profile.devices.nic_max_packet = 256;
+        profile.devices.disk_mean_latency = 8'000;
+    } else if (name == "radiosity") {
+        profile.seed = 0x4AD105;
+        profile.num_tasks = 1;
+        profile.alu_loop = 400;
+        profile.rdtsc_prob = 0.03;
+        profile.checksum_prob = 0.10;
+        profile.checksum_len = 512;
+        profile.rec_prob = 0.50;
+        profile.rec_depth_min = 6;
+        profile.rec_depth_max = 20;
+        profile.checksum_len = 256;
+        profile.ws_writes = 8;
+        profile.ws_pages = 256;
+    } else {
+        fatal("benchmark_profile: unknown benchmark '" + name + "'");
+    }
+
+    profile.devices.seed = profile.seed * 31 + 7;
+    return profile;
+}
+
+std::vector<std::string>
+benchmark_names()
+{
+    return {"apache", "fileio", "make", "mysql", "radiosity"};
+}
+
+}  // namespace rsafe::workloads

@@ -1,0 +1,39 @@
+#ifndef RSAFE_WORKLOADS_BENCHMARKS_H_
+#define RSAFE_WORKLOADS_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/profile.h"
+
+/**
+ * @file
+ * The five Table 3 benchmark profiles.
+ *
+ * Each profile models the behaviour the paper reports for that benchmark
+ * (Sections 8.1-8.3):
+ *
+ *  - apache:    network-bound; receives packets over MMIO, responds, logs;
+ *               deep NIC-driver nesting under big packets (underflows);
+ *               highest input-log rate (packet contents).
+ *  - fileio:    SysBench file I/O, direct mode: pio command traffic, DMA
+ *               completions, and application timer reads (rdtsc-heavy).
+ *  - make:      compute with kernel-call-dense file work; little record
+ *               overhead but expensive alarm replay.
+ *  - mysql:     OLTP: rdtsc per transaction, kernel work, little disk
+ *               (tables cached in memory).
+ *  - radiosity: SPLASH-2 compute; deep user recursion, minimal kernel
+ *               activity.
+ */
+
+namespace rsafe::workloads {
+
+/** @return the profile for Table 3 benchmark @p name; fatal if unknown. */
+WorkloadProfile benchmark_profile(const std::string& name);
+
+/** @return all five benchmark names in the paper's order. */
+std::vector<std::string> benchmark_names();
+
+}  // namespace rsafe::workloads
+
+#endif  // RSAFE_WORKLOADS_BENCHMARKS_H_

@@ -1,0 +1,59 @@
+#ifndef RSAFE_WORKLOADS_GENERATOR_H_
+#define RSAFE_WORKLOADS_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hv/vm.h"
+#include "isa/program.h"
+#include "workloads/profile.h"
+
+/**
+ * @file
+ * Guest workload generation.
+ *
+ * generate_workload() emits one user-code image realizing a
+ * WorkloadProfile: per-task loops whose iterations interleave compute,
+ * working-set stores, timestamp reads, NIC/disk syscalls, kernel
+ * checksums, user recursion, and yields — each iteration's event mix
+ * fixed at generation time from the profile seed.
+ *
+ * make_vm()/vm_factory() assemble complete VMs around a generated
+ * workload; the factory builds bit-identical machines, which is what the
+ * framework's recorded VM, checkpointing-replayer VM, and alarm-replayer
+ * VMs all need to be.
+ */
+
+namespace rsafe::workloads {
+
+/** A generated workload image plus its task entry points. */
+struct GeneratedWorkload {
+    isa::Image image;
+    std::vector<Addr> task_entries;
+};
+
+/** Emit the user program image for @p profile. */
+GeneratedWorkload generate_workload(const WorkloadProfile& profile);
+
+/**
+ * Build a ready-to-run VM: kernel + generated workload + tasks, finalized.
+ *
+ * @param extra_images   additional user images to load (e.g., an attacker
+ *                       task program).
+ * @param extra_entries  extra user tasks to create, one per entry.
+ */
+std::unique_ptr<hv::Vm> make_vm(
+    const WorkloadProfile& profile,
+    const std::vector<isa::Image>& extra_images = {},
+    const std::vector<Addr>& extra_entries = {});
+
+/** A factory producing bit-identical VMs for @p profile. */
+std::function<std::unique_ptr<hv::Vm>()> vm_factory(
+    const WorkloadProfile& profile,
+    const std::vector<isa::Image>& extra_images = {},
+    const std::vector<Addr>& extra_entries = {});
+
+}  // namespace rsafe::workloads
+
+#endif  // RSAFE_WORKLOADS_GENERATOR_H_

@@ -1,0 +1,4 @@
+#include "workloads/profile.h"
+
+// Profile data lives in benchmarks.cc; this translation unit exists so the
+// header has a home and the constants above are ODR-anchored.

@@ -1,0 +1,75 @@
+#ifndef RSAFE_WORKLOADS_PROFILE_H_
+#define RSAFE_WORKLOADS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dev/device_hub.h"
+
+/**
+ * @file
+ * Workload behaviour profiles.
+ *
+ * We cannot run the paper's binaries (SysBench, apache, make, radiosity)
+ * on a custom guest ISA; what the paper's figures actually depend on is
+ * each benchmark's *rates*: rdtsc reads, pio/MMIO accesses, network
+ * packets, disk transfers (and their completion interrupts), context
+ * switches, page-dirtying, and kernel call/return density. A
+ * WorkloadProfile captures exactly those knobs; the generator emits a
+ * guest program whose behaviour realizes them. Event choices are sampled
+ * at generation time from the profile seed, so a profile describes one
+ * fixed, reproducible program.
+ */
+
+namespace rsafe::workloads {
+
+/** Cycles per simulated "virtual second" (rate/bandwidth reporting). */
+inline constexpr Cycles kCyclesPerSecond = 10'000'000;
+
+/** Behaviour knobs of one synthetic benchmark. */
+struct WorkloadProfile {
+    std::string name = "custom";
+    std::uint64_t seed = 1;
+
+    /** Number of user tasks (plus the kernel idle thread). */
+    int num_tasks = 2;
+
+    /** Loop iterations per task before it exits (~0 = run "forever"). */
+    std::uint64_t iterations_per_task = 4000;
+
+    /** Inner compute-loop count per iteration (4 ALU ops per count). */
+    int alu_loop = 50;
+
+    /** Per-iteration event probabilities (sampled at generation time). @{ */
+    double rdtsc_prob = 0.0;      ///< app-level timestamp reads
+    double nic_poll_prob = 0.0;   ///< sys_nic_recv (drives MMIO + DMA)
+    double nic_send_prob = 0.0;   ///< sys_nic_send after a receive
+    double disk_read_prob = 0.0;  ///< sys_disk_read (pio + DMA + irq)
+    double disk_write_prob = 0.0; ///< sys_disk_write
+    double checksum_prob = 0.0;   ///< sys_checksum (kernel call density)
+    double logmsg_prob = 0.0;     ///< benign sys_logmsg
+    double rec_prob = 0.0;        ///< user-level recursion
+    double yield_prob = 0.0;      ///< voluntary sys_yield
+    /** @} */
+
+    /** sys_checksum buffer length (kernel recursion depth = len/32). */
+    int checksum_len = 256;
+
+    /** User recursion depth range. @{ */
+    int rec_depth_min = 4;
+    int rec_depth_max = 16;
+    /** @} */
+
+    /** Working-set stores per iteration (page-dirtying traffic). */
+    int ws_writes = 2;
+
+    /** Working-set span per task, in pages. */
+    std::uint32_t ws_pages = 64;
+
+    /** Device complement (timer tick, NIC traffic, disk latency). */
+    dev::DeviceConfig devices;
+};
+
+}  // namespace rsafe::workloads
+
+#endif  // RSAFE_WORKLOADS_PROFILE_H_

@@ -1,0 +1,165 @@
+/** @file Tests of the attack substrate: gadget discovery, chain building,
+ *  and the mounted kernel ROP attack end to end (Section 6). */
+
+#include <gtest/gtest.h>
+
+#include "attack/attack_mounter.h"
+#include "attack/gadget_finder.h"
+#include "attack/rop_chain.h"
+#include "common/log.h"
+#include "hv/hypervisor.h"
+#include "kernel/kernel_builder.h"
+#include "kernel/layout.h"
+#include "rnr/recorder.h"
+#include "test_util.h"
+
+namespace rsafe {
+namespace {
+
+namespace k = rsafe::kernel;
+using attack::GadgetFinder;
+
+const Addr kStagingBuf = k::kUserDataBase + 15 * 0x10000;
+
+TEST(GadgetFinder, FindsReturnTerminatedGadgets)
+{
+    const auto kernel = k::build_kernel();
+    GadgetFinder finder(kernel.image);
+    EXPECT_GT(finder.gadgets().size(), 10u);
+    for (const auto& gadget : finder.gadgets()) {
+        ASSERT_FALSE(gadget.instrs.empty());
+        EXPECT_EQ(gadget.instrs.back().op, isa::Opcode::kRet);
+    }
+}
+
+TEST(GadgetFinder, FindsTheFigure10Gadgets)
+{
+    const auto kernel = k::build_kernel();
+    GadgetFinder finder(kernel.image);
+    EXPECT_TRUE(finder.find_pop_ret(isa::R1).has_value());
+    EXPECT_TRUE(finder.find_load_ret(isa::R2, isa::R1).has_value());
+    EXPECT_TRUE(finder.find_callr(isa::R2).has_value());
+    EXPECT_TRUE(finder.find_ret().has_value());
+    // Missing-pattern queries return nothing rather than garbage.
+    EXPECT_FALSE(finder.find_pop_ret(isa::R9).has_value());
+}
+
+TEST(RopChain, LaysOutTheOverflowPayload)
+{
+    const auto kernel = k::build_kernel();
+    GadgetFinder finder(kernel.image);
+    const auto chain = attack::build_logmsg_chain(
+        finder, kernel, kernel.set_root, kStagingBuf, 0xCAFE);
+    // Payload covers buffer + saved reg + chain + fake frame + fnptr.
+    EXPECT_EQ(chain.payload.size(), k::kLogMsgBufBytes + 8 + 64);
+    // The hijacked slot holds G1.
+    Word g1 = 0;
+    for (int i = 0; i < 8; ++i)
+        g1 |= Word(chain.payload[k::kLogMsgBufBytes + 8 + i]) << (8 * i);
+    EXPECT_EQ(g1, chain.g1);
+    // The staged function pointer is the attack target.
+    Word fnptr = 0;
+    for (int i = 0; i < 8; ++i)
+        fnptr |= Word(chain.payload[chain.fnptr_offset + i]) << (8 * i);
+    EXPECT_EQ(fnptr, kernel.set_root);
+}
+
+TEST(AttackMounter, BuildsAStableTwoPassImage)
+{
+    const auto kernel = k::build_kernel();
+    const auto program = attack::build_attacker_program(
+        kernel, k::kUserCodeBase, kStagingBuf, /*delay_iters=*/10);
+    EXPECT_EQ(program.entry, program.image.symbol("atk_main"));
+    EXPECT_GT(program.image.size(), 0u);
+    EXPECT_NE(program.chain.g1, 0u);
+}
+
+struct AttackRun {
+    std::unique_ptr<hv::Vm> vm;
+    std::unique_ptr<rnr::Recorder> recorder;
+};
+
+AttackRun
+run_attack(const rnr::RecorderOptions& options)
+{
+    AttackRun out;
+    hv::VmConfig config;
+    config.devices = test::quiet_devices();
+    out.vm = std::make_unique<hv::Vm>(config);
+    const auto program = attack::build_attacker_program(
+        out.vm->guest_kernel(), k::kUserCodeBase, kStagingBuf, 50);
+    out.vm->load_user_image(program.image);
+    out.vm->add_user_task(program.entry);
+    out.vm->finalize();
+    out.recorder = std::make_unique<rnr::Recorder>(out.vm.get(), options);
+    return out;
+}
+
+TEST(MountedAttack, GadgetChainExecutesAndSetsRoot)
+{
+    // With detection on but the VM allowed to continue, the chain runs to
+    // completion: k_set_root executes and the attacker resumes cleanly.
+    auto run = run_attack(rnr::RecorderOptions{});
+    EXPECT_EQ(run.recorder->run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+    EXPECT_EQ(run.vm->mem().read_raw(k::kKernelRootFlag, 8), 1u)
+        << "the attack no longer reaches k_set_root";
+}
+
+TEST(MountedAttack, RaisesRasAlarms)
+{
+    auto run = run_attack(rnr::RecorderOptions{});
+    EXPECT_EQ(run.recorder->run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+    const auto alarms =
+        run.recorder->log().find_all(rnr::RecordType::kRasAlarm);
+    ASSERT_GE(alarms.size(), 1u);
+    // The first alarm fires at the hijacked return inside k_vulnerable,
+    // in kernel mode, redirecting to gadget G1.
+    const auto& first = run.recorder->log().at(alarms[0]);
+    EXPECT_EQ(first.alarm.ret_pc, run.vm->guest_kernel().vulnerable_ret);
+    EXPECT_TRUE(first.alarm.kernel_mode);
+    EXPECT_EQ(first.alarm.kind, cpu::RasAlarmKind::kMispredict);
+}
+
+TEST(MountedAttack, StopOnAlarmPreventsGadgetExecution)
+{
+    rnr::RecorderOptions options;
+    options.stop_on_alarm = true;
+    auto run = run_attack(options);
+    // The recorder requests a stop at the first alarm; the caller polls
+    // and stops the machine before the gadgets execute.
+    while (!run.recorder->alarm_stop_requested()) {
+        const auto result =
+            run.recorder->run(run.vm->cpu().icount() + 1);
+        ASSERT_NE(result, hv::RunResult::kHalted)
+            << "halted before any alarm";
+        ASSERT_NE(result, hv::RunResult::kGuestFault);
+    }
+    // Stopped at the alarm: the root flag is still clear.
+    EXPECT_EQ(run.vm->mem().read_raw(k::kKernelRootFlag, 8), 0u);
+}
+
+TEST(MountedAttack, WxBlocksNaiveCodeInjection)
+{
+    // The motivation for ROP (Appendix A): writing code into an
+    // executable page is impossible under W^X.
+    hv::VmConfig config;
+    config.devices = test::quiet_devices();
+    hv::Vm vm(config);
+    auto image = test::user_image([](isa::Assembler& a) {
+        a.label("main");
+        a.ldi(isa::R1, static_cast<std::int64_t>(k::kUserCodeBase));
+        a.st(isa::R1, 0, isa::R2);  // self-modify attempt
+        test::emit_exit(a);
+    });
+    vm.load_user_image(image);
+    vm.add_user_task(image.symbol("main"));
+    vm.finalize();
+    hv::Hypervisor hv(&vm, hv::HvOptions{});
+    EXPECT_EQ(hv.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kGuestFault);
+}
+
+}  // namespace
+}  // namespace rsafe

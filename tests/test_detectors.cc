@@ -1,0 +1,144 @@
+/** @file Tests of the Table 1 detector instantiations: ROP hardware
+ *  levels, the JOP target checker, and the DOS watchdog. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/dos_detector.h"
+#include "core/jop_detector.h"
+#include "core/rop_detector.h"
+#include "kernel/kernel_builder.h"
+#include "test_util.h"
+
+namespace rsafe::core {
+namespace {
+
+TEST(RopDetector, HardwareLevelPresets)
+{
+    const auto basic = rop_recorder_options(RopHardwareLevel::kBasic);
+    EXPECT_FALSE(basic.manage_backras);
+    EXPECT_FALSE(basic.whitelists);
+    EXPECT_TRUE(basic.ras_alarms);
+
+    const auto backras = rop_recorder_options(RopHardwareLevel::kBackRas);
+    EXPECT_TRUE(backras.manage_backras);
+    EXPECT_FALSE(backras.whitelists);
+
+    const auto full = rop_recorder_options(RopHardwareLevel::kFull);
+    EXPECT_TRUE(full.manage_backras);
+    EXPECT_TRUE(full.whitelists);
+    EXPECT_TRUE(full.evict_exits);
+}
+
+TEST(RopDetector, FalseAlarmRateComputation)
+{
+    cpu::CpuStats stats;
+    stats.instructions = 2'000'000;
+    stats.ras_whitelisted = 1000;
+    stats.ras_hits_restored = 4000;
+    const auto rates = false_alarm_rates(stats, 3);
+    EXPECT_DOUBLE_EQ(rates.whitelist_suppressed, 500.0);
+    EXPECT_DOUBLE_EQ(rates.backras_suppressed, 2000.0);
+    EXPECT_DOUBLE_EQ(rates.passed_to_replayers, 1.5);
+}
+
+TEST(RopDetector, EmptyRunYieldsZeroRates)
+{
+    cpu::CpuStats stats;
+    const auto rates = false_alarm_rates(stats, 0);
+    EXPECT_DOUBLE_EQ(rates.whitelist_suppressed, 0.0);
+    EXPECT_DOUBLE_EQ(rates.passed_to_replayers, 0.0);
+}
+
+class JopDetectorTest : public ::testing::Test {
+  protected:
+    JopDetectorTest() : kernel_(kernel::build_kernel()) {}
+    kernel::GuestKernel kernel_;
+};
+
+TEST_F(JopDetectorTest, FunctionEntriesAreLegal)
+{
+    JopDetector jop({&kernel_.image}, /*hardware_slots=*/1000);
+    // With every function tabled, calling any entry point is legal.
+    for (const auto& [name, range] : kernel_.image.functions()) {
+        EXPECT_EQ(jop.check_hardware(kernel_.set_root, range.begin),
+                  JopVerdict::kLegalEntry)
+            << name;
+    }
+}
+
+TEST_F(JopDetectorTest, MidFunctionTargetsAlarm)
+{
+    JopDetector jop({&kernel_.image}, 1000);
+    // Jumping into the middle of an unrelated function is a JOP gadget.
+    const auto range = *kernel_.image.find_function("k_set_root");
+    EXPECT_EQ(jop.check_hardware(kernel_.boot, range.begin + kInstrBytes),
+              JopVerdict::kAlarm);
+}
+
+TEST_F(JopDetectorTest, IntraFunctionBranchesAreLegal)
+{
+    JopDetector jop({&kernel_.image}, 1000);
+    const auto range = *kernel_.image.find_function("schedule");
+    EXPECT_EQ(jop.check_hardware(range.begin + kInstrBytes,
+                                 range.begin + 3 * kInstrBytes),
+              JopVerdict::kLegalInternal);
+}
+
+TEST_F(JopDetectorTest, SmallHardwareTableProducesFalsePositives)
+{
+    // The hardware table holds only the largest functions; a call to a
+    // small function's entry alarms in hardware but is cleared by the
+    // full-table replay check — Table 1's JOP row.
+    JopDetector jop({&kernel_.image}, /*hardware_slots=*/2);
+    ASSERT_EQ(jop.hardware_table_size(), 2u);
+    ASSERT_GT(jop.full_table_size(), 2u);
+
+    std::size_t hardware_alarms = 0, replay_cleared = 0;
+    for (const auto& [name, range] : kernel_.image.functions()) {
+        if (jop.check_hardware(kernel_.boot, range.begin) ==
+            JopVerdict::kAlarm) {
+            ++hardware_alarms;
+            if (jop.check_full(kernel_.boot, range.begin) ==
+                JopVerdict::kLegalEntry) {
+                ++replay_cleared;
+            }
+        }
+    }
+    EXPECT_GT(hardware_alarms, 0u);
+    EXPECT_EQ(replay_cleared, hardware_alarms);
+}
+
+TEST_F(JopDetectorTest, NullImageRejected)
+{
+    EXPECT_THROW(JopDetector({nullptr}, 4), rsafe::FatalError);
+}
+
+TEST(DosDetector, AlarmsOnSchedulerInactivity)
+{
+    DosDetector dos(/*window=*/1000, /*min_switches=*/5);
+    dos.sample(0, 0);          // priming sample
+    dos.sample(1000, 10);      // 10 switches: healthy
+    EXPECT_TRUE(dos.alarms().empty());
+    dos.sample(2000, 12);      // only 2 switches: starved
+    ASSERT_EQ(dos.alarms().size(), 1u);
+    EXPECT_EQ(dos.alarms()[0].switches_in_window, 2u);
+    EXPECT_EQ(dos.alarms()[0].window_start, 1000u);
+}
+
+TEST(DosDetector, SubWindowSamplesDoNotTrigger)
+{
+    DosDetector dos(1000, 5);
+    dos.sample(0, 0);
+    for (Cycles t = 100; t < 1000; t += 100)
+        dos.sample(t, 0);  // window not yet elapsed
+    EXPECT_TRUE(dos.alarms().empty());
+}
+
+TEST(DosDetector, ZeroWindowRejected)
+{
+    EXPECT_THROW(DosDetector(0, 1), rsafe::FatalError);
+}
+
+}  // namespace
+}  // namespace rsafe::core

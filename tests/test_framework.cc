@@ -1,0 +1,214 @@
+/** @file End-to-end tests of the RnR-Safe pipeline (Figure 1): benign
+ *  runs resolve cleanly; the mounted kernel ROP is detected, classified,
+ *  and fully characterized by the alarm replayer. */
+
+#include <gtest/gtest.h>
+
+#include "attack/attack_mounter.h"
+#include "core/framework.h"
+#include "core/rop_detector.h"
+#include "kernel/layout.h"
+#include "test_util.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
+
+namespace rsafe {
+namespace {
+
+namespace k = rsafe::kernel;
+
+TEST(Framework, BenignRunHasNoAttacks)
+{
+    auto profile = workloads::benchmark_profile("mysql");
+    profile.iterations_per_task = 100;
+    core::FrameworkConfig config;
+    core::RnrSafeFramework framework(workloads::vm_factory(profile),
+                                     config);
+    auto result = framework.run();
+    EXPECT_EQ(result.record_result, hv::RunResult::kHalted);
+    EXPECT_EQ(result.cr_outcome, rnr::ReplayOutcome::kFinished);
+    EXPECT_FALSE(result.alarms.attack_detected());
+    // Deterministic replay really happened.
+    EXPECT_EQ(result.cr_vm->state_hash(), result.recorded_vm->state_hash());
+}
+
+TEST(Framework, ApacheUnderflowsAreResolvedByTheCr)
+{
+    auto profile = workloads::benchmark_profile("apache");
+    profile.iterations_per_task = 400;
+    core::FrameworkConfig config;
+    core::RnrSafeFramework framework(workloads::vm_factory(profile),
+                                     config);
+    auto result = framework.run();
+    EXPECT_EQ(result.record_result, hv::RunResult::kHalted);
+    // Deep NIC nesting produced alarms, all auto-resolved as underflows.
+    EXPECT_GT(result.alarms_logged, 0u);
+    EXPECT_EQ(result.underflows_resolved, result.alarms_logged);
+    EXPECT_EQ(result.alarm_replays, 0u);
+    EXPECT_FALSE(result.alarms.attack_detected());
+}
+
+class AttackPipeline : public ::testing::Test {
+  protected:
+    core::FrameworkResult
+    run_attack_pipeline(std::uint64_t delay_iters = 200)
+    {
+        // The attacker task runs beside a small benign workload.
+        auto profile = workloads::benchmark_profile("mysql");
+        profile.iterations_per_task = 150;
+        profile.num_tasks = 2;
+
+        // Build the attacker against the (deterministic) kernel image.
+        const auto kernel = k::build_kernel();
+        const Addr atk_code = k::kUserCodeBase + 0x40000;
+        const Addr atk_buf = k::kUserDataBase + 15 * 0x10000;
+        const auto program = attack::build_attacker_program(
+            kernel, atk_code, atk_buf, delay_iters);
+
+        auto factory = workloads::vm_factory(profile, {program.image},
+                                             {program.entry});
+        core::FrameworkConfig config;
+        core::RnrSafeFramework framework(factory, config);
+        return framework.run();
+    }
+};
+
+TEST_F(AttackPipeline, KernelRopIsDetectedAndCharacterized)
+{
+    auto result = run_attack_pipeline();
+    EXPECT_EQ(result.record_result, hv::RunResult::kHalted);
+    ASSERT_GT(result.alarms_logged, 0u);
+    ASSERT_GT(result.alarm_replays, 0u);
+    ASSERT_TRUE(result.alarms.attack_detected());
+
+    const auto attacks = result.alarms.attacks();
+    ASSERT_GE(attacks.size(), 1u);
+    const auto& attack = *attacks[0];
+    // Where: the hijacked return inside the vulnerable function.
+    EXPECT_EQ(attack.faulting_function, "k_vulnerable");
+    EXPECT_EQ(attack.ret_pc,
+              result.recorded_vm->guest_kernel().vulnerable_ret);
+    // Who: the attacker task (the last task slot).
+    EXPECT_EQ(attack.tid, 3u);
+    // What: the gadget chain staged on the corrupted stack.
+    EXPECT_FALSE(attack.gadget_chain.empty());
+    EXPECT_FALSE(attack.report.empty());
+    // The compromised kernel flipped the root flag (the VM was allowed
+    // to continue past the alarm).
+    EXPECT_EQ(result.recorded_vm->mem().read_raw(k::kKernelRootFlag, 8),
+              1u);
+}
+
+TEST_F(AttackPipeline, FirstAlarmIsTheHijackedReturn)
+{
+    auto result = run_attack_pipeline();
+    const auto& analyses = result.alarms.analyses();
+    ASSERT_FALSE(analyses.empty());
+    // The first analyzed alarm is the Figure 10 hijack itself, and it is
+    // classified as a real ROP (not any false-positive category).
+    EXPECT_TRUE(analyses[0].is_attack);
+    EXPECT_EQ(analyses[0].cause, replay::AlarmCause::kRopAttack);
+    EXPECT_EQ(analyses[0].actual_target,
+              analyses[0].alarm_record.alarm.actual);
+}
+
+TEST_F(AttackPipeline, DetectionIsDelayIndependent)
+{
+    for (std::uint64_t delay : {0ULL, 1000ULL}) {
+        auto result = run_attack_pipeline(delay);
+        EXPECT_TRUE(result.alarms.attack_detected())
+            << "delay=" << delay;
+    }
+}
+
+}  // namespace
+}  // namespace rsafe
+// Appended: risk-averse mode and pipeline-robustness coverage.
+namespace rsafe {
+namespace {
+
+TEST(FrameworkModes, StopOnAlarmHaltsBeforeCompromise)
+{
+    // "Depending on the risk tolerance of the workload, the recorded VM
+    // may be stopped until the alarm is analyzed" (Section 3).
+    auto profile = workloads::benchmark_profile("mysql");
+    profile.iterations_per_task = 150;
+    profile.num_tasks = 2;
+    const auto kernel = k::build_kernel();
+    const auto program = attack::build_attacker_program(
+        kernel, k::kUserCodeBase + 0x40000,
+        k::kUserDataBase + 15 * 0x10000, 200);
+    auto factory =
+        workloads::vm_factory(profile, {program.image}, {program.entry});
+
+    auto vm = factory();
+    rnr::RecorderOptions options;
+    options.stop_on_alarm = true;
+    rnr::Recorder recorder(vm.get(), options);
+    const auto result = recorder.run(~static_cast<InstrCount>(0));
+    ASSERT_EQ(result, hv::RunResult::kInstrLimit);
+    ASSERT_TRUE(recorder.alarm_stop_requested());
+    // Frozen at the alarm: the gadget chain never ran.
+    EXPECT_EQ(vm->mem().read_raw(k::kKernelRootFlag, 8), 0u);
+
+    // The partial log still replays deterministically up to the stop.
+    auto rep_vm = factory();
+    rnr::Replayer replayer(rep_vm.get(), &recorder.log(), 0,
+                           rnr::ReplayOptions{});
+    EXPECT_EQ(replayer.run(), rnr::ReplayOutcome::kLogExhausted);
+}
+
+TEST(FrameworkModes, BasicHardwareFloodsAlarmsButMissesNothing)
+{
+    // The Section 4.2 basic design: every alarm source reaches the
+    // replayers, including the real attack — no false negatives.
+    auto profile = workloads::benchmark_profile("mysql");
+    profile.iterations_per_task = 250;
+    profile.num_tasks = 2;
+    const auto kernel = k::build_kernel();
+    const auto program = attack::build_attacker_program(
+        kernel, k::kUserCodeBase + 0x40000,
+        k::kUserDataBase + 15 * 0x10000, 100);
+    auto factory =
+        workloads::vm_factory(profile, {program.image}, {program.entry});
+
+    auto full_vm = factory();
+    rnr::Recorder full(full_vm.get(),
+                       core::rop_recorder_options(
+                           core::RopHardwareLevel::kFull));
+    ASSERT_EQ(full.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+
+    auto basic_vm = factory();
+    rnr::Recorder basic(basic_vm.get(),
+                        core::rop_recorder_options(
+                            core::RopHardwareLevel::kBasic));
+    ASSERT_EQ(basic.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+
+    const auto full_alarms =
+        full.log().find_all(rnr::RecordType::kRasAlarm).size();
+    const auto basic_alarms =
+        basic.log().find_all(rnr::RecordType::kRasAlarm).size();
+    // The full hardware cuts the alarm count dramatically...
+    EXPECT_GT(basic_alarms, 3 * full_alarms);
+    // ...but both catch the attack (no false negatives, Section 3.1).
+    EXPECT_GE(full_alarms, 1u);
+    EXPECT_GE(basic_alarms, 1u);
+    bool full_sees_hijack = false, basic_sees_hijack = false;
+    for (const auto idx :
+         full.log().find_all(rnr::RecordType::kRasAlarm)) {
+        full_sees_hijack |= full.log().at(idx).alarm.ret_pc ==
+                            kernel.vulnerable_ret;
+    }
+    for (const auto idx :
+         basic.log().find_all(rnr::RecordType::kRasAlarm)) {
+        basic_sees_hijack |= basic.log().at(idx).alarm.ret_pc ==
+                             kernel.vulnerable_ret;
+    }
+    EXPECT_TRUE(full_sees_hijack);
+    EXPECT_TRUE(basic_sees_hijack);
+}
+
+}  // namespace
+}  // namespace rsafe

@@ -1,0 +1,251 @@
+/** @file Unit tests for the ISA: encoding, assembler, disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+namespace rsafe::isa {
+namespace {
+
+TEST(Encoding, RoundTripBasic)
+{
+    Instr in{Opcode::kAddi, 3, 4, 0, -123};
+    const auto bytes = encode(in);
+    Instr out;
+    ASSERT_TRUE(decode(bytes.data(), &out));
+    EXPECT_EQ(in, out);
+}
+
+TEST(Encoding, RejectsBadOpcode)
+{
+    std::uint8_t bytes[kInstrBytes] = {0xff, 0, 0, 0, 0, 0, 0, 0};
+    Instr out;
+    EXPECT_FALSE(decode(bytes, &out));
+}
+
+TEST(Encoding, RejectsBadRegisters)
+{
+    Instr in{Opcode::kAdd, 3, 4, 5, 0};
+    auto bytes = encode(in);
+    bytes[1] = 16;  // rd out of range
+    Instr out;
+    EXPECT_FALSE(decode(bytes.data(), &out));
+}
+
+TEST(Encoding, ImmediateSignedness)
+{
+    Instr in{Opcode::kLdi, 1, 0, 0, -1};
+    EXPECT_EQ(in.simm(), -1);
+    EXPECT_EQ(in.uimm(), 0xffffffffULL);
+}
+
+TEST(Encoding, OpcodeNames)
+{
+    EXPECT_STREQ(opcode_name(Opcode::kAdd), "add");
+    EXPECT_STREQ(opcode_name(Opcode::kRet), "ret");
+    EXPECT_STREQ(opcode_name(Opcode::kSyscall), "syscall");
+    EXPECT_STREQ(opcode_name(Opcode::kCount), "<bad>");
+}
+
+TEST(Encoding, Predicates)
+{
+    EXPECT_TRUE(is_control_flow(Opcode::kRet));
+    EXPECT_TRUE(is_control_flow(Opcode::kBeq));
+    EXPECT_FALSE(is_control_flow(Opcode::kAdd));
+    EXPECT_TRUE(is_call(Opcode::kCall));
+    EXPECT_TRUE(is_call(Opcode::kCallr));
+    EXPECT_FALSE(is_call(Opcode::kRet));
+    EXPECT_TRUE(is_indirect_branch(Opcode::kJmpr));
+    EXPECT_TRUE(is_indirect_branch(Opcode::kCallr));
+    EXPECT_FALSE(is_indirect_branch(Opcode::kJmp));
+}
+
+/** Round-trip every opcode through encode/decode. */
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecode)
+{
+    Instr in;
+    in.op = static_cast<Opcode>(GetParam());
+    in.rd = 1;
+    in.rs1 = 2;
+    in.rs2 = 3;
+    in.imm = 0x7f00ff01;
+    const auto bytes = encode(in);
+    Instr out;
+    ASSERT_TRUE(decode(bytes.data(), &out));
+    EXPECT_EQ(in, out);
+    // Disassembly should never crash and never be empty.
+    EXPECT_FALSE(disassemble(out).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::kCount)));
+
+TEST(Assembler, LabelsResolve)
+{
+    Assembler a(0x1000);
+    a.jmp("end");
+    a.nop();
+    a.label("end");
+    a.halt();
+    Image image = a.link();
+    const auto jmp = image.instr_at(0x1000);
+    ASSERT_TRUE(jmp.has_value());
+    EXPECT_EQ(jmp->op, Opcode::kJmp);
+    EXPECT_EQ(jmp->uimm(), image.symbol("end"));
+}
+
+TEST(Assembler, BackwardReferences)
+{
+    Assembler a(0x2000);
+    a.label("top");
+    a.nop();
+    a.jmp("top");
+    Image image = a.link();
+    const auto jmp = image.instr_at(0x2008);
+    ASSERT_TRUE(jmp.has_value());
+    EXPECT_EQ(jmp->uimm(), 0x2000u);
+}
+
+TEST(Assembler, UndefinedLabelFails)
+{
+    Assembler a(0x1000);
+    a.jmp("nowhere");
+    EXPECT_THROW(a.link(), FatalError);
+}
+
+TEST(Assembler, DuplicateLabelFails)
+{
+    Assembler a(0x1000);
+    a.label("x");
+    EXPECT_THROW(a.label("x"), FatalError);
+}
+
+TEST(Assembler, UnalignedBaseFails)
+{
+    EXPECT_THROW(Assembler(0x1001), FatalError);
+}
+
+TEST(Assembler, Ldi64BitExpandsToPair)
+{
+    Assembler a(0x1000);
+    a.ldi(R1, 0x123456789abcdef0LL);
+    a.ldi(R2, 42);  // fits: single instruction
+    Image image = a.link();
+    EXPECT_EQ(image.instr_at(0x1000)->op, Opcode::kLdi);
+    EXPECT_EQ(image.instr_at(0x1008)->op, Opcode::kLdiu);
+    EXPECT_EQ(image.instr_at(0x1010)->op, Opcode::kLdi);
+    EXPECT_EQ(image.size(), 3 * kInstrBytes);
+}
+
+TEST(Assembler, FunctionsRecorded)
+{
+    Assembler a(0x1000);
+    a.func_begin("fn");
+    a.nop();
+    a.ret();
+    a.func_end();
+    Image image = a.link();
+    const auto range = image.find_function("fn");
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(range->begin, 0x1000u);
+    EXPECT_EQ(range->end, 0x1010u);
+    EXPECT_EQ(image.function_at(0x1008), "fn");
+    EXPECT_EQ(image.function_at(0x2000), "");
+}
+
+TEST(Assembler, NestedFunctionFails)
+{
+    Assembler a(0x1000);
+    a.func_begin("a");
+    EXPECT_THROW(a.func_begin("b"), FatalError);
+}
+
+TEST(Assembler, UnclosedFunctionFailsAtLink)
+{
+    Assembler a(0x1000);
+    a.func_begin("a");
+    a.ret();
+    EXPECT_THROW(a.link(), FatalError);
+}
+
+TEST(Assembler, DataEmission)
+{
+    Assembler a(0x1000);
+    a.word(0x1122334455667788ULL);
+    a.space(3);
+    a.align(8);
+    a.bytes({1, 2, 3});
+    Image image = a.link();
+    EXPECT_EQ(image.size(), 8u + 8u + 3u);
+    EXPECT_EQ(image.bytes()[0], 0x88);
+    EXPECT_EQ(image.bytes()[7], 0x11);
+    EXPECT_EQ(image.bytes()[16], 1);
+}
+
+TEST(Assembler, AlignRequiresPowerOfTwo)
+{
+    Assembler a(0x1000);
+    EXPECT_THROW(a.align(3), FatalError);
+}
+
+TEST(Image, SymbolLookups)
+{
+    Assembler a(0x1000);
+    a.label("start");
+    a.nop();
+    Image image = a.link();
+    EXPECT_EQ(image.symbol("start"), 0x1000u);
+    EXPECT_THROW(image.symbol("missing"), FatalError);
+    EXPECT_FALSE(image.find_symbol("missing").has_value());
+    EXPECT_TRUE(image.find_symbol("start").has_value());
+}
+
+TEST(Image, InstrAtBoundsAndAlignment)
+{
+    Assembler a(0x1000);
+    a.nop();
+    Image image = a.link();
+    EXPECT_TRUE(image.instr_at(0x1000).has_value());
+    EXPECT_FALSE(image.instr_at(0x1004).has_value());  // misaligned
+    EXPECT_FALSE(image.instr_at(0x0ff8).has_value());  // below base
+    EXPECT_FALSE(image.instr_at(0x1008).has_value());  // past end
+}
+
+TEST(Disassembler, RendersOperands)
+{
+    EXPECT_EQ(disassemble(Instr{Opcode::kAdd, 1, 2, 3, 0}),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble(Instr{Opcode::kAddi, 1, 2, 0, -8}),
+              "addi r1, r2, -8");
+    EXPECT_EQ(disassemble(Instr{Opcode::kLd, 5, 6, 0, 16}),
+              "ld r5, [r6+16]");
+    EXPECT_EQ(disassemble(Instr{Opcode::kSt, 0, 6, 7, -8}),
+              "st [r6-8], r7");
+    EXPECT_EQ(disassemble(Instr{Opcode::kRet, 0, 0, 0, 0}), "ret");
+    EXPECT_EQ(disassemble(Instr{Opcode::kJmp, 0, 0, 0, 0x2000}),
+              "jmp 0x2000");
+}
+
+TEST(Disassembler, RangeAnnotatesFunctions)
+{
+    Assembler a(0x1000);
+    a.func_begin("foo");
+    a.nop();
+    a.ret();
+    a.func_end();
+    Image image = a.link();
+    const auto text = disassemble_range(image, 0x1000, 2);
+    EXPECT_NE(text.find("<foo>"), std::string::npos);
+    EXPECT_NE(text.find("nop"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsafe::isa

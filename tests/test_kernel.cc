@@ -1,0 +1,461 @@
+/** @file Integration tests of the guest kernel running on a full VM. */
+
+#include <gtest/gtest.h>
+
+#include "hv/hypervisor.h"
+#include "kernel/kernel_builder.h"
+#include "kernel/layout.h"
+#include "common/log.h"
+#include "rnr/recorder.h"
+#include "rnr/replayer.h"
+#include "test_util.h"
+
+namespace rsafe {
+namespace {
+
+namespace k = rsafe::kernel;
+using isa::R0;
+using isa::R1;
+using isa::R2;
+using isa::R3;
+using isa::R10;
+using test::emit_exit;
+using test::emit_syscall;
+using test::make_test_vm;
+using test::user_image;
+
+constexpr InstrCount kBudget = 50'000'000;
+
+TEST(KernelImage, BuildsWithinSegmentAndExportsSymbols)
+{
+    const auto kernel = k::build_kernel();
+    EXPECT_GE(kernel.image.base(), k::kKernelCodeBase);
+    EXPECT_LE(kernel.image.end(), k::kKernelCodeLimit);
+    EXPECT_NE(kernel.boot, 0u);
+    EXPECT_NE(kernel.stack_switch_pc, 0u);
+    EXPECT_NE(kernel.switch_ret_pc, 0u);
+    EXPECT_NE(kernel.finish_resched, 0u);
+    EXPECT_NE(kernel.finish_fork, 0u);
+    EXPECT_NE(kernel.finish_kthread, 0u);
+    EXPECT_NE(kernel.set_root, 0u);
+    // The stack-switch instruction really is a SETSP.
+    const auto instr = kernel.image.instr_at(kernel.stack_switch_pc);
+    ASSERT_TRUE(instr.has_value());
+    EXPECT_EQ(instr->op, isa::Opcode::kSetsp);
+    // The non-procedural return really is a RET right after it.
+    EXPECT_EQ(kernel.switch_ret_pc, kernel.stack_switch_pc + kInstrBytes);
+    EXPECT_EQ(kernel.image.instr_at(kernel.switch_ret_pc)->op,
+              isa::Opcode::kRet);
+}
+
+TEST(KernelBoot, SingleTaskRunsAndExitCleanlyHaltsMachine)
+{
+    auto image = user_image([](isa::Assembler& a) {
+        a.label("main");
+        a.ldi(R10, 5);
+        a.label("loop");
+        a.ldi(R2, 0);
+        a.beq(R10, R2, "done");
+        a.addi(R10, R10, -1);
+        a.jmp("loop");
+        a.label("done");
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    EXPECT_GT(vm->cpu().icount(), 10u);
+}
+
+TEST(KernelSched, MultipleTasksAllRun)
+{
+    // Each task writes a marker into its own user-data slot then exits.
+    auto image = user_image([](isa::Assembler& a) {
+        for (int t = 0; t < 3; ++t) {
+            a.label(strcat_args("main", t));
+            a.ldi(R1, static_cast<std::int64_t>(k::kUserDataBase + 8 * t));
+            a.ldi(R2, 100 + t);
+            a.st(R1, 0, R2);
+            // Burn enough instructions to guarantee preemption windows.
+            a.ldi(R10, 20000);
+            a.label(strcat_args("spin", t));
+            a.addi(R10, R10, -1);
+            a.ldi(R3, 0);
+            a.bne(R10, R3, strcat_args("spin", t));
+            emit_exit(a);
+        }
+    });
+    auto vm = make_test_vm(image, {"main0", "main1", "main2"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    for (int t = 0; t < 3; ++t)
+        EXPECT_EQ(vm->mem().read_raw(k::kUserDataBase + 8 * t, 8),
+                  Word(100 + t));
+    // Preemptive round-robin actually switched contexts.
+    EXPECT_GT(hv.stats().context_switches, 3u);
+    EXPECT_GT(hv.introspector().context_switches(), 3u);
+}
+
+TEST(KernelSched, YieldTriggersContextSwitch)
+{
+    auto image = user_image([](isa::Assembler& a) {
+        a.label("main");
+        for (int i = 0; i < 4; ++i)
+            emit_syscall(a, k::kSysYield);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    // Each yield round-trips through the idle thread and back.
+    EXPECT_GE(hv.stats().context_switches, 8u);
+}
+
+TEST(KernelSyscall, GetTimeReturnsTimestamp)
+{
+    auto image = user_image([](isa::Assembler& a) {
+        a.label("main");
+        emit_syscall(a, k::kSysGetTime);
+        a.ldi(R1, static_cast<std::int64_t>(k::kUserDataBase));
+        a.st(R1, 0, R0);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    EXPECT_GT(vm->mem().read_raw(k::kUserDataBase, 8), 0u);
+}
+
+TEST(KernelSyscall, DiskWriteThenReadRoundTrip)
+{
+    const Addr buf = k::kUserDataBase + 0x1000;
+    auto image = user_image([&](isa::Assembler& a) {
+        a.label("main");
+        // Fill the buffer with a pattern.
+        a.ldi(R1, static_cast<std::int64_t>(buf));
+        a.ldi(R2, 0x5a5a5a5a);
+        a.st(R1, 0, R2);
+        a.st(R1, 512, R2);
+        // Write it to block 7.
+        a.ldi(R1, 7);
+        a.ldi(R2, static_cast<std::int64_t>(buf));
+        emit_syscall(a, k::kSysDiskWrite);
+        // Clear a second buffer and read the block back into it.
+        a.ldi(R1, static_cast<std::int64_t>(buf + 0x2000));
+        a.ldi(R2, 0);
+        a.st(R1, 0, R2);
+        a.ldi(R1, 7);
+        a.ldi(R2, static_cast<std::int64_t>(buf + 0x2000));
+        emit_syscall(a, k::kSysDiskRead);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    EXPECT_EQ(vm->mem().read_raw(buf + 0x2000, 8), 0x5a5a5a5aULL);
+    EXPECT_EQ(vm->mem().read_raw(buf + 0x2000 + 512, 8), 0x5a5a5a5aULL);
+    EXPECT_GE(hv.stats().irq_injections, 2u);  // two disk completions
+}
+
+TEST(KernelSyscall, NicRecvDeliversPacketBytes)
+{
+    auto devices = test::quiet_devices();
+    devices.nic_mean_gap = 1'000;  // busy network
+    devices.nic_min_packet = 64;
+    devices.nic_max_packet = 128;
+    const Addr buf = k::kUserDataBase + 0x1000;
+    auto image = user_image([&](isa::Assembler& a) {
+        a.label("main");
+        // Poll until a packet arrives; store the returned length.
+        a.label("poll");
+        a.ldi(R1, static_cast<std::int64_t>(buf));
+        emit_syscall(a, k::kSysNicRecv);
+        a.ldi(R2, 0);
+        a.beq(R0, R2, "poll");
+        a.ldi(R1, static_cast<std::int64_t>(k::kUserDataBase));
+        a.st(R1, 0, R0);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"}, devices);
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    const Word len = vm->mem().read_raw(k::kUserDataBase, 8);
+    EXPECT_GE(len, 64u);
+    EXPECT_LE(len, 128u);
+    EXPECT_GE(hv.stats().net_packets, 1u);
+    EXPECT_GE(hv.stats().net_dma_bytes, len);
+}
+
+TEST(KernelSyscall, ChecksumComputesOverBuffer)
+{
+    const Addr buf = k::kUserDataBase + 0x1000;
+    auto image = user_image([&](isa::Assembler& a) {
+        a.label("main");
+        a.ldi(R1, static_cast<std::int64_t>(buf));
+        a.ldi(R2, 7);
+        a.st(R1, 0, R2);
+        a.st(R1, 8, R2);
+        a.ldi(R1, static_cast<std::int64_t>(buf));
+        a.ldi(R2, 16);
+        emit_syscall(a, k::kSysChecksum);
+        a.ldi(R1, static_cast<std::int64_t>(k::kUserDataBase));
+        a.st(R1, 0, R0);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    // Byte-sum of two words each containing the byte 7 once.
+    EXPECT_EQ(vm->mem().read_raw(k::kUserDataBase, 8), 14u);
+}
+
+TEST(KernelSyscall, BenignLogmsgIsHarmless)
+{
+    const Addr buf = k::kUserDataBase + 0x1000;
+    auto image = user_image([&](isa::Assembler& a) {
+        a.label("main");
+        a.ldi(R1, static_cast<std::int64_t>(buf));
+        a.ldi(R2, 64);  // within the 128-byte kernel buffer
+        emit_syscall(a, k::kSysLogMsg);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::HvOptions options;
+    options.ras_alarms = true;
+    hv::Hypervisor hv(vm.get(), options);
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    EXPECT_EQ(hv.stats().alarms_mispredict, 0u);
+    EXPECT_EQ(vm->mem().read_raw(k::kKernelRootFlag, 8), 0u);
+}
+
+TEST(KernelSyscall, BugcheckKillsThreadWithoutAlarms)
+{
+    auto image = user_image([](isa::Assembler& a) {
+        a.label("main");
+        emit_syscall(a, k::kSysBugcheck);  // never returns
+        a.halt();                          // unreachable (would fault)
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::HvOptions options;
+    options.ras_alarms = true;
+    hv::Hypervisor hv(vm.get(), options);
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    // Imperfect nesting + thread kill: the BackRAS recycling swallows the
+    // orphaned entries, so no alarms reach the log.
+    EXPECT_EQ(hv.stats().alarms_mispredict, 0u);
+    EXPECT_GE(hv.stats().thread_exits, 1u);
+}
+
+TEST(KernelWhitelist, ContextSwitchReturnsAreSuppressed)
+{
+    auto image = user_image([](isa::Assembler& a) {
+        a.label("main");
+        for (int i = 0; i < 10; ++i)
+            emit_syscall(a, k::kSysYield);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::HvOptions options;
+    options.ras_alarms = true;
+    hv::Hypervisor hv(vm.get(), options);
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    // Every context switch executes the whitelisted non-procedural
+    // return; with the whitelist on, none of them raise alarms.
+    EXPECT_GT(vm->cpu().stats().ras_whitelisted, 10u);
+    EXPECT_EQ(hv.stats().alarms_whitelist_miss, 0u);
+    EXPECT_EQ(hv.stats().alarms_mispredict, 0u);
+}
+
+TEST(KernelBackRas, SuppressesCrossThreadMispredictions)
+{
+    // Two ping-ponging tasks, each calling through a helper so the RAS
+    // holds per-thread state across switches.
+    auto image = user_image([](isa::Assembler& a) {
+        a.func_begin("helper");
+        emit_syscall(a, k::kSysYield);
+        a.ret();
+        a.func_end();
+        for (int t = 0; t < 2; ++t) {
+            a.label(strcat_args("main", t));
+            for (int i = 0; i < 8; ++i)
+                a.call("helper");
+            emit_exit(a);
+        }
+    });
+
+    // With BackRAS management: returns after resumption predict via
+    // restored entries; no alarms.
+    {
+        auto vm = make_test_vm(image, {"main0", "main1"});
+        hv::HvOptions options;
+        options.ras_alarms = true;
+        options.manage_backras = true;
+        hv::Hypervisor hv(vm.get(), options);
+        EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+        EXPECT_EQ(hv.stats().alarms_mispredict, 0u);
+        EXPECT_GT(vm->cpu().stats().ras_hits_restored, 0u);
+    }
+
+    // Without BackRAS (the basic Section 4.2 design): cross-thread RAS
+    // pollution produces false mispredict alarms.
+    {
+        auto vm = make_test_vm(image, {"main0", "main1"});
+        hv::HvOptions options;
+        options.ras_alarms = true;
+        options.manage_backras = false;
+        // Keep the whitelist so the non-procedural returns don't also
+        // corrupt the RAS; what remains is pure cross-thread pollution.
+        hv::Hypervisor hv(vm.get(), options);
+        EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+        EXPECT_GT(hv.stats().alarms_mispredict, 0u);
+    }
+}
+
+TEST(KernelIntrospect, TaskTableMatchesLayout)
+{
+    auto image = user_image([](isa::Assembler& a) {
+        a.label("main");
+        a.ldi(R10, 50000);
+        a.label("spin");
+        a.addi(R10, R10, -1);
+        a.ldi(R3, 0);
+        a.bne(R10, R3, "spin");
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    // Run a slice, then introspect while the workload is mid-flight.
+    hv.run(20'000);
+    const auto& intro = hv.introspector();
+    const auto slot = intro.current_slot();
+    EXPECT_LT(slot, k::kMaxTasks);
+    EXPECT_EQ(intro.tid_of_slot(slot), slot);  // tid == slot by design
+    EXPECT_EQ(intro.task_state(1), k::kTaskStateRunnable);
+    EXPECT_EQ(intro.live_user_tasks(), 1u);
+    EXPECT_EQ(intro.root_flag(), 0u);
+    // sp -> slot arithmetic.
+    EXPECT_EQ(k::task_slot_of_sp(k::task_stack_top(3)), 3u);
+    EXPECT_EQ(k::task_slot_of_sp(k::task_stack_top(3) - 8), 3u);
+    EXPECT_EQ(k::task_slot_of_sp(k::kTaskStackBase), k::kMaxTasks);
+}
+
+TEST(KernelSpin, SpinSyscallStallsScheduler)
+{
+    auto image = user_image([](isa::Assembler& a) {
+        a.label("main");
+        a.ldi(R1, 200000);
+        emit_syscall(a, k::kSysSpin);
+        emit_exit(a);
+    });
+    auto vm = make_test_vm(image, {"main"});
+    hv::Hypervisor hv(vm.get(), hv::HvOptions{});
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+    // The kernel spin masks interrupts: over 200k instructions with at
+    // most a couple of switches around it.
+    EXPECT_LT(hv.stats().context_switches, 10u);
+}
+
+}  // namespace
+}  // namespace rsafe
+// Appended: spawn + thread-ID reuse coverage (Section 5.2.2).
+namespace rsafe {
+namespace {
+
+TEST(KernelSpawn, SpawnedTaskRunsAndIdsAreReused)
+{
+    // Task main0 spawns a child, which writes a marker and exits; main0
+    // then spawns again — the dead slot (and its tid) must be reused.
+    auto image = test::user_image([](isa::Assembler& a) {
+        a.func_begin("child");
+        a.label("child_entry");
+        a.ldi(isa::R1,
+              static_cast<std::int64_t>(k::kUserDataBase + 0x40));
+        a.ld(isa::R2, isa::R1, 0);
+        a.addi(isa::R2, isa::R2, 1);  // count child activations
+        a.st(isa::R1, 0, isa::R2);
+        test::emit_exit(a);
+        a.func_end();
+
+        a.label("main");
+        // First spawn; record the returned tid.
+        a.ldi_label(isa::R1, "child_entry");
+        test::emit_syscall(a, k::kSysSpawn);
+        a.ldi(isa::R1,
+              static_cast<std::int64_t>(k::kUserDataBase + 0x48));
+        a.st(isa::R1, 0, isa::R0);
+        // Let the child run to completion.
+        for (int i = 0; i < 30; ++i)
+            test::emit_syscall(a, k::kSysYield);
+        // Second spawn; record the returned tid (should be reused).
+        a.ldi_label(isa::R1, "child_entry");
+        test::emit_syscall(a, k::kSysSpawn);
+        a.ldi(isa::R1,
+              static_cast<std::int64_t>(k::kUserDataBase + 0x50));
+        a.st(isa::R1, 0, isa::R0);
+        for (int i = 0; i < 30; ++i)
+            test::emit_syscall(a, k::kSysYield);
+        test::emit_exit(a);
+    });
+    auto vm = test::make_test_vm(image, {"main"});
+    hv::HvOptions options;
+    options.ras_alarms = true;
+    hv::Hypervisor hv(vm.get(), options);
+    EXPECT_EQ(hv.run(kBudget), hv::RunResult::kHalted);
+
+    // Both children ran.
+    EXPECT_EQ(vm->mem().read_raw(k::kUserDataBase + 0x40, 8), 2u);
+    const Word tid1 = vm->mem().read_raw(k::kUserDataBase + 0x48, 8);
+    const Word tid2 = vm->mem().read_raw(k::kUserDataBase + 0x50, 8);
+    EXPECT_EQ(tid1, tid2) << "dead slot (and tid) was not reused";
+    EXPECT_GE(hv.stats().thread_spawns, 2u);
+    // tid reuse with BackRAS recycling caused no false alarms.
+    EXPECT_EQ(hv.stats().alarms_mispredict, 0u);
+    EXPECT_EQ(hv.stats().alarms_underflow, 0u);
+}
+
+TEST(KernelSpawn, SpawnedWorkloadReplaysDeterministically)
+{
+    auto image = test::user_image([](isa::Assembler& a) {
+        a.func_begin("child");
+        a.label("child_entry");
+        a.ldi(isa::R1, 6);
+        a.label("child_loop");
+        a.ldi(isa::R2, 0);
+        a.beq(isa::R1, isa::R2, "child_done");
+        a.addi(isa::R1, isa::R1, -1);
+        test::emit_syscall(a, k::kSysYield);
+        a.jmp("child_loop");
+        a.label("child_done");
+        test::emit_exit(a);
+        a.func_end();
+        a.label("main");
+        for (int round = 0; round < 3; ++round) {
+            a.ldi_label(isa::R1, "child_entry");
+            test::emit_syscall(a, k::kSysSpawn);
+            for (int i = 0; i < 20; ++i)
+                test::emit_syscall(a, k::kSysYield);
+        }
+        test::emit_exit(a);
+    });
+    auto factory = [&image]() {
+        hv::VmConfig config;
+        config.devices = test::quiet_devices();
+        auto vm = std::make_unique<hv::Vm>(config);
+        vm->load_user_image(image);
+        vm->add_user_task(image.symbol("main"));
+        vm->finalize();
+        return vm;
+    };
+    auto rec_vm = factory();
+    rnr::Recorder recorder(rec_vm.get(), rnr::RecorderOptions{});
+    ASSERT_EQ(recorder.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+    auto rep_vm = factory();
+    rnr::Replayer replayer(rep_vm.get(), &recorder.log(), 0,
+                           rnr::ReplayOptions{});
+    ASSERT_EQ(replayer.run(), rnr::ReplayOutcome::kFinished);
+    EXPECT_EQ(rep_vm->state_hash(), rec_vm->state_hash());
+}
+
+}  // namespace
+}  // namespace rsafe

@@ -1,0 +1,200 @@
+/** @file Unit tests for the hardware RAS and its RnR-Safe extensions. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "cpu/ras.h"
+
+namespace rsafe::cpu {
+namespace {
+
+TEST(Ras, PushPopHit)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    Addr predicted = 0;
+    EXPECT_EQ(ras.predict(0x999, 0x200, &predicted), RasPredict::kHit);
+    EXPECT_EQ(predicted, 0x200u);
+    EXPECT_EQ(ras.predict(0x999, 0x100, &predicted), RasPredict::kHit);
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+TEST(Ras, Mispredict)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    Addr predicted = 0;
+    EXPECT_EQ(ras.predict(0x999, 0xbad, &predicted),
+              RasPredict::kMispredict);
+    EXPECT_EQ(predicted, 0x100u);  // the popped (wrong) prediction
+}
+
+TEST(Ras, UnderflowOnEmpty)
+{
+    Ras ras(8);
+    Addr predicted = 7;
+    EXPECT_EQ(ras.predict(0x999, 0x100, &predicted),
+              RasPredict::kUnderflow);
+    EXPECT_EQ(predicted, 0u);
+}
+
+TEST(Ras, EvictsOldestWhenFull)
+{
+    Ras ras(3);
+    EXPECT_FALSE(ras.push(1).has_value());
+    EXPECT_FALSE(ras.push(2).has_value());
+    EXPECT_FALSE(ras.push(3).has_value());
+    const auto evicted = ras.push(4);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 1u);  // bottom (oldest) entry leaves first
+    EXPECT_EQ(ras.size(), 3u);
+    Addr predicted;
+    EXPECT_EQ(ras.predict(0, 4, &predicted), RasPredict::kHit);
+    EXPECT_EQ(ras.predict(0, 3, &predicted), RasPredict::kHit);
+    EXPECT_EQ(ras.predict(0, 2, &predicted), RasPredict::kHit);
+    // Entry 1 was evicted: its pop underflows.
+    EXPECT_EQ(ras.predict(0, 1, &predicted), RasPredict::kUnderflow);
+}
+
+TEST(Ras, WhitelistedReturnDoesNotPop)
+{
+    Ras ras(8);
+    ras.set_ret_whitelist({0x500});
+    ras.set_tar_whitelist({0xA0, 0xB0});
+    ras.push(0x100);
+    Addr predicted;
+    EXPECT_EQ(ras.predict(0x500, 0xA0, &predicted),
+              RasPredict::kWhitelisted);
+    EXPECT_EQ(ras.size(), 1u);  // untouched
+    EXPECT_EQ(ras.predict(0x999, 0x100, &predicted), RasPredict::kHit);
+}
+
+TEST(Ras, WhitelistedReturnWithIllegalTarget)
+{
+    Ras ras(8);
+    ras.set_ret_whitelist({0x500});
+    ras.set_tar_whitelist({0xA0});
+    Addr predicted;
+    EXPECT_EQ(ras.predict(0x500, 0xBAD, &predicted),
+              RasPredict::kWhitelistMiss);
+}
+
+TEST(Ras, WhitelistCanBeDisabled)
+{
+    Ras ras(8);
+    ras.set_ret_whitelist({0x500});
+    ras.set_tar_whitelist({0xA0});
+    ras.set_whitelist_enabled(false);
+    ras.push(0xA0);
+    Addr predicted;
+    // With the whitelist off, the whitelisted ret behaves like any other.
+    EXPECT_EQ(ras.predict(0x500, 0xA0, &predicted), RasPredict::kHit);
+}
+
+TEST(Ras, SaveAndClearThenLoad)
+{
+    Ras ras(8);
+    ras.push(1);
+    ras.push(2);
+    const SavedRas saved = ras.save_and_clear();
+    EXPECT_EQ(ras.size(), 0u);
+    ASSERT_EQ(saved.entries.size(), 2u);
+    EXPECT_EQ(saved.entries[0].addr, 1u);
+    EXPECT_EQ(saved.entries[1].addr, 2u);
+
+    ras.load(saved);
+    EXPECT_EQ(ras.size(), 2u);
+    Addr predicted;
+    // Restored entries predict correctly and carry the restored tag.
+    EXPECT_EQ(ras.predict(0, 2, &predicted), RasPredict::kHitRestored);
+    EXPECT_EQ(ras.predict(0, 1, &predicted), RasPredict::kHitRestored);
+}
+
+TEST(Ras, PeekDoesNotClear)
+{
+    Ras ras(8);
+    ras.push(1);
+    const SavedRas saved = ras.peek();
+    EXPECT_EQ(saved.entries.size(), 1u);
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+TEST(Ras, FreshPushesAreNotTaggedRestored)
+{
+    Ras ras(8);
+    ras.load(SavedRas{{RasEntry{1, false}}});
+    ras.push(2);
+    Addr predicted;
+    EXPECT_EQ(ras.predict(0, 2, &predicted), RasPredict::kHit);
+    EXPECT_EQ(ras.predict(0, 1, &predicted), RasPredict::kHitRestored);
+}
+
+TEST(Ras, LoadTruncatesToDepth)
+{
+    Ras ras(2);
+    SavedRas big;
+    for (Addr i = 1; i <= 5; ++i)
+        big.entries.push_back(RasEntry{i, false});
+    ras.load(big);
+    EXPECT_EQ(ras.size(), 2u);
+    Addr predicted;
+    // The newest entries (4, 5) survive.
+    EXPECT_EQ(ras.predict(0, 5, &predicted), RasPredict::kHitRestored);
+    EXPECT_EQ(ras.predict(0, 4, &predicted), RasPredict::kHitRestored);
+}
+
+TEST(Ras, ZeroDepthRejected)
+{
+    EXPECT_THROW(Ras(0), FatalError);
+}
+
+TEST(Ras, ClearEmpties)
+{
+    Ras ras(8);
+    ras.push(1);
+    ras.clear();
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+/** Property sweep: a depth-N RAS models perfectly nested calls exactly. */
+class RasDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RasDepthSweep, PerfectNestingWithinDepthNeverMispredicts)
+{
+    const std::size_t depth = GetParam();
+    Ras ras(depth);
+    // Call chain exactly as deep as the RAS.
+    for (std::size_t i = 0; i < depth; ++i)
+        EXPECT_FALSE(ras.push(0x1000 + i).has_value());
+    Addr predicted;
+    for (std::size_t i = depth; i-- > 0;) {
+        ASSERT_EQ(ras.predict(0, 0x1000 + i, &predicted), RasPredict::kHit)
+            << "depth " << depth << " entry " << i;
+    }
+}
+
+TEST_P(RasDepthSweep, OverflowLosesExactlyTheOldest)
+{
+    const std::size_t depth = GetParam();
+    Ras ras(depth);
+    const std::size_t pushes = depth + 3;
+    std::size_t evictions = 0;
+    for (std::size_t i = 0; i < pushes; ++i)
+        if (ras.push(i).has_value())
+            ++evictions;
+    EXPECT_EQ(evictions, 3u);
+    Addr predicted;
+    std::size_t hits = 0;
+    for (std::size_t i = pushes; i-- > 0;) {
+        if (ras.predict(0, i, &predicted) == RasPredict::kHit)
+            ++hits;
+    }
+    EXPECT_EQ(hits, depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, RasDepthSweep,
+                         ::testing::Values(1, 2, 4, 16, 32, 48, 64));
+
+}  // namespace
+}  // namespace rsafe::cpu

@@ -1,0 +1,170 @@
+/** @file Tests of the checkpointing replayer: speed relationships,
+ *  checkpoint cadence, and underflow-alarm auto-resolution. */
+
+#include <gtest/gtest.h>
+
+#include "replay/checkpoint_replayer.h"
+#include "rnr/recorder.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
+
+namespace rsafe {
+namespace {
+
+struct Pipeline {
+    std::unique_ptr<hv::Vm> rec_vm;
+    std::unique_ptr<rnr::Recorder> recorder;
+    std::unique_ptr<hv::Vm> cr_vm;
+    std::unique_ptr<replay::CheckpointReplayer> cr;
+};
+
+Pipeline
+run_pipeline(const workloads::WorkloadProfile& profile,
+             Cycles checkpoint_interval)
+{
+    Pipeline p;
+    auto factory = workloads::vm_factory(profile);
+    p.rec_vm = factory();
+    p.recorder =
+        std::make_unique<rnr::Recorder>(p.rec_vm.get(), rnr::RecorderOptions{});
+    EXPECT_EQ(p.recorder->run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+    p.cr_vm = factory();
+    replay::CrOptions options;
+    options.checkpoint_interval = checkpoint_interval;
+    replay::CheckpointReplayer cr_tmp(p.cr_vm.get(), &p.recorder->log(),
+                                      options);
+    // CheckpointReplayer is not movable (references); construct in place.
+    p.cr = nullptr;
+    EXPECT_EQ(cr_tmp.run(), rnr::ReplayOutcome::kFinished);
+    EXPECT_EQ(p.cr_vm->state_hash(), p.rec_vm->state_hash());
+    return p;
+}
+
+TEST(CheckpointReplayer, ReplaysDeterministicallyWithCheckpoints)
+{
+    auto profile = workloads::benchmark_profile("fileio");
+    profile.iterations_per_task = 200;
+    run_pipeline(profile, 1'000'000);
+}
+
+TEST(CheckpointReplayer, NoCheckpointingIsFasterThanFrequent)
+{
+    auto profile = workloads::benchmark_profile("make");
+    profile.iterations_per_task = 400;
+    auto factory = workloads::vm_factory(profile);
+
+    auto rec_vm = factory();
+    rnr::Recorder recorder(rec_vm.get(), rnr::RecorderOptions{});
+    ASSERT_EQ(recorder.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+
+    Cycles cycles_nochk = 0, cycles_chk = 0;
+    {
+        auto vm = factory();
+        replay::CrOptions options;
+        options.checkpoint_interval = 0;  // RepNoChk
+        replay::CheckpointReplayer cr(vm.get(), &recorder.log(), options);
+        ASSERT_EQ(cr.run(), rnr::ReplayOutcome::kFinished);
+        cycles_nochk = vm->cpu().cycles();
+        EXPECT_EQ(cr.checkpoints_taken(), 0u);
+        EXPECT_EQ(cr.checkpoint_cycles(), 0u);
+    }
+    {
+        auto vm = factory();
+        replay::CrOptions options;
+        options.checkpoint_interval = 200'000;  // frequent checkpoints
+        replay::CheckpointReplayer cr(vm.get(), &recorder.log(), options);
+        ASSERT_EQ(cr.run(), rnr::ReplayOutcome::kFinished);
+        cycles_chk = vm->cpu().cycles();
+        EXPECT_GT(cr.checkpoints_taken(), 2u);
+        EXPECT_GT(cr.checkpoint_cycles(), 0u);
+    }
+    EXPECT_GT(cycles_chk, cycles_nochk);
+}
+
+TEST(CheckpointReplayer, ShorterIntervalMeansMoreCheckpoints)
+{
+    auto profile = workloads::benchmark_profile("fileio");
+    profile.iterations_per_task = 200;
+    auto factory = workloads::vm_factory(profile);
+
+    auto rec_vm = factory();
+    rnr::Recorder recorder(rec_vm.get(), rnr::RecorderOptions{});
+    ASSERT_EQ(recorder.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+
+    std::uint64_t count_long = 0, count_short = 0;
+    {
+        auto vm = factory();
+        replay::CrOptions options;
+        options.checkpoint_interval = 4'000'000;
+        replay::CheckpointReplayer cr(vm.get(), &recorder.log(), options);
+        ASSERT_EQ(cr.run(), rnr::ReplayOutcome::kFinished);
+        count_long = cr.checkpoints_taken();
+    }
+    {
+        auto vm = factory();
+        replay::CrOptions options;
+        options.checkpoint_interval = 800'000;
+        replay::CheckpointReplayer cr(vm.get(), &recorder.log(), options);
+        ASSERT_EQ(cr.run(), rnr::ReplayOutcome::kFinished);
+        count_short = cr.checkpoints_taken();
+    }
+    EXPECT_GT(count_short, count_long);
+}
+
+TEST(CheckpointReplayer, ResolvesUnderflowAlarmsViaEvictRecords)
+{
+    // Apache's big packets overflow the RAS: evict records plus matching
+    // underflow alarms. The CR must swallow all of them (Section 4.6.2).
+    auto profile = workloads::benchmark_profile("apache");
+    profile.iterations_per_task = 400;
+    auto factory = workloads::vm_factory(profile);
+
+    auto rec_vm = factory();
+    rnr::Recorder recorder(rec_vm.get(), rnr::RecorderOptions{});
+    ASSERT_EQ(recorder.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+    const auto evicts =
+        recorder.log().find_all(rnr::RecordType::kRasEvict).size();
+    const auto alarms =
+        recorder.log().find_all(rnr::RecordType::kRasAlarm).size();
+    // This workload must actually exercise the underflow machinery.
+    ASSERT_GT(evicts, 0u) << "apache profile no longer overflows the RAS";
+    ASSERT_GT(alarms, 0u);
+
+    auto cr_vm = factory();
+    replay::CrOptions options;
+    options.checkpoint_interval = 2'000'000;
+    replay::CheckpointReplayer cr(cr_vm.get(), &recorder.log(), options);
+    ASSERT_EQ(cr.run(), rnr::ReplayOutcome::kFinished);
+    EXPECT_EQ(cr.underflows_resolved() + cr.pending_alarms().size(),
+              alarms);
+    // Benign traffic: everything resolves as underflow, nothing pends.
+    EXPECT_EQ(cr.pending_alarms().size(), 0u);
+    EXPECT_EQ(cr.underflows_resolved(), alarms);
+}
+
+TEST(CheckpointReplayer, BenignWorkloadsProduceNoPendingAlarms)
+{
+    for (const auto& name : {"fileio", "make", "mysql", "radiosity"}) {
+        auto profile = workloads::benchmark_profile(name);
+        profile.iterations_per_task = 100;
+        auto factory = workloads::vm_factory(profile);
+        auto rec_vm = factory();
+        rnr::Recorder recorder(rec_vm.get(), rnr::RecorderOptions{});
+        ASSERT_EQ(recorder.run(~static_cast<InstrCount>(0)),
+                  hv::RunResult::kHalted)
+            << name;
+        auto cr_vm = factory();
+        replay::CrOptions options;
+        replay::CheckpointReplayer cr(cr_vm.get(), &recorder.log(),
+                                      options);
+        ASSERT_EQ(cr.run(), rnr::ReplayOutcome::kFinished) << name;
+        EXPECT_EQ(cr.pending_alarms().size(), 0u) << name;
+    }
+}
+
+}  // namespace
+}  // namespace rsafe

@@ -1,0 +1,142 @@
+/** @file Unit tests for the statistics package and table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "stats/stats.h"
+#include "stats/table.h"
+
+namespace rsafe::stats {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsSamples)
+{
+    Histogram h(100, 10);  // buckets of width 10 + overflow
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(99);
+    h.sample(100);   // overflow
+    h.sample(5000);  // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.bucket(10), 2u);  // overflow bucket
+    EXPECT_EQ(h.max_sample(), 5000u);
+}
+
+TEST(Histogram, MeanAndSum)
+{
+    Histogram h(1000, 10);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.sample(10);
+    h.sample(20);
+    h.sample(30);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(100, 4);
+    h.sample(50);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max_sample(), 0u);
+    for (std::size_t i = 0; i < h.num_buckets(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0, 4), FatalError);
+    EXPECT_THROW(Histogram(100, 0), FatalError);
+}
+
+TEST(Histogram, OutOfRangeBucketPanics)
+{
+    Histogram h(100, 4);
+    EXPECT_THROW(h.bucket(99), PanicError);
+}
+
+TEST(StatRegistry, CreatesOnDemand)
+{
+    StatRegistry reg;
+    EXPECT_EQ(reg.value("nothing"), 0u);
+    reg.counter("hits").inc(3);
+    EXPECT_EQ(reg.value("hits"), 3u);
+}
+
+TEST(StatRegistry, SnapshotSortedByName)
+{
+    StatRegistry reg;
+    reg.counter("zeta").inc(1);
+    reg.counter("alpha").inc(2);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].first, "alpha");
+    EXPECT_EQ(snap[1].first, "zeta");
+}
+
+TEST(StatRegistry, ResetAll)
+{
+    StatRegistry reg;
+    reg.counter("a").inc(5);
+    reg.counter("b").inc(7);
+    reg.reset();
+    EXPECT_EQ(reg.value("a"), 0u);
+    EXPECT_EQ(reg.value("b"), 0u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("Demo", {"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "234"});
+    const auto text = t.to_string();
+    EXPECT_NE(text.find("== Demo =="), std::string::npos);
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    // Numeric column right-aligned: "  1" has padding before it.
+    EXPECT_NE(text.find("    1"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("Demo", {"a", "b"});
+    t.add_row({"1", "2"});
+    EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityChecked)
+{
+    Table t("Demo", {"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), FatalError);
+}
+
+TEST(Table, NeedsColumns)
+{
+    EXPECT_THROW(Table("Empty", {}), FatalError);
+}
+
+TEST(Table, FmtFormatsDoubles)
+{
+    EXPECT_EQ(Table::fmt(1.234, 2), "1.23");
+    EXPECT_EQ(Table::fmt(1.0, 0), "1");
+    EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace rsafe::stats
