@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ras.dir/bench_ablation_ras.cc.o"
+  "CMakeFiles/bench_ablation_ras.dir/bench_ablation_ras.cc.o.d"
+  "bench_ablation_ras"
+  "bench_ablation_ras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_recording.dir/bench_fig5_recording.cc.o"
+  "CMakeFiles/bench_fig5_recording.dir/bench_fig5_recording.cc.o.d"
+  "bench_fig5_recording"
+  "bench_fig5_recording.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_chk_replay.dir/bench_fig7_chk_replay.cc.o"
+  "CMakeFiles/bench_fig7_chk_replay.dir/bench_fig7_chk_replay.cc.o.d"
+  "bench_fig7_chk_replay"
+  "bench_fig7_chk_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_chk_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec84_response_window.dir/bench_sec84_response_window.cc.o"
+  "CMakeFiles/bench_sec84_response_window.dir/bench_sec84_response_window.cc.o.d"
+  "bench_sec84_response_window"
+  "bench_sec84_response_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec84_response_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

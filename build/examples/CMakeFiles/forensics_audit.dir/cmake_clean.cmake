@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics_audit.dir/forensics_audit.cc.o"
+  "CMakeFiles/forensics_audit.dir/forensics_audit.cc.o.d"
+  "forensics_audit"
+  "forensics_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_detector.dir/multi_detector.cc.o"
+  "CMakeFiles/multi_detector.dir/multi_detector.cc.o.d"
+  "multi_detector"
+  "multi_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack_mounter.cc" "src/CMakeFiles/rsafe.dir/attack/attack_mounter.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/attack/attack_mounter.cc.o.d"
+  "/root/repo/src/attack/gadget_finder.cc" "src/CMakeFiles/rsafe.dir/attack/gadget_finder.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/attack/gadget_finder.cc.o.d"
+  "/root/repo/src/attack/rop_chain.cc" "src/CMakeFiles/rsafe.dir/attack/rop_chain.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/attack/rop_chain.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/rsafe.dir/common/log.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/common/log.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/rsafe.dir/common/random.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/common/random.cc.o.d"
+  "/root/repo/src/core/alarm.cc" "src/CMakeFiles/rsafe.dir/core/alarm.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/core/alarm.cc.o.d"
+  "/root/repo/src/core/dos_detector.cc" "src/CMakeFiles/rsafe.dir/core/dos_detector.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/core/dos_detector.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/CMakeFiles/rsafe.dir/core/framework.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/core/framework.cc.o.d"
+  "/root/repo/src/core/jop_detector.cc" "src/CMakeFiles/rsafe.dir/core/jop_detector.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/core/jop_detector.cc.o.d"
+  "/root/repo/src/core/rop_detector.cc" "src/CMakeFiles/rsafe.dir/core/rop_detector.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/core/rop_detector.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/rsafe.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/cpu/ras.cc" "src/CMakeFiles/rsafe.dir/cpu/ras.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/cpu/ras.cc.o.d"
+  "/root/repo/src/dev/blockdev.cc" "src/CMakeFiles/rsafe.dir/dev/blockdev.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/dev/blockdev.cc.o.d"
+  "/root/repo/src/dev/device_hub.cc" "src/CMakeFiles/rsafe.dir/dev/device_hub.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/dev/device_hub.cc.o.d"
+  "/root/repo/src/dev/nic.cc" "src/CMakeFiles/rsafe.dir/dev/nic.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/dev/nic.cc.o.d"
+  "/root/repo/src/dev/timer.cc" "src/CMakeFiles/rsafe.dir/dev/timer.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/dev/timer.cc.o.d"
+  "/root/repo/src/hv/back_ras.cc" "src/CMakeFiles/rsafe.dir/hv/back_ras.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/hv/back_ras.cc.o.d"
+  "/root/repo/src/hv/hypervisor.cc" "src/CMakeFiles/rsafe.dir/hv/hypervisor.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/hv/hypervisor.cc.o.d"
+  "/root/repo/src/hv/introspect.cc" "src/CMakeFiles/rsafe.dir/hv/introspect.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/hv/introspect.cc.o.d"
+  "/root/repo/src/hv/vm.cc" "src/CMakeFiles/rsafe.dir/hv/vm.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/hv/vm.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/rsafe.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disassembler.cc" "src/CMakeFiles/rsafe.dir/isa/disassembler.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/isa/disassembler.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/rsafe.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/rsafe.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/isa/program.cc.o.d"
+  "/root/repo/src/kernel/kernel_builder.cc" "src/CMakeFiles/rsafe.dir/kernel/kernel_builder.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/kernel/kernel_builder.cc.o.d"
+  "/root/repo/src/mem/cow_store.cc" "src/CMakeFiles/rsafe.dir/mem/cow_store.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/mem/cow_store.cc.o.d"
+  "/root/repo/src/mem/disk.cc" "src/CMakeFiles/rsafe.dir/mem/disk.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/mem/disk.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/CMakeFiles/rsafe.dir/mem/phys_mem.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/mem/phys_mem.cc.o.d"
+  "/root/repo/src/replay/alarm_replayer.cc" "src/CMakeFiles/rsafe.dir/replay/alarm_replayer.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/replay/alarm_replayer.cc.o.d"
+  "/root/repo/src/replay/audit.cc" "src/CMakeFiles/rsafe.dir/replay/audit.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/replay/audit.cc.o.d"
+  "/root/repo/src/replay/checkpoint.cc" "src/CMakeFiles/rsafe.dir/replay/checkpoint.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/replay/checkpoint.cc.o.d"
+  "/root/repo/src/replay/checkpoint_replayer.cc" "src/CMakeFiles/rsafe.dir/replay/checkpoint_replayer.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/replay/checkpoint_replayer.cc.o.d"
+  "/root/repo/src/replay/shadow_ras.cc" "src/CMakeFiles/rsafe.dir/replay/shadow_ras.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/replay/shadow_ras.cc.o.d"
+  "/root/repo/src/rnr/log_io.cc" "src/CMakeFiles/rsafe.dir/rnr/log_io.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/rnr/log_io.cc.o.d"
+  "/root/repo/src/rnr/log_record.cc" "src/CMakeFiles/rsafe.dir/rnr/log_record.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/rnr/log_record.cc.o.d"
+  "/root/repo/src/rnr/recorder.cc" "src/CMakeFiles/rsafe.dir/rnr/recorder.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/rnr/recorder.cc.o.d"
+  "/root/repo/src/rnr/replayer.cc" "src/CMakeFiles/rsafe.dir/rnr/replayer.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/rnr/replayer.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/rsafe.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/stats/stats.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/rsafe.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/stats/table.cc.o.d"
+  "/root/repo/src/workloads/benchmarks.cc" "src/CMakeFiles/rsafe.dir/workloads/benchmarks.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/workloads/benchmarks.cc.o.d"
+  "/root/repo/src/workloads/generator.cc" "src/CMakeFiles/rsafe.dir/workloads/generator.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/workloads/generator.cc.o.d"
+  "/root/repo/src/workloads/profile.cc" "src/CMakeFiles/rsafe.dir/workloads/profile.cc.o" "gcc" "src/CMakeFiles/rsafe.dir/workloads/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

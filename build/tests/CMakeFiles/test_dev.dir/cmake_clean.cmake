@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dev.dir/test_dev.cc.o"
+  "CMakeFiles/test_dev.dir/test_dev.cc.o.d"
+  "test_dev"
+  "test_dev.pdb"
+  "test_dev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
