@@ -3,16 +3,30 @@
  * Micro-benchmarks (google-benchmark) of the substrate's hot paths:
  * interpreter throughput, RAS operations, log serialization, and
  * checkpoint page copying.
+ *
+ * Besides the google-benchmark suite, the binary always finishes by
+ * writing machine-readable results to BENCH_micro.json (interpreter
+ * instructions/sec and ns/instr with the decode cache on and off,
+ * plus full/incremental checkpoint costs). Pass --json-only to skip
+ * the google-benchmark suite and emit just the JSON.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "cpu/cpu.h"
 #include "cpu/ras.h"
 #include "isa/assembler.h"
 #include "mem/cow_store.h"
 #include "mem/phys_mem.h"
+#include "replay/checkpoint.h"
 #include "rnr/log_record.h"
+#include "rnr/replayer.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
 
 namespace {
 
@@ -153,6 +167,185 @@ BM_MemContentHash(benchmark::State& state)
 }
 BENCHMARK(BM_MemContentHash);
 
+// --- Machine-readable results (BENCH_micro.json) ---
+
+/** Timed measurement of one metric. */
+struct InterpResult {
+    double instr_per_sec = 0.0;
+    double ns_per_instr = 0.0;
+};
+
+/** Run @p instrs guest instructions of a loop program and time them. */
+InterpResult
+measure_interpreter(const isa::Image& image, bool decode_cache,
+                    InstrCount instrs)
+{
+    mem::PhysMem mem(1 << 20);
+    mem.load_image(image);
+    mem.set_perms(image.base(), image.size(), mem::kPermRX);
+    cpu::Cpu cpu(&mem);
+    NullEnv env;
+    cpu.set_env(&env);
+    cpu.set_decode_cache_enabled(decode_cache);
+    cpu.state().pc = image.base();
+    cpu.state().sp = 0x80000;
+
+    cpu.run(~static_cast<Cycles>(0), instrs / 10);  // warm up
+    const InstrCount start = cpu.icount();
+    const auto t0 = std::chrono::steady_clock::now();
+    cpu.run(~static_cast<Cycles>(0), start + instrs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    const double executed = static_cast<double>(cpu.icount() - start);
+    return {executed / (ns * 1e-9), ns / executed};
+}
+
+isa::Image
+alu_loop_image()
+{
+    isa::Assembler a(0x1000);
+    a.ldi(isa::R1, 1);
+    a.label("loop");
+    a.add(isa::R2, isa::R2, isa::R1);
+    a.xori(isa::R2, isa::R2, 0x55);
+    a.shli(isa::R3, isa::R2, 3);
+    a.jmp("loop");
+    return a.link();
+}
+
+isa::Image
+call_ret_image()
+{
+    isa::Assembler a(0x1000);
+    a.label("loop");
+    a.call("fn");
+    a.jmp("loop");
+    a.func_begin("fn");
+    a.ret();
+    a.func_end();
+    return a.link();
+}
+
+/** Wall-clock costs of the checkpoint paths. */
+struct CheckpointResult {
+    double full_take_ns = 0.0;
+    std::size_t full_pages = 0;
+    double incremental_take_ns = 0.0;
+    std::size_t dirty_pages = 0;
+    double rollback_restore_ns = 0.0;
+};
+
+CheckpointResult
+measure_checkpoint()
+{
+    auto profile = workloads::benchmark_profile("radiosity");
+    profile.rdtsc_prob = 0.0;
+    auto vm = workloads::make_vm(profile);
+    rnr::InputLog empty_log;
+    rnr::Replayer env(vm.get(), &empty_log, 0, rnr::ReplayOptions{});
+    replay::CheckpointStore store(4);
+    vm->cpu().run(~static_cast<Cycles>(0), 1000);
+
+    CheckpointResult out;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto first = store.take(*vm, env, 0);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.full_take_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    out.full_pages = first->copies;
+
+    // Dirty a small, fixed working set; an O(dirty) incremental take
+    // should cost orders of magnitude less than the full copy above.
+    constexpr std::size_t kDirty = 8;
+    out.dirty_pages = kDirty;
+    for (std::size_t i = 0; i < kDirty; ++i)
+        vm->mem().write_raw(0x40000 + i * kPageSize, 8, i + 1);
+    const auto t2 = std::chrono::steady_clock::now();
+    auto second = store.take(*vm, env, 1);
+    const auto t3 = std::chrono::steady_clock::now();
+    out.incremental_take_ns =
+        std::chrono::duration<double, std::nano>(t3 - t2).count();
+
+    // Rollback restore into the same VM: the epoch filter should touch
+    // only the pages dirtied since the checkpoint.
+    for (std::size_t i = 0; i < kDirty; ++i)
+        vm->mem().write_raw(0x80000 + i * kPageSize, 8, i + 1);
+    const auto t4 = std::chrono::steady_clock::now();
+    replay::restore_checkpoint(*second, vm.get(), &env);
+    const auto t5 = std::chrono::steady_clock::now();
+    out.rollback_restore_ns =
+        std::chrono::duration<double, std::nano>(t5 - t4).count();
+    return out;
+}
+
+void
+write_bench_json(const char* path)
+{
+    const auto alu = measure_interpreter(alu_loop_image(), true, 20000000);
+    const auto alu_nocache =
+        measure_interpreter(alu_loop_image(), false, 2000000);
+    const auto callret =
+        measure_interpreter(call_ret_image(), true, 10000000);
+    const auto ck = measure_checkpoint();
+
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"rsafe-bench-micro-v1\",\n");
+    std::fprintf(f, "  \"interpreter\": {\n");
+    std::fprintf(f,
+                 "    \"alu_loop\": {\"instr_per_sec\": %.0f, "
+                 "\"ns_per_instr\": %.3f},\n",
+                 alu.instr_per_sec, alu.ns_per_instr);
+    std::fprintf(f,
+                 "    \"alu_loop_no_decode_cache\": {\"instr_per_sec\": "
+                 "%.0f, \"ns_per_instr\": %.3f},\n",
+                 alu_nocache.instr_per_sec, alu_nocache.ns_per_instr);
+    std::fprintf(f,
+                 "    \"call_ret\": {\"instr_per_sec\": %.0f, "
+                 "\"ns_per_instr\": %.3f}\n",
+                 callret.instr_per_sec, callret.ns_per_instr);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"checkpoint\": {\n");
+    std::fprintf(f, "    \"full_take_ns\": %.0f,\n", ck.full_take_ns);
+    std::fprintf(f, "    \"full_pages_copied\": %zu,\n", ck.full_pages);
+    std::fprintf(f, "    \"incremental_take_ns\": %.0f,\n",
+                 ck.incremental_take_ns);
+    std::fprintf(f, "    \"incremental_dirty_pages\": %zu,\n",
+                 ck.dirty_pages);
+    std::fprintf(f, "    \"rollback_restore_ns\": %.0f\n",
+                 ck.rollback_restore_ns);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (alu %.1f Minstr/s cache-on, %.1f cache-off)\n",
+                path, alu.instr_per_sec / 1e6,
+                alu_nocache.instr_per_sec / 1e6);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bool json_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json-only") {
+            json_only = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    if (!json_only) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    write_bench_json("BENCH_micro.json");
+    return 0;
+}

@@ -3,6 +3,8 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/types.h"
 #include "cpu/ras.h"
@@ -21,6 +23,17 @@
  * exit is controlled by the Vmcs. Cycle costs of VM transitions are
  * charged by the CPU itself so that recording/replay overhead studies see
  * a consistent cost model.
+ *
+ * Instruction dispatch runs through a per-page predecoded instruction
+ * cache: the first execution on a page decodes all of its fixed-width
+ * slots into a flat array, and subsequent fetches cost one generation
+ * check plus an index instead of a byte fetch and a decode. PhysMem bumps
+ * a page's generation whenever its bytes or permissions may have changed
+ * (set_perms, restore_page, write_block/write_raw, guest stores to X
+ * pages), which invalidates the predecoded copy. The cache is
+ * semantically invisible; set RSAFE_NO_DECODE_CACHE=1 (or call
+ * set_decode_cache_enabled(false)) to force the fetch+decode slow path
+ * for A/B determinism testing.
  */
 
 namespace rsafe::cpu {
@@ -220,10 +233,40 @@ class Cpu {
     /** @return a fault description after kMemFault/kBadInstr. */
     const std::string& fault_reason() const { return fault_reason_; }
 
+    /**
+     * Toggle the predecoded-instruction cache (on by default unless the
+     * RSAFE_NO_DECODE_CACHE environment variable is set). Execution is
+     * bit-identical either way; the toggle exists for A/B testing.
+     */
+    void set_decode_cache_enabled(bool enabled)
+    {
+        decode_cache_enabled_ = enabled;
+        if (!enabled) {
+            cur_page_base_ = ~static_cast<Addr>(0);
+            cur_dp_ = nullptr;
+            cur_gen_ = nullptr;
+        }
+    }
+    bool decode_cache_enabled() const { return decode_cache_enabled_; }
+
   private:
     enum class StepResult { kOk, kHalt, kFault, kBadInstr };
 
+    /** Instruction slots per page (fixed-width encoding). */
+    static constexpr std::size_t kInstrsPerPage = kPageSize / kInstrBytes;
+
+    /** Predecoded copy of one executable page. */
+    struct DecodedPage {
+        std::uint64_t gen = 0;  ///< PhysMem::page_gen at predecode time
+        std::array<isa::Instr, kInstrsPerPage> instrs;
+        std::array<std::uint8_t, kInstrsPerPage> valid;  ///< decodable slot
+    };
+
     StepResult exec_one();
+    StepResult run_batch(InstrCount budget);
+    const isa::Instr* cached_instr(Addr pc);
+    const DecodedPage* cached_page(Addr page);
+    DecodedPage* predecode_page(Addr page);
     bool deliver_pending_irq();
     void deliver_interrupt_frame(Addr vector_slot);
     StepResult do_ret();
@@ -245,6 +288,14 @@ class Cpu {
     Cycles run_stop_cycles_ = ~static_cast<Cycles>(0);
     CpuStats stats_;
     std::string fault_reason_;
+    std::vector<std::unique_ptr<DecodedPage>> decode_cache_;
+    bool decode_cache_enabled_ = true;
+    // One-entry fetch cache: consecutive instructions almost always sit
+    // on the same page, so remember the last predecoded page and its
+    // generation-counter location for a two-compare fast path.
+    Addr cur_page_base_ = ~static_cast<Addr>(0);
+    const DecodedPage* cur_dp_ = nullptr;
+    const std::uint64_t* cur_gen_ = nullptr;
 };
 
 }  // namespace rsafe::cpu

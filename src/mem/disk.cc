@@ -1,17 +1,31 @@
 #include "mem/disk.h"
 
-#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/log.h"
 
 namespace rsafe::mem {
 
-Disk::Disk(std::size_t num_blocks) : blocks_(num_blocks)
+namespace {
+
+std::uint64_t
+next_disk_id()
+{
+    static std::uint64_t next = 1;
+    return next++;
+}
+
+}  // namespace
+
+Disk::Disk(std::size_t num_blocks)
+    : blocks_(num_blocks), id_(next_disk_id())
 {
     if (num_blocks == 0)
         fatal("Disk: zero-sized disk");
     bytes_.assign(num_blocks * kDiskBlockSize, 0);
+    dirty_bits_.assign((num_blocks + 63) / 64, 0);
+    block_epoch_.assign(num_blocks, 0);
 }
 
 void
@@ -28,7 +42,7 @@ Disk::write_block(BlockNum block, const std::uint8_t* data)
     if (block >= blocks_)
         panic("Disk::write_block out of range");
     std::memcpy(bytes_.data() + block * kDiskBlockSize, data, kDiskBlockSize);
-    dirty_.insert(block);
+    mark_dirty_block(block);
 }
 
 const std::uint8_t*
@@ -42,15 +56,26 @@ Disk::block_data(BlockNum block) const
 std::vector<BlockNum>
 Disk::dirty_blocks() const
 {
-    std::vector<BlockNum> blocks(dirty_.begin(), dirty_.end());
-    std::sort(blocks.begin(), blocks.end());
+    std::vector<BlockNum> blocks;
+    blocks.reserve(dirty_count_);
+    for (std::size_t w = 0; w < dirty_bits_.size(); ++w) {
+        std::uint64_t word = dirty_bits_[w];
+        while (word != 0) {
+            const int bit = std::countr_zero(word);
+            blocks.push_back(static_cast<BlockNum>(w * 64 + bit));
+            word &= word - 1;
+        }
+    }
     return blocks;
 }
 
 void
 Disk::clear_dirty()
 {
-    dirty_.clear();
+    std::memset(dirty_bits_.data(), 0,
+                dirty_bits_.size() * sizeof(std::uint64_t));
+    dirty_count_ = 0;
+    ++epoch_;
 }
 
 std::uint64_t
@@ -62,6 +87,18 @@ Disk::content_hash() const
         hash *= 0x100000001b3ULL;
     }
     return hash;
+}
+
+void
+Disk::mark_dirty_block(BlockNum block)
+{
+    auto& word = dirty_bits_[block >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (block & 63);
+    if ((word & bit) == 0) {
+        word |= bit;
+        ++dirty_count_;
+        block_epoch_[block] = epoch_;
+    }
 }
 
 }  // namespace rsafe::mem

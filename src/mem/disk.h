@@ -2,7 +2,6 @@
 #define RSAFE_MEM_DISK_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -14,7 +13,9 @@
  * Checkpoints must include disk blocks the VM has written (Section 4.6.1):
  * if replayed execution later reads them back, the data is not in the input
  * log, so it must come from the checkpointed disk state. The disk therefore
- * tracks dirty blocks exactly like PhysMem tracks dirty pages.
+ * tracks dirty blocks exactly like PhysMem tracks dirty pages — a bitmap
+ * with a cached count, plus the epoch machinery that lets checkpoint
+ * restore skip blocks that have not changed since the checkpoint.
  */
 
 namespace rsafe::mem {
@@ -40,19 +41,39 @@ class Disk {
     /** @return blocks written since the last clear_dirty(), sorted. */
     std::vector<BlockNum> dirty_blocks() const;
 
-    /** @return number of dirty blocks. */
-    std::size_t dirty_count() const { return dirty_.size(); }
+    /** @return number of dirty blocks (O(1)). */
+    std::size_t dirty_count() const { return dirty_count_; }
 
-    /** Forget dirty state (checkpoint interval boundary). */
+    /** Forget dirty state (checkpoint interval boundary); bumps epoch(). */
     void clear_dirty();
+
+    /**
+     * Delta-restore machinery, mirroring PhysMem: a block is unchanged
+     * since a checkpoint taken from this same Disk at epoch E iff
+     * block_epoch(b) < E.
+     * @{
+     */
+    std::uint64_t id() const { return id_; }
+    std::uint64_t epoch() const { return epoch_; }
+    std::uint64_t block_epoch(BlockNum block) const
+    {
+        return block_epoch_[block];
+    }
+    /** @} */
 
     /** FNV-1a hash over the disk contents. */
     std::uint64_t content_hash() const;
 
   private:
+    void mark_dirty_block(BlockNum block);
+
     std::size_t blocks_;
     std::vector<std::uint8_t> bytes_;
-    std::unordered_set<BlockNum> dirty_;
+    std::vector<std::uint64_t> dirty_bits_;
+    std::size_t dirty_count_ = 0;
+    std::vector<std::uint64_t> block_epoch_;
+    std::uint64_t epoch_ = 1;
+    std::uint64_t id_;
 };
 
 }  // namespace rsafe::mem

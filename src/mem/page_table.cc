@@ -1,0 +1,34 @@
+#include "mem/page_table.h"
+
+#include "common/log.h"
+
+namespace rsafe::mem {
+
+PageTable::PageTable(std::size_t size) : size_(size)
+{
+    const std::size_t chunks = (size + kChunkSize - 1) / kChunkSize;
+    chunks_.reserve(chunks);
+    for (std::size_t i = 0; i < chunks; ++i)
+        chunks_.push_back(std::make_shared<Chunk>());
+}
+
+const PageRef&
+PageTable::at(std::uint64_t index) const
+{
+    if (index >= size_)
+        panic("PageTable::at out of range");
+    return chunks_[index >> kChunkShift]->refs[index & (kChunkSize - 1)];
+}
+
+void
+PageTable::set(std::uint64_t index, PageRef ref)
+{
+    if (index >= size_)
+        panic("PageTable::set out of range");
+    auto& chunk = chunks_[index >> kChunkShift];
+    if (chunk.use_count() > 1)
+        chunk = std::make_shared<Chunk>(*chunk);
+    chunk->refs[index & (kChunkSize - 1)] = std::move(ref);
+}
+
+}  // namespace rsafe::mem

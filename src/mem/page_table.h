@@ -1,0 +1,67 @@
+#ifndef RSAFE_MEM_PAGE_TABLE_H_
+#define RSAFE_MEM_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cow_store.h"
+
+/**
+ * @file
+ * A persistent (copy-on-write) array of PageRefs for checkpoints.
+ *
+ * A checkpoint needs a map from page/block number to the PageRef holding
+ * that page's contents. Copying a whole std::map per checkpoint makes an
+ * incremental checkpoint cost O(all pages) even when only a handful are
+ * dirty (Section 4.6.1 wants the opposite). PageTable instead stores the
+ * refs in fixed-size chunks that consecutive checkpoints share: copying a
+ * PageTable copies only the chunk-pointer vector, and set() clones just
+ * the one chunk it lands in when that chunk is still shared (path
+ * copying). An incremental checkpoint therefore costs
+ * O(chunks + dirty pages) pointer work instead of O(all pages).
+ */
+
+namespace rsafe::mem {
+
+/** Copy-on-write indexed table of PageRefs (dense, fixed size). */
+class PageTable {
+  public:
+    /** An empty table (size 0). */
+    PageTable() = default;
+
+    /** A table of @p size null refs. */
+    explicit PageTable(std::size_t size);
+
+    /** @return number of slots. */
+    std::size_t size() const { return size_; }
+
+    /** @return true if the table has no slots. */
+    bool empty() const { return size_ == 0; }
+
+    /** @return the ref at @p index (may be null if never set). */
+    const PageRef& at(std::uint64_t index) const;
+
+    /**
+     * Replace the ref at @p index. If the containing chunk is shared with
+     * another PageTable (an older/newer checkpoint), only that chunk is
+     * cloned; the rest of the table stays shared.
+     */
+    void set(std::uint64_t index, PageRef ref);
+
+  private:
+    static constexpr std::size_t kChunkShift = 6;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+    struct Chunk {
+        std::array<PageRef, kChunkSize> refs;
+    };
+
+    std::vector<std::shared_ptr<Chunk>> chunks_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace rsafe::mem
+
+#endif  // RSAFE_MEM_PAGE_TABLE_H_

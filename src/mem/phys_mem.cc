@@ -1,19 +1,39 @@
 #include "mem/phys_mem.h"
 
-#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/log.h"
 
 namespace rsafe::mem {
 
-PhysMem::PhysMem(std::size_t size)
+namespace {
+
+/**
+ * The interpreter's load/store fast path copies whole little-endian words
+ * with memcpy; the byte-loop fallback keeps big-endian hosts correct.
+ */
+constexpr bool kLittleEndianHost = std::endian::native == std::endian::little;
+
+std::uint64_t
+next_phys_mem_id()
+{
+    static std::uint64_t next = 1;
+    return next++;
+}
+
+}  // namespace
+
+PhysMem::PhysMem(std::size_t size) : id_(next_phys_mem_id())
 {
     const std::size_t pages = (size + kPageSize - 1) / kPageSize;
     if (pages == 0)
         fatal("PhysMem: zero-sized memory");
     bytes_.assign(pages * kPageSize, 0);
     perms_.assign(pages, kPermRW);
+    dirty_bits_.assign((pages + 63) / 64, 0);
+    gen_.assign(pages, 0);
+    page_epoch_.assign(pages, 0);
 }
 
 void
@@ -23,8 +43,11 @@ PhysMem::set_perms(Addr addr, std::size_t len, std::uint8_t perms)
         fatal("PhysMem::set_perms: range out of bounds");
     const Addr first = page_of(addr);
     const Addr last = page_of(addr + (len == 0 ? 0 : len - 1));
-    for (Addr p = first; p <= last; ++p)
+    for (Addr p = first; p <= last; ++p) {
         perms_[p] = perms;
+        // Fetchability changed: any predecoded copy of the page is stale.
+        ++gen_[p];
+    }
 }
 
 std::uint8_t
@@ -40,17 +63,28 @@ PhysMem::read(Addr addr, std::size_t len, Word* out) const
 {
     if (!in_range(addr, len))
         return MemResult::kOutOfRange;
-    // All accesses here are <= 8 bytes and never cross a page boundary in
-    // practice (stack and data are 8-byte aligned), but check both pages.
-    const Addr last = addr + len - 1;
-    if (!(perms_[page_of(addr)] & kPermRead) ||
-        !(perms_[page_of(last)] & kPermRead)) {
+    const Addr page = page_of(addr);
+    // Almost every access fits one page (stack and data are 8-byte
+    // aligned); only then can a single perms lookup cover it.
+    if (page_offset(addr) + len <= kPageSize) [[likely]] {
+        if (!(perms_[page] & kPermRead))
+            return MemResult::kNoPerm;
+    } else if (!(perms_[page] & kPermRead) ||
+               !(perms_[page + 1] & kPermRead)) {
         return MemResult::kNoPerm;
     }
-    Word value = 0;
-    for (std::size_t i = 0; i < len; ++i)
-        value |= static_cast<Word>(bytes_[addr + i]) << (8 * i);
-    *out = value;
+    if (kLittleEndianHost && len == 8) {
+        Word value;
+        std::memcpy(&value, bytes_.data() + addr, 8);
+        *out = value;
+    } else if (len == 1) {
+        *out = bytes_[addr];
+    } else {
+        Word value = 0;
+        for (std::size_t i = 0; i < len; ++i)
+            value |= static_cast<Word>(bytes_[addr + i]) << (8 * i);
+        *out = value;
+    }
     return MemResult::kOk;
 }
 
@@ -59,14 +93,33 @@ PhysMem::write(Addr addr, std::size_t len, Word value)
 {
     if (!in_range(addr, len))
         return MemResult::kOutOfRange;
-    const Addr last = addr + len - 1;
-    if (!(perms_[page_of(addr)] & kPermWrite) ||
-        !(perms_[page_of(last)] & kPermWrite)) {
-        return MemResult::kNoPerm;
+    const Addr page = page_of(addr);
+    if (page_offset(addr) + len <= kPageSize) [[likely]] {
+        const std::uint8_t perms = perms_[page];
+        if (!(perms & kPermWrite))
+            return MemResult::kNoPerm;
+        if (kLittleEndianHost && len == 8) {
+            std::memcpy(bytes_.data() + addr, &value, 8);
+        } else if (len == 1) {
+            bytes_[addr] = static_cast<std::uint8_t>(value & 0xff);
+        } else {
+            for (std::size_t i = 0; i < len; ++i)
+                bytes_[addr + i] =
+                    static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+        }
+        mark_dirty_page(page);
+        if (perms & kPermExec) [[unlikely]]
+            ++gen_[page];
+        return MemResult::kOk;
     }
+    // Page-straddling slow path.
+    const Addr last = addr + len - 1;
+    if (!(perms_[page] & kPermWrite) || !(perms_[page_of(last)] & kPermWrite))
+        return MemResult::kNoPerm;
     for (std::size_t i = 0; i < len; ++i)
         bytes_[addr + i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
     mark_dirty_range(addr, len);
+    touch_code_range(addr, len);
     return MemResult::kOk;
 }
 
@@ -86,6 +139,11 @@ PhysMem::read_raw(Addr addr, std::size_t len) const
 {
     if (!in_range(addr, len))
         panic("PhysMem::read_raw out of range");
+    if (kLittleEndianHost && len == 8 && page_offset(addr) + 8 <= kPageSize) {
+        Word value;
+        std::memcpy(&value, bytes_.data() + addr, 8);
+        return value;
+    }
     Word value = 0;
     for (std::size_t i = 0; i < len; ++i)
         value |= static_cast<Word>(bytes_[addr + i]) << (8 * i);
@@ -100,6 +158,7 @@ PhysMem::write_raw(Addr addr, std::size_t len, Word value)
     for (std::size_t i = 0; i < len; ++i)
         bytes_[addr + i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
     mark_dirty_range(addr, len);
+    touch_code_range(addr, len);
 }
 
 void
@@ -109,6 +168,7 @@ PhysMem::write_block(Addr addr, const std::uint8_t* data, std::size_t len)
         panic("PhysMem::write_block out of range");
     std::memcpy(bytes_.data() + addr, data, len);
     mark_dirty_range(addr, len);
+    touch_code_range(addr, len);
 }
 
 void
@@ -139,21 +199,41 @@ PhysMem::restore_page(Addr page, const std::uint8_t* data)
     if (page >= num_pages())
         panic("PhysMem::restore_page out of range");
     std::memcpy(bytes_.data() + page * kPageSize, data, kPageSize);
-    dirty_.insert(page);
+    mark_dirty_page(page);
+    ++gen_[page];
+}
+
+bool
+PhysMem::page_dirty(Addr page) const
+{
+    if (page >= num_pages())
+        panic("PhysMem::page_dirty out of range");
+    return (dirty_bits_[page >> 6] >> (page & 63)) & 1;
 }
 
 std::vector<Addr>
 PhysMem::dirty_pages() const
 {
-    std::vector<Addr> pages(dirty_.begin(), dirty_.end());
-    std::sort(pages.begin(), pages.end());
+    std::vector<Addr> pages;
+    pages.reserve(dirty_count_);
+    for (std::size_t w = 0; w < dirty_bits_.size(); ++w) {
+        std::uint64_t word = dirty_bits_[w];
+        while (word != 0) {
+            const int bit = std::countr_zero(word);
+            pages.push_back(static_cast<Addr>(w * 64 + bit));
+            word &= word - 1;
+        }
+    }
     return pages;
 }
 
 void
 PhysMem::clear_dirty()
 {
-    dirty_.clear();
+    std::memset(dirty_bits_.data(), 0,
+                dirty_bits_.size() * sizeof(std::uint64_t));
+    dirty_count_ = 0;
+    ++epoch_;
 }
 
 std::uint64_t
@@ -173,7 +253,19 @@ PhysMem::mark_dirty_range(Addr addr, std::size_t len)
     const Addr first = page_of(addr);
     const Addr last = page_of(addr + (len == 0 ? 0 : len - 1));
     for (Addr p = first; p <= last; ++p)
-        dirty_.insert(p);
+        mark_dirty_page(p);
+}
+
+void
+PhysMem::touch_code_range(Addr addr, std::size_t len)
+{
+    // Privileged writes bypass W^X, so they can change executable bytes
+    // (DMA into a code page, checkpoint restore, introspection pokes):
+    // invalidate the decode cache for every page touched.
+    const Addr first = page_of(addr);
+    const Addr last = page_of(addr + (len == 0 ? 0 : len - 1));
+    for (Addr p = first; p <= last; ++p)
+        ++gen_[p];
 }
 
 }  // namespace rsafe::mem

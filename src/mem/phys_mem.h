@@ -2,7 +2,6 @@
 #define RSAFE_MEM_PHYS_MEM_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -17,6 +16,16 @@
  * that motivates code-reuse attacks (Appendix A of the paper), and (c) the
  * per-page dirty tracking that the checkpointing replayer's incremental
  * copy-on-write checkpoints are built from (Section 4.6.1).
+ *
+ * This is the simulator's hottest data structure, so the bookkeeping is
+ * designed for the access pattern of a tight interpreter loop:
+ *  - dirty pages live in a bitmap (one bit per page) with a cached count,
+ *  - every content-changing operation on an executable page bumps that
+ *    page's generation counter, which the CPU's predecoded-instruction
+ *    cache validates against on every fetch,
+ *  - clear_dirty() advances a global epoch, and each page remembers the
+ *    last epoch it was dirtied in, which lets checkpoint restore touch
+ *    only the pages that actually changed since the checkpoint was taken.
  */
 
 namespace rsafe::mem {
@@ -29,6 +38,7 @@ enum PagePerm : std::uint8_t {
     kPermExec = 1 << 2,
     kPermRW = kPermRead | kPermWrite,
     kPermRX = kPermRead | kPermExec,
+    kPermRWX = kPermRead | kPermWrite | kPermExec,
 };
 
 /** Result of a guest memory access. */
@@ -86,14 +96,48 @@ class PhysMem {
     /** Overwrite page @p page with @p data (kPageSize bytes); marks dirty. */
     void restore_page(Addr page, const std::uint8_t* data);
 
-    /** @return pages written since the last clear_dirty(). */
+    /** @return pages written since the last clear_dirty(), sorted. */
     std::vector<Addr> dirty_pages() const;
 
-    /** @return number of dirty pages (cheap). */
-    std::size_t dirty_count() const { return dirty_.size(); }
+    /** @return number of dirty pages (O(1)). */
+    std::size_t dirty_count() const { return dirty_count_; }
 
-    /** Forget dirty state (checkpoint interval boundary). */
+    /** @return true if @p page was written since the last clear_dirty(). */
+    bool page_dirty(Addr page) const;
+
+    /** Forget dirty state (checkpoint interval boundary); bumps epoch(). */
     void clear_dirty();
+
+    /**
+     * Decode-cache invalidation hook: a monotonic counter per page,
+     * incremented whenever the page's bytes may have changed while it is
+     * (or could become) executable — i.e., on set_perms, restore_page,
+     * write_block, write_raw, and any guest store landing on an X page.
+     * A predecoded copy of the page is valid only while this matches.
+     */
+    std::uint64_t page_gen(Addr page) const { return gen_[page]; }
+
+    /**
+     * Stable pointer to page_gen(page)'s storage (never reallocated for
+     * the lifetime of the PhysMem); the CPU's fetch fast path polls it.
+     */
+    const std::uint64_t* page_gen_ptr(Addr page) const
+    {
+        return &gen_[page];
+    }
+
+    /**
+     * Delta-restore machinery (O(differing pages) checkpoint restore).
+     * id() uniquely identifies this PhysMem instance; epoch() counts
+     * clear_dirty() calls; page_epoch() is the last epoch the page was
+     * dirtied in. A page is guaranteed unchanged since a checkpoint taken
+     * from this same PhysMem at epoch E iff page_epoch(p) < E.
+     * @{
+     */
+    std::uint64_t id() const { return id_; }
+    std::uint64_t epoch() const { return epoch_; }
+    std::uint64_t page_epoch(Addr page) const { return page_epoch_[page]; }
+    /** @} */
 
     /** FNV-1a hash over all RAM bytes; the determinism test oracle. */
     std::uint64_t content_hash() const;
@@ -103,11 +147,27 @@ class PhysMem {
     {
         return addr + len <= bytes_.size() && addr + len >= addr;
     }
+    void mark_dirty_page(Addr page)
+    {
+        auto& word = dirty_bits_[page >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (page & 63);
+        if ((word & bit) == 0) {
+            word |= bit;
+            ++dirty_count_;
+            page_epoch_[page] = epoch_;
+        }
+    }
     void mark_dirty_range(Addr addr, std::size_t len);
+    void touch_code_range(Addr addr, std::size_t len);
 
     std::vector<std::uint8_t> bytes_;
     std::vector<std::uint8_t> perms_;
-    std::unordered_set<Addr> dirty_;
+    std::vector<std::uint64_t> dirty_bits_;   ///< one bit per page
+    std::size_t dirty_count_ = 0;
+    std::vector<std::uint64_t> gen_;          ///< decode-cache generations
+    std::vector<std::uint64_t> page_epoch_;   ///< last dirtying epoch
+    std::uint64_t epoch_ = 1;
+    std::uint64_t id_;
 };
 
 }  // namespace rsafe::mem

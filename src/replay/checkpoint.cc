@@ -1,5 +1,7 @@
 #include "replay/checkpoint.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace rsafe::replay {
@@ -21,30 +23,38 @@ CheckpointStore::take(hv::Vm& vm, const hv::VmEnvBase& env,
 
     if (!prev) {
         // First checkpoint: full copy.
+        ck->pages = mem::PageTable(mem.num_pages());
+        ck->blocks = mem::PageTable(disk.num_blocks());
         for (Addr page = 0; page < mem.num_pages(); ++page) {
-            ck->pages[page] = cow_.store(mem.page_data(page));
+            ck->pages.set(page, cow_.store(mem.page_data(page)));
             ++ck->copies;
         }
         for (BlockNum block = 0; block < disk.num_blocks(); ++block) {
-            ck->blocks[block] = cow_.store(disk.block_data(block));
+            ck->blocks.set(block, cow_.store(disk.block_data(block)));
             ++ck->copies;
         }
     } else {
         // Incremental: share unmodified pages with the previous
         // checkpoint and copy only what was dirtied in this interval.
+        // Assigning a PageTable shares its chunks, so this is O(dirty),
+        // not O(all pages).
         ck->pages = prev->pages;
         ck->blocks = prev->blocks;
         for (const Addr page : mem.dirty_pages()) {
-            ck->pages[page] = cow_.store(mem.page_data(page));
+            ck->pages.set(page, cow_.store(mem.page_data(page)));
             ++ck->copies;
         }
         for (const BlockNum block : disk.dirty_blocks()) {
-            ck->blocks[block] = cow_.store(disk.block_data(block));
+            ck->blocks.set(block, cow_.store(disk.block_data(block)));
             ++ck->copies;
         }
     }
     mem.clear_dirty();
     disk.clear_dirty();
+    ck->mem_id = mem.id();
+    ck->mem_epoch = mem.epoch();
+    ck->disk_id = disk.id();
+    ck->disk_epoch = disk.epoch();
 
     auto& cpu = vm.cpu();
     ck->cpu_state = cpu.state();
@@ -79,12 +89,14 @@ CheckpointStore::latest() const
 std::shared_ptr<const Checkpoint>
 CheckpointStore::latest_at_or_before(InstrCount icount) const
 {
-    std::shared_ptr<const Checkpoint> best;
-    for (const auto& ck : checkpoints_) {
-        if (ck->icount <= icount)
-            best = ck;
-    }
-    return best;
+    const auto it = std::upper_bound(
+        checkpoints_.begin(), checkpoints_.end(), icount,
+        [](InstrCount value, const std::shared_ptr<const Checkpoint>& ck) {
+            return value < ck->icount;
+        });
+    if (it == checkpoints_.begin())
+        return nullptr;
+    return *(it - 1);
 }
 
 std::shared_ptr<const Checkpoint>
@@ -105,10 +117,22 @@ restore_checkpoint(const Checkpoint& checkpoint, hv::Vm* vm,
         checkpoint.blocks.size() != disk.num_blocks()) {
         fatal("restore_checkpoint: VM geometry mismatch");
     }
-    for (const auto& [page, ref] : checkpoint.pages)
-        mem.restore_page(page, ref->data());
-    for (const auto& [block, ref] : checkpoint.blocks)
-        disk.write_block(block, ref->data());
+    // When rolling back the same memory the checkpoint was taken from,
+    // a page can only differ from the checkpointed copy if it was
+    // dirtied in this or a later epoch; everything older is untouched
+    // RAM and need not be rewritten (or decode-cache invalidated).
+    const bool mem_delta = checkpoint.mem_id == mem.id();
+    for (Addr page = 0; page < checkpoint.pages.size(); ++page) {
+        if (mem_delta && mem.page_epoch(page) < checkpoint.mem_epoch)
+            continue;
+        mem.restore_page(page, checkpoint.pages.at(page)->data());
+    }
+    const bool disk_delta = checkpoint.disk_id == disk.id();
+    for (BlockNum block = 0; block < checkpoint.blocks.size(); ++block) {
+        if (disk_delta && disk.block_epoch(block) < checkpoint.disk_epoch)
+            continue;
+        disk.write_block(block, checkpoint.blocks.at(block)->data());
+    }
     mem.clear_dirty();
     disk.clear_dirty();
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 
@@ -14,6 +13,7 @@
 #include "hv/hypervisor.h"
 #include "hv/vm.h"
 #include "mem/cow_store.h"
+#include "mem/page_table.h"
 
 /**
  * @file
@@ -29,6 +29,13 @@
  *
  * Recycling falls out of shared ownership: dropping a checkpoint frees a
  * page only when no later checkpoint still references it.
+ *
+ * The page/block maps are PageTables — persistent chunked arrays shared
+ * between consecutive checkpoints — so taking an incremental checkpoint
+ * costs O(dirty pages), not O(all pages). Each checkpoint also records
+ * the identity and dirty-epoch of the memory/disk it was taken from,
+ * letting restore_checkpoint() rewrite only pages that have actually
+ * changed since the checkpoint when rolling the same VM back.
  */
 
 namespace rsafe::replay {
@@ -38,8 +45,8 @@ struct Checkpoint {
     std::uint64_t id = 0;
 
     // (1) Full VM state, incrementally shared.
-    std::map<Addr, mem::PageRef> pages;        ///< by page number
-    std::map<BlockNum, mem::PageRef> blocks;   ///< by block number
+    mem::PageTable pages;     ///< indexed by page number
+    mem::PageTable blocks;    ///< indexed by block number
     cpu::CpuState cpu_state;
     Cycles cycles = 0;
     InstrCount icount = 0;
@@ -58,6 +65,19 @@ struct Checkpoint {
 
     /** Pages+blocks copied when this checkpoint was taken (cost basis). */
     std::size_t copies = 0;
+
+    /**
+     * Source identity + dirty epoch at take time (PhysMem/Disk id() and
+     * epoch()). When restoring into the same memory/disk instance, pages
+     * whose page_epoch() is still below mem_epoch are untouched since
+     * this checkpoint and need not be rewritten.
+     * @{
+     */
+    std::uint64_t mem_id = 0;
+    std::uint64_t mem_epoch = 0;
+    std::uint64_t disk_id = 0;
+    std::uint64_t disk_epoch = 0;
+    /** @} */
 };
 
 /** Builds, retains, and recycles checkpoints for one replay stream. */
@@ -84,7 +104,10 @@ class CheckpointStore {
     /** @return the most recent checkpoint, or nullptr. */
     std::shared_ptr<const Checkpoint> latest() const;
 
-    /** @return the latest checkpoint with icount <= @p icount, or null. */
+    /**
+     * @return the latest checkpoint with icount <= @p icount, or null.
+     * Checkpoints are taken in icount order, so this is a binary search.
+     */
     std::shared_ptr<const Checkpoint> latest_at_or_before(
         InstrCount icount) const;
 

@@ -107,6 +107,46 @@ TEST(CheckpointStore, LatestAtOrBefore)
     EXPECT_EQ(store.latest_at_or_before(a->icount - 1), nullptr);
 }
 
+TEST(CheckpointStore, LatestAtOrBeforeBinarySearchBoundaries)
+{
+    // The store keeps checkpoints sorted by icount and answers
+    // latest_at_or_before with a binary search; exercise every boundary:
+    // empty store, before the first, exact hits, between neighbors, and
+    // after the last.
+    auto profile = small_profile("radiosity");
+    profile.rdtsc_prob = 0.0;
+    auto vm = workloads::make_vm(profile);
+    rnr::InputLog empty_log;
+    rnr::Replayer env(vm.get(), &empty_log, 0, rnr::ReplayOptions{});
+    replay::CheckpointStore store(0);  // unlimited
+
+    EXPECT_EQ(store.latest_at_or_before(0), nullptr);
+    EXPECT_EQ(store.latest_at_or_before(~static_cast<InstrCount>(0)),
+              nullptr);
+
+    std::vector<std::shared_ptr<const replay::Checkpoint>> cks;
+    for (int i = 0; i < 5; ++i) {
+        vm->cpu().run(~static_cast<Cycles>(0), vm->cpu().icount() + 500);
+        cks.push_back(store.take(*vm, env, i));
+    }
+    for (std::size_t i = 1; i < cks.size(); ++i)
+        ASSERT_GT(cks[i]->icount, cks[i - 1]->icount);
+
+    // Before the first checkpoint: nothing usable.
+    EXPECT_EQ(store.latest_at_or_before(cks.front()->icount - 1), nullptr);
+    EXPECT_EQ(store.latest_at_or_before(0), nullptr);
+    // Exact hit on every checkpoint, including both ends.
+    for (const auto& ck : cks)
+        EXPECT_EQ(store.latest_at_or_before(ck->icount), ck);
+    // Between two neighbors the earlier one wins.
+    for (std::size_t i = 0; i + 1 < cks.size(); ++i)
+        EXPECT_EQ(store.latest_at_or_before(cks[i + 1]->icount - 1), cks[i]);
+    // Far past the last checkpoint: the last one.
+    EXPECT_EQ(store.latest_at_or_before(cks.back()->icount + 1), cks.back());
+    EXPECT_EQ(store.latest_at_or_before(~static_cast<InstrCount>(0)),
+              cks.back());
+}
+
 TEST(CheckpointRestore, RoundTripsFullMachineState)
 {
     // Record, replay halfway with the CR, snapshot, keep replaying to the

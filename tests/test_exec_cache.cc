@@ -1,0 +1,230 @@
+/** @file Tests of the predecoded-instruction cache's invalidation rules.
+ *
+ *  The cache must be semantically invisible: every scenario here runs
+ *  twice, once with the cache enabled and once with it disabled
+ *  (Cpu::set_decode_cache_enabled), and asserts bit-identical outcomes.
+ *  The scenarios are exactly the ways a predecoded page can go stale:
+ *  guest self-modifying stores (on W^X and on RWX pages), hypervisor
+ *  permission flips, and checkpoint rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "isa/assembler.h"
+#include "mem/phys_mem.h"
+#include "replay/checkpoint.h"
+#include "rnr/replayer.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
+
+namespace rsafe::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::R1;
+using isa::R2;
+using isa::R3;
+
+constexpr Addr kCode = 0x2000;
+constexpr Addr kStackTop = 0x20000;
+
+/** Environment that should never be entered by these programs. */
+class NullEnv : public CpuEnv {
+  public:
+    Word on_rdtsc() override { return 0; }
+    Word on_io_in(std::uint16_t) override { return 0; }
+    void on_io_out(std::uint16_t, Word) override {}
+    Word on_mmio_read(Addr) override { return 0; }
+    void on_mmio_write(Addr, Word) override {}
+    void on_breakpoint(Addr) override {}
+    void on_ras_alarm(const RasAlarm&) override {}
+    void on_ras_evict(Addr) override {}
+    void on_call_ret(const CallRetEvent&) override {}
+};
+
+isa::Image
+assemble(Addr base, const std::function<void(Assembler&)>& body)
+{
+    Assembler a(base);
+    body(a);
+    return a.link();
+}
+
+/** The 8 encoded bytes of @p instr as a guest (little-endian) word. */
+Word
+instr_word(const isa::Instr& instr)
+{
+    const auto bytes = isa::encode(instr);
+    Word word = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        word |= static_cast<Word>(bytes[i]) << (8 * i);
+    return word;
+}
+
+/** What an execution ended as, for A/B comparison. */
+struct Outcome {
+    StopReason stop = StopReason::kHalt;
+    Word r3 = 0;
+    InstrCount icount = 0;
+    Cycles cycles = 0;
+    std::uint64_t mem_hash = 0;
+
+    bool operator==(const Outcome&) const = default;
+};
+
+Outcome
+run_machine(const isa::Image& image, std::uint8_t perms, bool cache)
+{
+    mem::PhysMem mem(1 << 20);
+    Cpu cpu(&mem);
+    NullEnv env;
+    cpu.set_env(&env);
+    cpu.set_decode_cache_enabled(cache);
+    mem.load_image(image);
+    mem.set_perms(image.base(), image.size(), perms);
+    cpu.state().pc = image.base();
+    cpu.state().sp = kStackTop;
+
+    Outcome out;
+    out.stop = cpu.run(~static_cast<Cycles>(0), 100000);
+    out.r3 = cpu.reg(R3);
+    out.icount = cpu.icount();
+    out.cycles = cpu.cycles();
+    out.mem_hash = mem.content_hash();
+    return out;
+}
+
+TEST(ExecCache, SmcStoreToWxPageFaultsAndCodeStaysIntact)
+{
+    // A guest store aimed at the executing (RX) page must fault without
+    // modifying anything — and must do so identically with and without
+    // the decode cache, even though the cache-on run predecoded the page
+    // the store targets.
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, static_cast<std::int64_t>(kCode));
+        a.ldi(R2, 0x1bad);
+        a.st(R1, 0, R2);  // W^X violation
+        a.ldi(R3, 7);     // never reached
+        a.halt();
+    });
+    const Outcome with = run_machine(image, mem::kPermRX, true);
+    const Outcome without = run_machine(image, mem::kPermRX, false);
+    EXPECT_EQ(with.stop, StopReason::kMemFault);
+    EXPECT_EQ(with.r3, 0u);
+    EXPECT_EQ(with, without);
+}
+
+TEST(ExecCache, SmcOnRwxPageExecutesNewCode)
+{
+    // On an RWX page, a store that overwrites a not-yet-executed slot of
+    // the *current* page must be visible to the very next fetch: the
+    // store bumps the page generation, so a predecoded copy may not be
+    // reused. A stale cache would execute the original `ldi r3, 111`.
+    isa::Instr patch;
+    patch.op = isa::Opcode::kLdi;
+    patch.rd = R3;
+    patch.imm = 222;
+    const Word patch_word = instr_word(patch);
+
+    const auto image = assemble(kCode, [&](Assembler& a) {
+        a.ldi_label(R1, "patchme");
+        a.ldi(R2, static_cast<std::int64_t>(patch_word));
+        a.st(R1, 0, R2);
+        a.label("patchme");
+        a.ldi(R3, 111);
+        a.halt();
+    });
+    const Outcome with = run_machine(image, mem::kPermRWX, true);
+    const Outcome without = run_machine(image, mem::kPermRWX, false);
+    EXPECT_EQ(with.stop, StopReason::kHalt);
+    EXPECT_EQ(with.r3, 222u);
+    EXPECT_EQ(with, without);
+}
+
+TEST(ExecCache, SetPermsFlipRwToRxPicksUpRewrittenCode)
+{
+    // Hypervisor-style code swap: execute a page, flip it RX -> RW,
+    // rewrite its bytes while it is plain data, flip back RW -> RX and
+    // re-execute. Both flips and the rewrite bump the page generation,
+    // so the second run must execute the new bytes.
+    const auto image1 = assemble(kCode, [](Assembler& a) {
+        a.ldi(R3, 1);
+        a.halt();
+    });
+    const auto image2 = assemble(kCode, [](Assembler& a) {
+        a.ldi(R3, 2);
+        a.halt();
+    });
+
+    for (const bool cache : {true, false}) {
+        mem::PhysMem mem(1 << 20);
+        Cpu cpu(&mem);
+        NullEnv env;
+        cpu.set_env(&env);
+        cpu.set_decode_cache_enabled(cache);
+
+        mem.load_image(image1);
+        mem.set_perms(kCode, kPageSize, mem::kPermRX);
+        cpu.state().pc = kCode;
+        cpu.state().sp = kStackTop;
+        ASSERT_EQ(cpu.run(~static_cast<Cycles>(0), 100), StopReason::kHalt);
+        EXPECT_EQ(cpu.reg(R3), 1u) << "cache=" << cache;
+
+        mem.set_perms(kCode, kPageSize, mem::kPermRW);
+        mem.load_image(image2);
+        mem.set_perms(kCode, kPageSize, mem::kPermRX);
+        cpu.state().halted = false;
+        cpu.state().pc = kCode;
+        ASSERT_EQ(cpu.run(~static_cast<Cycles>(0), 200), StopReason::kHalt);
+        EXPECT_EQ(cpu.reg(R3), 2u) << "cache=" << cache;
+    }
+}
+
+/** Roll a VM back via restore_checkpoint and re-run; returns the final
+ *  memory hash + clocks, which must not depend on the decode cache. */
+Outcome
+rollback_outcome(bool cache)
+{
+    auto profile = workloads::benchmark_profile("radiosity");
+    profile.rdtsc_prob = 0.0;  // trap-free early segment (no injections)
+    auto vm = workloads::make_vm(profile);
+    vm->cpu().set_decode_cache_enabled(cache);
+    rnr::InputLog empty_log;
+    rnr::Replayer env(vm.get(), &empty_log, 0, rnr::ReplayOptions{});
+    replay::CheckpointStore store(4);
+
+    vm->cpu().run(~static_cast<Cycles>(0), 1000);
+    const auto ck = store.take(*vm, env, 0);
+
+    // Diverge past the checkpoint, then roll back and replay the same
+    // deterministic segment. The decode cache saw the post-checkpoint
+    // code/pages; after the rollback it must not serve any of it stale.
+    vm->cpu().run(~static_cast<Cycles>(0), 3000);
+    replay::restore_checkpoint(*ck, vm.get(), &env);
+    EXPECT_EQ(vm->cpu().icount(), ck->icount);
+    vm->cpu().run(~static_cast<Cycles>(0), 3000);
+
+    Outcome out;
+    out.r3 = vm->cpu().reg(R3);
+    out.icount = vm->cpu().icount();
+    out.cycles = vm->cpu().cycles();
+    out.mem_hash = vm->mem().content_hash();
+    return out;
+}
+
+TEST(ExecCache, RestoreCheckpointRollbackIsCacheInvisible)
+{
+    const Outcome with = rollback_outcome(true);
+    const Outcome without = rollback_outcome(false);
+    EXPECT_EQ(with, without);
+
+    // And the rollback itself is repeatable: two cache-on runs agree.
+    EXPECT_EQ(rollback_outcome(true), with);
+}
+
+}  // namespace
+}  // namespace rsafe::cpu

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Tier-1 verification: build and run the full test suite in the normal
+# (RelWithDebInfo) configuration and again under ASan+UBSan
+# (-DRSAFE_SANITIZE=ON). Run from the repository root:
+#
+#   tools/check.sh            # both configurations
+#   tools/check.sh release    # normal configuration only
+#   tools/check.sh sanitize   # sanitizer configuration only
+set -eu
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+
+run_config() {
+    dir="$1"
+    shift
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j "$(nproc)"
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+case "$mode" in
+  release)  run_config build ;;
+  sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
+  all)
+    run_config build
+    run_config build-asan -DRSAFE_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: tools/check.sh [release|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+echo "check.sh: all requested configurations passed"
