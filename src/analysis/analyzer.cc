@@ -1,0 +1,317 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "kernel/layout.h"
+
+namespace rsafe::analysis {
+
+namespace {
+
+std::string
+hex(Addr addr)
+{
+    return strcat_args("0x", std::hex, addr);
+}
+
+/** Compare a derived address set against a declared one. */
+void
+verify_whitelist(const std::string& which, const std::vector<Addr>& derived,
+                 std::vector<Addr> declared, std::vector<Finding>* out)
+{
+    std::sort(declared.begin(), declared.end());
+    declared.erase(std::unique(declared.begin(), declared.end()),
+                   declared.end());
+    for (const Addr addr : declared) {
+        if (!std::binary_search(derived.begin(), derived.end(), addr)) {
+            out->push_back(
+                {Rule::kWhitelistMismatch, Severity::kError, addr,
+                 strcat_args("declared ", which, " whitelist PC ", hex(addr),
+                             " is not recoverable from the CFG")});
+        }
+    }
+    for (const Addr addr : derived) {
+        if (!std::binary_search(declared.begin(), declared.end(), addr)) {
+            out->push_back(
+                {Rule::kWhitelistMismatch, Severity::kError, addr,
+                 strcat_args("derived ", which, " whitelist PC ", hex(addr),
+                             " is missing from the declaration")});
+        }
+    }
+}
+
+GadgetSurface
+measure_gadget_surface(const DecodedImage& decoded,
+                       const FunctionTable& table, std::size_t max_instrs)
+{
+    GadgetSurface surface;
+    surface.max_run_instrs = max_instrs;
+    const std::vector<RetRun> runs = ret_runs(decoded, max_instrs);
+    surface.total_runs = runs.size();
+
+    std::vector<std::size_t> per_fn(table.functions().size(), 0);
+    for (const RetRun& run : runs) {
+        if (run.instrs.size() == 1)
+            ++surface.ret_sites;
+        const InferredFunction* fn = table.function_containing(run.addr);
+        if (fn == nullptr) {
+            ++surface.unattributed_runs;
+            continue;
+        }
+        ++per_fn[static_cast<std::size_t>(fn - table.functions().data())];
+    }
+    for (std::size_t i = 0; i < per_fn.size(); ++i) {
+        const InferredFunction& fn = table.functions()[i];
+        FunctionGadgets fg;
+        fg.name = fn.name;
+        fg.begin = fn.begin;
+        fg.instr_count =
+            static_cast<std::size_t>(fn.end - fn.begin) / kInstrBytes;
+        fg.runs = per_fn[i];
+        fg.density = fg.instr_count == 0
+                         ? 0.0
+                         : static_cast<double>(fg.runs) /
+                               static_cast<double>(fg.instr_count);
+        surface.per_function.push_back(std::move(fg));
+    }
+    std::sort(surface.per_function.begin(), surface.per_function.end(),
+              [](const FunctionGadgets& a, const FunctionGadgets& b) {
+                  if (a.density != b.density)
+                      return a.density > b.density;
+                  return a.begin < b.begin;
+              });
+    return surface;
+}
+
+void
+append_json_addr_list(std::string* out, const std::vector<Addr>& addrs)
+{
+    *out += "[";
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        if (i > 0)
+            *out += ", ";
+        *out += strcat_args("\"", hex(addrs[i]), "\"");
+    }
+    *out += "]";
+}
+
+}  // namespace
+
+std::size_t
+AnalysisReport::count(Severity severity) const
+{
+    std::size_t n = 0;
+    for (const Finding& finding : findings) {
+        if (finding.severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+AnalysisReport
+analyze(const isa::Image& image, const AnalysisConfig& config)
+{
+    AnalysisReport report;
+    report.image_base = image.base();
+    report.image_end = image.end();
+
+    const DecodedImage decoded(image);
+    report.instr_slots = decoded.size();
+    for (const Slot& slot : decoded.slots()) {
+        if (slot.valid)
+            ++report.valid_slots;
+    }
+
+    const Cfg cfg(decoded);
+    report.block_count = cfg.blocks().size();
+    for (const BasicBlock& block : cfg.blocks()) {
+        if (block.reachable)
+            ++report.reachable_blocks;
+    }
+
+    report.findings = run_structural_lints(cfg, config.memory);
+
+    const FunctionTable table = FunctionTable::infer(cfg);
+    report.functions = table.functions();
+    if (config.verify_function_symbols && !image.functions().empty()) {
+        auto bounds_findings = table.verify_against(image);
+        report.bounds_verified = bounds_findings.empty();
+        report.findings.insert(report.findings.end(),
+                               bounds_findings.begin(),
+                               bounds_findings.end());
+    }
+
+    StackDisciplineResult discipline = analyze_stack_discipline(cfg);
+    report.whitelist = discipline.whitelist;
+    report.findings.insert(report.findings.end(),
+                           discipline.findings.begin(),
+                           discipline.findings.end());
+
+    if (!config.declared_ret_whitelist.empty() ||
+        !config.declared_tar_whitelist.empty()) {
+        report.whitelist_checked = true;
+        std::vector<Finding> wl_findings;
+        verify_whitelist("Ret", report.whitelist.ret_whitelist,
+                         config.declared_ret_whitelist, &wl_findings);
+        verify_whitelist("Tar", report.whitelist.tar_whitelist,
+                         config.declared_tar_whitelist, &wl_findings);
+        report.whitelist_verified = wl_findings.empty();
+        report.findings.insert(report.findings.end(), wl_findings.begin(),
+                               wl_findings.end());
+    }
+
+    report.gadgets =
+        measure_gadget_surface(decoded, table, config.gadget_max_instrs);
+
+    std::stable_sort(report.findings.begin(), report.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         return static_cast<int>(a.severity) <
+                                static_cast<int>(b.severity);
+                     });
+    return report;
+}
+
+AnalysisConfig
+kernel_analysis_config(const kernel::GuestKernel& kernel)
+{
+    namespace k = rsafe::kernel;
+    AnalysisConfig config;
+    config.memory.executable = {{k::kKernelCodeBase, k::kKernelCodeLimit}};
+    config.memory.writable = {
+        {k::kIvtBase, k::kKernelCodeBase},
+        {k::kKernelDataBase, k::kKernelDataLimit},
+        {k::kTaskStackBase,
+         k::kTaskStackBase + k::kMaxTasks * k::kTaskStackSize},
+        {k::kUserDataBase, k::kUserDataLimit},
+        {k::kWorkingSetBase, k::kWorkingSetLimit},
+    };
+    config.declared_ret_whitelist = {kernel.switch_ret_pc};
+    config.declared_tar_whitelist = {kernel.finish_resched,
+                                     kernel.finish_fork,
+                                     kernel.finish_kthread};
+    return config;
+}
+
+std::string
+render_text(const AnalysisReport& report)
+{
+    std::string out;
+    out += strcat_args("image            [", hex(report.image_base), ", ",
+                       hex(report.image_end), ")  ", report.instr_slots,
+                       " slots (", report.valid_slots, " decodable)\n");
+    out += strcat_args("cfg              ", report.block_count, " blocks, ",
+                       report.reachable_blocks, " reachable\n");
+    out += strcat_args("functions        ", report.functions.size(),
+                       " recovered; symbol cross-check ",
+                       report.bounds_verified ? "OK" : "FAILED", "\n");
+    out += "ret whitelist    ";
+    for (const Addr addr : report.whitelist.ret_whitelist)
+        out += hex(addr) + " ";
+    out += "\ntar whitelist    ";
+    for (const Addr addr : report.whitelist.tar_whitelist)
+        out += hex(addr) + " ";
+    if (report.whitelist_checked) {
+        out += strcat_args("\nwhitelist check  ",
+                           report.whitelist_verified ? "OK" : "FAILED");
+    }
+    out += strcat_args("\ngadget surface   ", report.gadgets.total_runs,
+                       " ret-terminated runs (<= ",
+                       report.gadgets.max_run_instrs, " instrs) over ",
+                       report.gadgets.ret_sites, " ret sites\n");
+    const std::size_t top =
+        std::min<std::size_t>(5, report.gadgets.per_function.size());
+    for (std::size_t i = 0; i < top; ++i) {
+        const FunctionGadgets& fg = report.gadgets.per_function[i];
+        out += strcat_args("  ", fg.name, " (", hex(fg.begin), "): ",
+                           fg.runs, " runs / ", fg.instr_count,
+                           " instrs\n");
+    }
+    out += strcat_args("findings         ", report.count(Severity::kError),
+                       " errors, ", report.count(Severity::kWarning),
+                       " warnings, ", report.count(Severity::kInfo),
+                       " infos\n");
+    for (const Finding& finding : report.findings) {
+        out += strcat_args("  [", severity_name(finding.severity), "] ",
+                           rule_name(finding.rule), ": ", finding.message,
+                           "\n");
+    }
+    return out;
+}
+
+std::string
+render_json(const AnalysisReport& report)
+{
+    std::string out = "{\n";
+    out += strcat_args("  \"image\": {\"base\": \"", hex(report.image_base),
+                       "\", \"end\": \"", hex(report.image_end),
+                       "\", \"slots\": ", report.instr_slots,
+                       ", \"decodable\": ", report.valid_slots, "},\n");
+    out += strcat_args("  \"cfg\": {\"blocks\": ", report.block_count,
+                       ", \"reachable\": ", report.reachable_blocks, "},\n");
+
+    out += "  \"functions\": [";
+    for (std::size_t i = 0; i < report.functions.size(); ++i) {
+        const InferredFunction& fn = report.functions[i];
+        if (i > 0)
+            out += ",";
+        out += strcat_args("\n    {\"name\": \"", fn.name, "\", \"begin\": \"",
+                           hex(fn.begin), "\", \"end\": \"", hex(fn.end),
+                           "\", \"declared\": ",
+                           fn.is_declared ? "true" : "false",
+                           ", \"call_target\": ",
+                           fn.is_call_target ? "true" : "false", "}");
+    }
+    out += "\n  ],\n";
+
+    out += strcat_args("  \"bounds_verified\": ",
+                       report.bounds_verified ? "true" : "false", ",\n");
+    out += "  \"whitelist\": {\"ret\": ";
+    append_json_addr_list(&out, report.whitelist.ret_whitelist);
+    out += ", \"tar\": ";
+    append_json_addr_list(&out, report.whitelist.tar_whitelist);
+    out += strcat_args(", \"checked\": ",
+                       report.whitelist_checked ? "true" : "false",
+                       ", \"verified\": ",
+                       report.whitelist_verified ? "true" : "false", "},\n");
+
+    out += strcat_args("  \"gadget_surface\": {\"ret_sites\": ",
+                       report.gadgets.ret_sites,
+                       ", \"total_runs\": ", report.gadgets.total_runs,
+                       ", \"max_run_instrs\": ",
+                       report.gadgets.max_run_instrs,
+                       ", \"unattributed_runs\": ",
+                       report.gadgets.unattributed_runs,
+                       ", \"per_function\": [");
+    for (std::size_t i = 0; i < report.gadgets.per_function.size(); ++i) {
+        const FunctionGadgets& fg = report.gadgets.per_function[i];
+        if (i > 0)
+            out += ",";
+        out += strcat_args("\n    {\"name\": \"", fg.name, "\", \"begin\": \"",
+                           hex(fg.begin), "\", \"instrs\": ", fg.instr_count,
+                           ", \"runs\": ", fg.runs, "}");
+    }
+    out += "\n  ]},\n";
+
+    out += "  \"findings\": [";
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding& finding = report.findings[i];
+        if (i > 0)
+            out += ",";
+        out += strcat_args("\n    {\"rule\": \"", rule_name(finding.rule),
+                           "\", \"severity\": \"",
+                           severity_name(finding.severity),
+                           "\", \"addr\": \"", hex(finding.addr),
+                           "\", \"message\": \"", finding.message, "\"}");
+    }
+    out += "\n  ],\n";
+    out += strcat_args("  \"summary\": {\"errors\": ",
+                       report.count(Severity::kError), ", \"warnings\": ",
+                       report.count(Severity::kWarning), ", \"infos\": ",
+                       report.count(Severity::kInfo), ", \"ok\": ",
+                       report.ok() ? "true" : "false", "}\n");
+    out += "}\n";
+    return out;
+}
+
+}  // namespace rsafe::analysis

@@ -1,0 +1,104 @@
+#ifndef RSAFE_ANALYSIS_ANALYZER_H_
+#define RSAFE_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/function_bounds.h"
+#include "analysis/lints.h"
+#include "analysis/stack_discipline.h"
+#include "common/types.h"
+#include "isa/program.h"
+#include "kernel/kernel_builder.h"
+
+/**
+ * @file
+ * The top-level static analyzer: one call recovers the CFG, infers and
+ * cross-checks function bounds, derives the Ret/Tar whitelists, measures
+ * the gadget surface, and runs every lint rule over a guest image. The
+ * `rsafe-analyze` CLI and tests/test_analysis.cc are thin shells over
+ * analyze(); kernel_analysis_config() packages the declared facts of a
+ * built guest kernel so the analyzer can verify them.
+ */
+
+namespace rsafe::analysis {
+
+/** What to analyze an image against. */
+struct AnalysisConfig {
+    /** Memory-layout facts for the W^X lints (empty: image extent). */
+    MemoryMap memory;
+
+    /** Declared Ret/Tar whitelists to verify (empty: skip the check). */
+    std::vector<Addr> declared_ret_whitelist;
+    std::vector<Addr> declared_tar_whitelist;
+
+    /** Cross-check inferred bounds against Image::functions(). */
+    bool verify_function_symbols = true;
+
+    /** Longest ret-terminated run counted by the gadget surface. */
+    std::size_t gadget_max_instrs = 4;
+};
+
+/** Gadget-surface density of one function. */
+struct FunctionGadgets {
+    std::string name;
+    Addr begin = 0;
+    std::size_t instr_count = 0;
+    std::size_t runs = 0;    ///< ret-terminated runs starting inside
+    double density = 0.0;    ///< runs / instructions
+};
+
+/** The image-wide gadget surface (Appendix A's raw material). */
+struct GadgetSurface {
+    std::size_t ret_sites = 0;
+    std::size_t total_runs = 0;
+    std::size_t max_run_instrs = 0;   ///< the configured enumeration bound
+    std::size_t unattributed_runs = 0;  ///< runs outside every function
+    std::vector<FunctionGadgets> per_function;  ///< densest first
+};
+
+/** Everything analyze() recovers about one image. */
+struct AnalysisReport {
+    Addr image_base = 0;
+    Addr image_end = 0;
+    std::size_t instr_slots = 0;
+    std::size_t valid_slots = 0;
+    std::size_t block_count = 0;
+    std::size_t reachable_blocks = 0;
+
+    std::vector<InferredFunction> functions;
+    bool bounds_verified = false;  ///< cross-check ran and found no mismatch
+
+    WhitelistFacts whitelist;
+    bool whitelist_checked = false;  ///< declared lists were provided
+    bool whitelist_verified = false; ///< derived == declared
+
+    GadgetSurface gadgets;
+    std::vector<Finding> findings;
+
+    /** @return number of findings at @p severity. */
+    std::size_t count(Severity severity) const;
+
+    /** @return true if no lint errors were found. */
+    bool ok() const { return count(Severity::kError) == 0; }
+};
+
+/** Run the full analysis over @p image. */
+AnalysisReport analyze(const isa::Image& image, const AnalysisConfig& config);
+
+/**
+ * @return the config that checks a built guest kernel: the kernel
+ * code/data/stack layout of kernel/layout.h and the GuestKernel's declared
+ * whitelist PCs.
+ */
+AnalysisConfig kernel_analysis_config(const kernel::GuestKernel& kernel);
+
+/** Render @p report as a human-readable multi-line summary. */
+std::string render_text(const AnalysisReport& report);
+
+/** Render @p report as JSON (schema documented in README.md). */
+std::string render_json(const AnalysisReport& report);
+
+}  // namespace rsafe::analysis
+
+#endif  // RSAFE_ANALYSIS_ANALYZER_H_

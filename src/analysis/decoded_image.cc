@@ -1,0 +1,66 @@
+#include "analysis/decoded_image.h"
+
+namespace rsafe::analysis {
+
+DecodedImage::DecodedImage(const isa::Image& image) : image_(&image)
+{
+    const std::size_t count = image.size() / kInstrBytes;
+    slots_.reserve(count);
+    const std::uint8_t* bytes = image.bytes().data();
+    for (std::size_t i = 0; i < count; ++i) {
+        Slot slot;
+        slot.addr = image.base() + i * kInstrBytes;
+        slot.valid = isa::decode(bytes + i * kInstrBytes, &slot.instr);
+        slots_.push_back(slot);
+    }
+}
+
+std::optional<std::size_t>
+DecodedImage::index_of(Addr addr) const
+{
+    if (addr < image_->base())
+        return std::nullopt;
+    const Addr off = addr - image_->base();
+    if (off % kInstrBytes != 0)
+        return std::nullopt;
+    const std::size_t index = off / kInstrBytes;
+    if (index >= slots_.size())
+        return std::nullopt;
+    return index;
+}
+
+const Slot*
+DecodedImage::at(Addr addr) const
+{
+    const auto index = index_of(addr);
+    return index ? &slots_[*index] : nullptr;
+}
+
+std::vector<RetRun>
+ret_runs(const DecodedImage& decoded, std::size_t max_instrs)
+{
+    std::vector<RetRun> runs;
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+        const Slot& slot = decoded[i];
+        if (!slot.valid || slot.instr.op != isa::Opcode::kRet)
+            continue;
+        for (std::size_t len = 1; len <= max_instrs && len <= i + 1; ++len) {
+            const std::size_t start = i - (len - 1);
+            RetRun run;
+            run.addr = decoded.addr_of(start);
+            bool ok = true;
+            for (std::size_t j = start; j <= i; ++j) {
+                if (!decoded[j].valid) {
+                    ok = false;
+                    break;
+                }
+                run.instrs.push_back(decoded[j].instr);
+            }
+            if (ok)
+                runs.push_back(std::move(run));
+        }
+    }
+    return runs;
+}
+
+}  // namespace rsafe::analysis

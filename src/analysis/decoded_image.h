@@ -1,0 +1,87 @@
+#ifndef RSAFE_ANALYSIS_DECODED_IMAGE_H_
+#define RSAFE_ANALYSIS_DECODED_IMAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * The shared decode walk of the static-analysis subsystem.
+ *
+ * Every analysis over a guest image (CFG recovery, function-bounds
+ * inference, gadget-surface measurement, the attack mounter's gadget
+ * scanner) starts from the same primitive: decode every 8-byte instruction
+ * slot of the image exactly once. DecodedImage performs that walk eagerly
+ * and caches the result so the downstream passes never re-decode.
+ */
+
+namespace rsafe::analysis {
+
+/** One decoded instruction slot of an image. */
+struct Slot {
+    Addr addr = 0;        ///< guest address of the slot
+    bool valid = false;   ///< false: undecodable bytes (data, padding)
+    isa::Instr instr;     ///< meaningful only when @ref valid
+};
+
+/** An image with every aligned instruction slot pre-decoded. */
+class DecodedImage {
+  public:
+    explicit DecodedImage(const isa::Image& image);
+
+    /** @return the underlying image (must outlive this object). */
+    const isa::Image& image() const { return *image_; }
+
+    /** @return number of full 8-byte slots in the image. */
+    std::size_t size() const { return slots_.size(); }
+
+    /** @return slot @p index (0-based from the image base). */
+    const Slot& operator[](std::size_t index) const { return slots_[index]; }
+
+    /** @return all slots in address order. */
+    const std::vector<Slot>& slots() const { return slots_; }
+
+    /** @return the guest address of slot @p index. */
+    Addr addr_of(std::size_t index) const
+    {
+        return image_->base() + index * kInstrBytes;
+    }
+
+    /** @return the slot index of @p addr, or nullopt if misaligned/OOR. */
+    std::optional<std::size_t> index_of(Addr addr) const;
+
+    /** @return the slot at @p addr, or nullptr if misaligned/OOR. */
+    const Slot* at(Addr addr) const;
+
+  private:
+    const isa::Image* image_;
+    std::vector<Slot> slots_;
+};
+
+/**
+ * One ret-terminated instruction run (the unit of the gadget surface):
+ * @ref instrs decodes the consecutive slots [addr, addr + 8*n) whose last
+ * instruction is `ret`.
+ */
+struct RetRun {
+    Addr addr = 0;                   ///< address of the first instruction
+    std::vector<isa::Instr> instrs;  ///< includes the terminating ret
+};
+
+/**
+ * Enumerate every ret-terminated run of 1..max_instrs fully-decodable
+ * slots, in ascending ret-site order (runs sharing a ret are emitted
+ * shortest first). This is the walk both attack::GadgetFinder and the
+ * gadget-surface report are built on.
+ */
+std::vector<RetRun> ret_runs(const DecodedImage& decoded,
+                             std::size_t max_instrs);
+
+}  // namespace rsafe::analysis
+
+#endif  // RSAFE_ANALYSIS_DECODED_IMAGE_H_

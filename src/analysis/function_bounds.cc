@@ -1,0 +1,165 @@
+#include "analysis/function_bounds.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/log.h"
+
+namespace rsafe::analysis {
+
+namespace {
+
+std::string
+hex(Addr addr)
+{
+    return strcat_args("0x", std::hex, addr);
+}
+
+}  // namespace
+
+FunctionTable
+FunctionTable::infer(const Cfg& cfg)
+{
+    const isa::Image& image = cfg.decoded().image();
+
+    // Entries: direct call targets plus declared function symbols.
+    std::map<Addr, InferredFunction> entries;
+    for (const Addr target : cfg.call_targets()) {
+        InferredFunction fn;
+        fn.begin = target;
+        fn.is_call_target = true;
+        entries[target] = fn;
+    }
+    for (const auto& [name, range] : image.functions()) {
+        auto& fn = entries[range.begin];
+        fn.begin = range.begin;
+        fn.name = name;
+        fn.is_declared = true;
+    }
+
+    // Boundaries: every point where one code object can end and the next
+    // begin — entries, address-taken continuations, external entries, and
+    // the image end.
+    std::set<Addr> boundaries;
+    for (const auto& [addr, fn] : entries)
+        boundaries.insert(addr);
+    for (const Addr addr : cfg.address_taken())
+        boundaries.insert(addr);
+    for (const Addr addr : cfg.external_entries())
+        boundaries.insert(addr);
+    boundaries.insert(image.end());
+
+    FunctionTable table;
+    for (auto& [addr, fn] : entries) {
+        auto next = boundaries.upper_bound(addr);
+        fn.end = next == boundaries.end() ? image.end() : *next;
+        if (fn.name.empty())
+            fn.name = strcat_args("fn_", std::hex, addr);
+        table.functions_.push_back(fn);
+    }
+    return table;
+}
+
+const InferredFunction*
+FunctionTable::function_containing(Addr addr) const
+{
+    auto it = std::upper_bound(
+        functions_.begin(), functions_.end(), addr,
+        [](Addr value, const InferredFunction& fn) {
+            return value < fn.begin;
+        });
+    if (it == functions_.begin())
+        return nullptr;
+    --it;
+    if (addr >= it->begin && addr < it->end)
+        return &*it;
+    return nullptr;
+}
+
+std::vector<core::FunctionBounds>
+FunctionTable::jop_bounds() const
+{
+    std::vector<core::FunctionBounds> bounds;
+    bounds.reserve(functions_.size());
+    for (const InferredFunction& fn : functions_)
+        bounds.push_back(core::FunctionBounds{fn.begin, fn.end});
+    return bounds;
+}
+
+std::vector<Finding>
+FunctionTable::verify_against(const isa::Image& image) const
+{
+    std::vector<Finding> findings;
+    auto mismatch = [&findings](Addr addr, const std::string& message) {
+        findings.push_back(
+            {Rule::kBoundsMismatch, Severity::kError, addr, message});
+    };
+
+    std::map<Addr, const InferredFunction*> by_begin;
+    for (const InferredFunction& fn : functions_)
+        by_begin[fn.begin] = &fn;
+
+    // Every declared function must be recovered with identical bounds.
+    Addr prev_end = 0;
+    std::string prev_name;
+    for (const auto& [name, range] : image.functions()) {
+        if (range.begin >= range.end || range.begin < image.base() ||
+            range.end > image.end()) {
+            mismatch(range.begin,
+                     strcat_args("declared function '", name,
+                                 "' has bad range [", hex(range.begin), ", ",
+                                 hex(range.end), ")"));
+            continue;
+        }
+        auto it = by_begin.find(range.begin);
+        if (it == by_begin.end()) {
+            mismatch(range.begin,
+                     strcat_args("declared function '", name, "' at ",
+                                 hex(range.begin),
+                                 " was not recovered as an entry point"));
+            continue;
+        }
+        if (it->second->end != range.end) {
+            mismatch(range.begin,
+                     strcat_args("declared function '", name, "' ends at ",
+                                 hex(range.end), " but the recovered ",
+                                 "bounds end at ", hex(it->second->end)));
+        }
+    }
+
+    // Declared ranges must not overlap one another (the map iterates by
+    // name; re-check in address order).
+    std::vector<isa::SymbolRange> declared;
+    std::map<Addr, std::string> names_by_begin;
+    for (const auto& [name, range] : image.functions()) {
+        declared.push_back(range);
+        names_by_begin[range.begin] = name;
+    }
+    std::sort(declared.begin(), declared.end(),
+              [](const isa::SymbolRange& a, const isa::SymbolRange& b) {
+                  return a.begin < b.begin;
+              });
+    for (const isa::SymbolRange& range : declared) {
+        if (range.begin < prev_end) {
+            mismatch(range.begin,
+                     strcat_args("declared function '",
+                                 names_by_begin[range.begin],
+                                 "' overlaps '", prev_name, "'"));
+        }
+        prev_end = range.end;
+        prev_name = names_by_begin[range.begin];
+    }
+
+    // Every recovered call target must be a declared function entry.
+    for (const InferredFunction& fn : functions_) {
+        if (fn.is_call_target && !fn.is_declared) {
+            mismatch(fn.begin,
+                     strcat_args("call target ", hex(fn.begin),
+                                 " is not a declared function entry"));
+        }
+    }
+    return findings;
+}
+
+}  // namespace rsafe::analysis

@@ -1,0 +1,72 @@
+#ifndef RSAFE_ANALYSIS_FUNCTION_BOUNDS_H_
+#define RSAFE_ANALYSIS_FUNCTION_BOUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/lints.h"
+#include "common/types.h"
+#include "core/jop_detector.h"
+
+/**
+ * @file
+ * Function-bounds inference and symbol-table cross-checking.
+ *
+ * Entry points are recovered from the CFG (direct call targets) and from
+ * the image symbol table; each function's extent runs from its entry to
+ * the next code boundary (the next entry, address-taken continuation,
+ * external entry, or the image end). The verifier then cross-checks the
+ * inference against the declared Image::functions() ranges: every declared
+ * function must be recovered with identical bounds, and every recovered
+ * call target must be a declared entry — turning the hand-declared
+ * metadata the JopDetector trusts into a verified invariant.
+ */
+
+namespace rsafe::analysis {
+
+/** One inferred function. */
+struct InferredFunction {
+    Addr begin = 0;
+    Addr end = 0;              ///< one past the last byte
+    std::string name;          ///< symbol name if declared, else "fn_<hex>"
+    bool is_call_target = false;  ///< recovered from a direct call
+    bool is_declared = false;     ///< present in Image::functions()
+};
+
+/** The recovered function table of one image. */
+class FunctionTable {
+  public:
+    /** Infer the table from @p cfg and its image's symbols. */
+    static FunctionTable infer(const Cfg& cfg);
+
+    /** @return inferred functions sorted by begin address. */
+    const std::vector<InferredFunction>& functions() const
+    {
+        return functions_;
+    }
+
+    /** @return the function containing @p addr, or nullptr. */
+    const InferredFunction* function_containing(Addr addr) const;
+
+    /**
+     * @return the inferred table in the exact shape the JopDetector's
+     * analysis-backed constructor consumes.
+     */
+    std::vector<core::FunctionBounds> jop_bounds() const;
+
+    /**
+     * Cross-check the inference against the declared symbol table:
+     * identical bounds for every declared function, every call target
+     * declared, declared ranges inside the image. Returns error findings
+     * for each disagreement (empty = verified).
+     */
+    std::vector<Finding> verify_against(const isa::Image& image) const;
+
+  private:
+    std::vector<InferredFunction> functions_;
+};
+
+}  // namespace rsafe::analysis
+
+#endif  // RSAFE_ANALYSIS_FUNCTION_BOUNDS_H_

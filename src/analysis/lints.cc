@@ -1,0 +1,217 @@
+#include "analysis/lints.h"
+
+#include "common/log.h"
+
+namespace rsafe::analysis {
+
+using isa::Opcode;
+
+const char*
+rule_name(Rule rule)
+{
+    switch (rule) {
+      case Rule::kWxViolation:       return "wx-violation";
+      case Rule::kMidInstrBranch:    return "mid-instruction-branch";
+      case Rule::kBadBranchTarget:   return "bad-branch-target";
+      case Rule::kCallRetImbalance:  return "call-ret-imbalance";
+      case Rule::kUnreachableCode:   return "unreachable-code";
+      case Rule::kUntabledIndirect:  return "untabled-indirect";
+      case Rule::kBoundsMismatch:    return "bounds-mismatch";
+      case Rule::kWhitelistMismatch: return "whitelist-mismatch";
+      case Rule::kDecodeGap:         return "decode-gap";
+      case Rule::kExternalEntry:     return "external-entry";
+    }
+    return "<bad>";
+}
+
+const char*
+severity_name(Severity severity)
+{
+    switch (severity) {
+      case Severity::kError:   return "error";
+      case Severity::kWarning: return "warning";
+      case Severity::kInfo:    return "info";
+    }
+    return "<bad>";
+}
+
+namespace {
+
+std::string
+hex(Addr addr)
+{
+    return strcat_args("0x", std::hex, addr);
+}
+
+bool
+in_any(const std::vector<Region>& regions, Addr addr)
+{
+    for (const Region& region : regions) {
+        if (region.contains(addr))
+            return true;
+    }
+    return false;
+}
+
+/** W^X: layout-level checks plus statically-resolvable stores into code. */
+void
+lint_wx(const Cfg& cfg, const MemoryMap& map, std::vector<Finding>* out)
+{
+    const isa::Image& image = cfg.decoded().image();
+    std::vector<Region> exec = map.executable;
+    if (exec.empty())
+        exec.push_back(Region{image.base(), image.end()});
+
+    for (const Region& x : exec) {
+        for (const Region& w : map.writable) {
+            if (x.overlaps(w)) {
+                out->push_back(
+                    {Rule::kWxViolation, Severity::kError, x.begin,
+                     strcat_args("executable region [", hex(x.begin), ", ",
+                                 hex(x.end), ") overlaps writable region [",
+                                 hex(w.begin), ", ", hex(w.end), ")")});
+            }
+        }
+    }
+    if (!in_any(exec, image.base()) ||
+        (image.size() > 0 && !in_any(exec, image.end() - 1))) {
+        out->push_back({Rule::kWxViolation, Severity::kError, image.base(),
+                        strcat_args("image [", hex(image.base()), ", ",
+                                    hex(image.end()),
+                                    ") extends outside the declared "
+                                    "executable regions")});
+    }
+
+    // Stores whose target folds to a constant must stay out of code.
+    for (const BasicBlock& block : cfg.blocks()) {
+        if (!block.reachable)
+            continue;
+        RegState state;
+        for (std::size_t k = 0; k < block.instr_count; ++k) {
+            const Slot& slot = cfg.decoded()[block.first_slot + k];
+            const isa::Instr& instr = slot.instr;
+            if (instr.op == Opcode::kSt || instr.op == Opcode::kStb) {
+                if (const auto base = state.get(instr.rs1)) {
+                    const Addr target =
+                        *base + static_cast<std::uint64_t>(instr.simm());
+                    if (in_any(exec, target)) {
+                        out->push_back(
+                            {Rule::kWxViolation, Severity::kError, slot.addr,
+                             strcat_args("store at ", hex(slot.addr),
+                                         " writes executable address ",
+                                         hex(target))});
+                    }
+                }
+            }
+            state.apply(instr);
+        }
+    }
+}
+
+/** Direct-transfer targets: in-image, slot-aligned. */
+void
+lint_targets(const Cfg& cfg, std::vector<Finding>* out)
+{
+    const DecodedImage& di = cfg.decoded();
+    const isa::Image& image = di.image();
+    for (const BasicBlock& block : cfg.blocks()) {
+        if (!block.reachable)
+            continue;
+        for (const Edge& edge : block.succs) {
+            if (edge.kind != EdgeKind::kBranch &&
+                edge.kind != EdgeKind::kJump && edge.kind != EdgeKind::kCall)
+                continue;
+            const Addr last = block.end - kInstrBytes;
+            if (edge.target < image.base() || edge.target >= image.end()) {
+                out->push_back(
+                    {Rule::kBadBranchTarget, Severity::kError, last,
+                     strcat_args(edge_kind_name(edge.kind), " at ", hex(last),
+                                 " targets ", hex(edge.target),
+                                 " outside the image")});
+            } else if ((edge.target - image.base()) % kInstrBytes != 0) {
+                out->push_back(
+                    {Rule::kMidInstrBranch, Severity::kError, last,
+                     strcat_args(edge_kind_name(edge.kind), " at ", hex(last),
+                                 " targets ", hex(edge.target),
+                                 " inside an 8-byte instruction slot")});
+            } else if (const Slot* slot = di.at(edge.target);
+                       slot != nullptr && !slot->valid) {
+                out->push_back(
+                    {Rule::kBadBranchTarget, Severity::kError, last,
+                     strcat_args(edge_kind_name(edge.kind), " at ", hex(last),
+                                 " targets undecodable bytes at ",
+                                 hex(edge.target))});
+            }
+        }
+    }
+}
+
+/** Unreachable blocks, external entries, and decode gaps. */
+void
+lint_reachability(const Cfg& cfg, std::vector<Finding>* out)
+{
+    for (const BasicBlock& block : cfg.blocks()) {
+        if (block.external_entry) {
+            out->push_back(
+                {Rule::kExternalEntry, Severity::kInfo, block.begin,
+                 strcat_args("block at ", hex(block.begin),
+                             " is entered only from outside the image "
+                             "(symbol-bearing continuation)")});
+        } else if (!block.reachable) {
+            out->push_back(
+                {Rule::kUnreachableCode, Severity::kError, block.begin,
+                 strcat_args("block at ", hex(block.begin),
+                             " is unreachable from every entry point and "
+                             "carries no symbol")});
+        }
+    }
+    for (const Slot& slot : cfg.decoded().slots()) {
+        if (!slot.valid) {
+            out->push_back({Rule::kDecodeGap, Severity::kInfo, slot.addr,
+                            strcat_args("undecodable slot at ",
+                                        hex(slot.addr),
+                                        " (data in an executable segment)")});
+        }
+    }
+}
+
+/** Indirect transfers whose target register holds no derivable constant. */
+void
+lint_indirects(const Cfg& cfg, std::vector<Finding>* out)
+{
+    for (const BasicBlock& block : cfg.blocks()) {
+        if (!block.reachable)
+            continue;
+        RegState state;
+        for (std::size_t k = 0; k < block.instr_count; ++k) {
+            const Slot& slot = cfg.decoded()[block.first_slot + k];
+            const isa::Instr& instr = slot.instr;
+            if (isa::is_indirect_branch(instr.op) &&
+                !state.get(instr.rs1)) {
+                out->push_back(
+                    {Rule::kUntabledIndirect, Severity::kWarning, slot.addr,
+                     strcat_args(isa::opcode_name(instr.op), " at ",
+                                 hex(slot.addr), " via r",
+                                 static_cast<int>(instr.rs1),
+                                 " has no statically tabled target "
+                                 "(JOP surface)")});
+            }
+            state.apply(instr);
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Finding>
+run_structural_lints(const Cfg& cfg, const MemoryMap& map)
+{
+    std::vector<Finding> findings;
+    lint_wx(cfg, map, &findings);
+    lint_targets(cfg, &findings);
+    lint_reachability(cfg, &findings);
+    lint_indirects(cfg, &findings);
+    return findings;
+}
+
+}  // namespace rsafe::analysis

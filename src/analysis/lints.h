@@ -1,0 +1,93 @@
+#ifndef RSAFE_ANALYSIS_LINTS_H_
+#define RSAFE_ANALYSIS_LINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/types.h"
+
+/**
+ * @file
+ * Lint findings and the structural lint rules of the analyzer.
+ *
+ * A Finding is one diagnosed fact about the image, tagged with the rule
+ * that produced it and a severity. Errors are facts that contradict the
+ * security model (writable code, a branch into the middle of an 8-byte
+ * slot, an unbalanced return); warnings are attack-surface observations
+ * (an indirect call whose target no table constrains); infos are
+ * annotations (data slots, external continuation entries).
+ */
+
+namespace rsafe::analysis {
+
+/** Lint severity. */
+enum class Severity {
+    kError,
+    kWarning,
+    kInfo,
+};
+
+/** The rule that produced a finding. */
+enum class Rule {
+    kWxViolation,        ///< writable executable memory / store into code
+    kMidInstrBranch,     ///< control transfer into the middle of a slot
+    kBadBranchTarget,    ///< direct target outside the executable image
+    kCallRetImbalance,   ///< static shadow-stack discipline violated
+    kUnreachableCode,    ///< block no root reaches and no symbol names
+    kUntabledIndirect,   ///< indirect call/jump with no tabled target
+    kBoundsMismatch,     ///< inferred bounds disagree with the symbol table
+    kWhitelistMismatch,  ///< derived Ret/Tar whitelist != declared
+    kDecodeGap,          ///< undecodable slot inside the executable image
+    kExternalEntry,      ///< symbol-bearing orphan promoted to entry
+};
+
+/** @return the kebab-case rule name (stable; used in the JSON report). */
+const char* rule_name(Rule rule);
+
+/** @return "error" / "warning" / "info". */
+const char* severity_name(Severity severity);
+
+/** One diagnosed fact about the analyzed image. */
+struct Finding {
+    Rule rule = Rule::kWxViolation;
+    Severity severity = Severity::kError;
+    Addr addr = 0;  ///< the instruction or block the finding anchors to
+    std::string message;
+};
+
+/** An address range [begin, end). */
+struct Region {
+    Addr begin = 0;
+    Addr end = 0;
+
+    bool contains(Addr addr) const { return addr >= begin && addr < end; }
+    bool overlaps(const Region& other) const
+    {
+        return begin < other.end && other.begin < end;
+    }
+};
+
+/** Memory-layout facts the structural lints check the image against. */
+struct MemoryMap {
+    std::vector<Region> executable;  ///< empty: the image extent itself
+    std::vector<Region> writable;
+};
+
+/**
+ * Run the structural lints over @p cfg:
+ *  - W^X: executable/writable overlap, image bytes outside the executable
+ *    regions, stores with a statically-constant target inside them;
+ *  - mid-instruction branches and direct targets outside the image;
+ *  - unreachable blocks (error without a symbol, info for promoted
+ *    external entries);
+ *  - indirect calls/jumps whose target register holds no derivable
+ *    constant (the untabled JOP surface — reported as warnings);
+ *  - undecodable slots (info: data in an executable segment).
+ */
+std::vector<Finding> run_structural_lints(const Cfg& cfg,
+                                          const MemoryMap& map);
+
+}  // namespace rsafe::analysis
+
+#endif  // RSAFE_ANALYSIS_LINTS_H_

@@ -1,0 +1,294 @@
+#include "analysis/stack_discipline.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "common/log.h"
+
+namespace rsafe::analysis {
+
+using isa::Opcode;
+
+namespace {
+
+std::string
+hex(Addr addr)
+{
+    return strcat_args("0x", std::hex, addr);
+}
+
+/** @return true if @p value is an aligned address inside the image. */
+bool
+is_code_addr(const DecodedImage& di, std::uint64_t value)
+{
+    return di.index_of(value).has_value();
+}
+
+/** One abstract machine state at a block entry. */
+struct WalkState {
+    std::size_t block = 0;  ///< index into cfg.blocks()
+    int height = 0;         ///< pushed slots since function entry
+    bool foreign = false;   ///< a setsp switched stacks on this path
+    std::vector<std::optional<std::uint64_t>> stack;  ///< pushed values
+    RegState regs;
+};
+
+/** Bound on distinct (block, height, foreign) states per function. */
+constexpr std::size_t kMaxStatesPerFunction = 4096;
+
+class FunctionWalker {
+  public:
+    FunctionWalker(const Cfg& cfg, const std::string& name, Addr begin,
+                   Addr end, StackDisciplineResult* out)
+        : cfg_(cfg), name_(name), begin_(begin), end_(end), out_(out)
+    {
+    }
+
+    void run();
+
+  private:
+    void step(WalkState state);
+    void error(Addr addr, const std::string& message)
+    {
+        out_->findings.push_back(
+            {Rule::kCallRetImbalance, Severity::kError, addr, message});
+    }
+
+    const Cfg& cfg_;
+    const std::string& name_;
+    Addr begin_;
+    Addr end_;
+    StackDisciplineResult* out_;
+    std::set<std::tuple<std::size_t, int, bool>> visited_;
+    bool budget_reported_ = false;
+};
+
+void
+FunctionWalker::run()
+{
+    const BasicBlock* entry = cfg_.block_starting(begin_);
+    if (entry == nullptr)
+        return;  // bounds verification reports this separately
+    WalkState state;
+    state.block =
+        static_cast<std::size_t>(entry - cfg_.blocks().data());
+    step(std::move(state));
+}
+
+void
+FunctionWalker::step(WalkState state)
+{
+    if (!visited_.insert({state.block, state.height, state.foreign}).second)
+        return;
+    if (visited_.size() > kMaxStatesPerFunction) {
+        if (!budget_reported_) {
+            budget_reported_ = true;
+            out_->findings.push_back(
+                {Rule::kCallRetImbalance, Severity::kWarning, begin_,
+                 strcat_args("function '", name_,
+                             "' exceeded the acyclic-path state budget; "
+                             "discipline only partially checked")});
+        }
+        return;
+    }
+
+    const BasicBlock& block = cfg_.blocks()[state.block];
+    const DecodedImage& di = cfg_.decoded();
+
+    auto push_value = [&state](std::optional<std::uint64_t> value) {
+        state.stack.push_back(value);
+        ++state.height;
+    };
+    auto pop_value = [&state]() {
+        state.stack.pop_back();
+        --state.height;
+    };
+
+    for (std::size_t k = 0; k < block.instr_count; ++k) {
+        const Slot& slot = di[block.first_slot + k];
+        const isa::Instr& instr = slot.instr;
+        const bool is_last = k + 1 == block.instr_count;
+
+        switch (instr.op) {
+          case Opcode::kPush:
+            push_value(state.regs.get(instr.rs1));
+            break;
+          case Opcode::kPop:
+            if (state.foreign) {
+                // Contents of a switched-to stack are unknowable here.
+                break;
+            }
+            if (state.stack.empty()) {
+                error(slot.addr,
+                      strcat_args("pop at ", hex(slot.addr), " in '", name_,
+                                  "' consumes the caller's frame"));
+                return;
+            }
+            pop_value();
+            break;
+          case Opcode::kAddsp: {
+            const std::int64_t delta = instr.simm();
+            if (delta % static_cast<std::int64_t>(kInstrBytes) != 0) {
+                error(slot.addr,
+                      strcat_args("addsp at ", hex(slot.addr),
+                                  " adjusts by a non-slot multiple"));
+                return;
+            }
+            std::int64_t slots = -delta / 8;  // negative delta grows
+            if (state.foreign)
+                break;
+            for (; slots > 0; --slots)
+                push_value(std::nullopt);
+            for (; slots < 0; ++slots) {
+                if (state.stack.empty()) {
+                    error(slot.addr,
+                          strcat_args("addsp at ", hex(slot.addr), " in '",
+                                      name_,
+                                      "' frees the caller's frame"));
+                    return;
+                }
+                pop_value();
+            }
+            break;
+          }
+          case Opcode::kSetsp:
+            // The stack-switch point: whatever tops the *current* stack is
+            // the continuation the resumed path will return through.
+            if (!state.foreign && !state.stack.empty() &&
+                state.stack.back() &&
+                is_code_addr(di, *state.stack.back())) {
+                out_->whitelist.tar_whitelist.push_back(*state.stack.back());
+            }
+            state.foreign = true;
+            state.stack.clear();
+            state.height = 0;
+            break;
+          case Opcode::kRet:
+            if (state.foreign) {
+                out_->whitelist.ret_whitelist.push_back(slot.addr);
+            } else if (!state.stack.empty()) {
+                const auto top = state.stack.back();
+                if (top && is_code_addr(di, *top)) {
+                    // Returns through a code pointer the function planted:
+                    // a non-procedural return with a known target.
+                    out_->whitelist.ret_whitelist.push_back(slot.addr);
+                    out_->whitelist.tar_whitelist.push_back(*top);
+                } else {
+                    error(slot.addr,
+                          strcat_args("ret at ", hex(slot.addr), " in '",
+                                      name_, "' pops an in-function value (",
+                                      state.height,
+                                      " slots above the return address)"));
+                }
+            }
+            return;
+          case Opcode::kIret:
+            if (!state.foreign && !state.stack.empty()) {
+                error(slot.addr,
+                      strcat_args("iret at ", hex(slot.addr), " in '", name_,
+                                  "' leaves ", state.height,
+                                  " slots on the frame"));
+            }
+            return;
+          case Opcode::kJmpr:
+            if (!state.foreign && !state.stack.empty()) {
+                error(slot.addr,
+                      strcat_args("jmpr at ", hex(slot.addr), " in '", name_,
+                                  "' leaves ", state.height,
+                                  " slots on the frame"));
+            }
+            return;
+          case Opcode::kHalt:
+            return;
+          default:
+            break;
+        }
+        state.regs.apply(instr);
+
+        if (is_last) {
+            for (const Edge& edge : block.succs) {
+                if (edge.kind == EdgeKind::kCall)
+                    continue;  // callee balances its own frame
+                const bool inside =
+                    edge.target >= begin_ && edge.target < end_;
+                if (!inside) {
+                    // Tail transfer out of the function.
+                    if (!state.foreign && !state.stack.empty()) {
+                        error(slot.addr,
+                              strcat_args("transfer at ", hex(slot.addr),
+                                          " leaves '", name_, "' with ",
+                                          state.height,
+                                          " slots on the frame"));
+                    }
+                    continue;
+                }
+                const BasicBlock* succ = cfg_.block_starting(edge.target);
+                if (succ == nullptr)
+                    continue;  // target lints report this separately
+                WalkState next = state;
+                next.block =
+                    static_cast<std::size_t>(succ - cfg_.blocks().data());
+                step(std::move(next));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+StackDisciplineResult
+analyze_stack_discipline(const Cfg& cfg)
+{
+    StackDisciplineResult result;
+    const DecodedImage& di = cfg.decoded();
+    const isa::Image& image = di.image();
+
+    // Tar candidates planted by straight-line code: a constant code
+    // pointer pushed, or stored through a non-constant base (a stack being
+    // seeded). Constant-base stores are handler-table installs, not
+    // return targets.
+    for (const BasicBlock& block : cfg.blocks()) {
+        if (!block.reachable)
+            continue;
+        RegState state;
+        for (std::size_t k = 0; k < block.instr_count; ++k) {
+            const isa::Instr& instr = di[block.first_slot + k].instr;
+            if (instr.op == Opcode::kPush) {
+                if (const auto value = state.get(instr.rs1);
+                    value && is_code_addr(di, *value)) {
+                    result.whitelist.tar_whitelist.push_back(*value);
+                }
+            } else if (instr.op == Opcode::kSt) {
+                const auto value = state.get(instr.rs2);
+                if (value && is_code_addr(di, *value) &&
+                    !state.get(instr.rs1)) {
+                    result.whitelist.tar_whitelist.push_back(*value);
+                }
+            }
+            state.apply(instr);
+        }
+    }
+
+    // External continuation entries are targets the embedder seeds.
+    for (const Addr addr : cfg.external_entries())
+        result.whitelist.tar_whitelist.push_back(addr);
+
+    // Walk every declared function.
+    for (const auto& [name, range] : image.functions()) {
+        FunctionWalker walker(cfg, name, range.begin, range.end, &result);
+        walker.run();
+    }
+
+    auto dedup = [](std::vector<Addr>* values) {
+        std::sort(values->begin(), values->end());
+        values->erase(std::unique(values->begin(), values->end()),
+                      values->end());
+    };
+    dedup(&result.whitelist.ret_whitelist);
+    dedup(&result.whitelist.tar_whitelist);
+    return result;
+}
+
+}  // namespace rsafe::analysis

@@ -1,0 +1,49 @@
+#ifndef RSAFE_ANALYSIS_STACK_DISCIPLINE_H_
+#define RSAFE_ANALYSIS_STACK_DISCIPLINE_H_
+
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/lints.h"
+#include "common/types.h"
+
+/**
+ * @file
+ * Static shadow-stack discipline and Ret/Tar whitelist derivation.
+ *
+ * Every declared function is walked along its acyclic CFG paths with an
+ * abstract stack: a `push` pushes the (possibly constant) register value,
+ * a `pop` pops, `addsp` adjusts by whole slots, and `setsp` marks the
+ * stack foreign (the kernel's single stack-switch point). A `ret` must
+ * then either pop the caller's return address (balanced frame), pop a
+ * constant code pointer the function planted itself, or execute on a
+ * foreign stack — the last two are exactly the paper's *non-procedural
+ * returns* (Section 4.4), and their sites/targets are the derived Ret/Tar
+ * whitelists. Anything else is a call/ret imbalance lint error.
+ *
+ * Derived Tar targets are the code constants the image itself plants in
+ * stack memory (push or store through a non-constant base) plus the
+ * external continuation entries the CFG promoted (e.g., the kernel's
+ * host-seeded finish_kthread).
+ */
+
+namespace rsafe::analysis {
+
+/** The whitelists recovered from the image. */
+struct WhitelistFacts {
+    std::vector<Addr> ret_whitelist;  ///< non-procedural return sites
+    std::vector<Addr> tar_whitelist;  ///< their legal targets
+};
+
+/** Result of the discipline walk. */
+struct StackDisciplineResult {
+    WhitelistFacts whitelist;
+    std::vector<Finding> findings;
+};
+
+/** Walk every declared function of @p cfg's image. */
+StackDisciplineResult analyze_stack_discipline(const Cfg& cfg);
+
+}  // namespace rsafe::analysis
+
+#endif  // RSAFE_ANALYSIS_STACK_DISCIPLINE_H_

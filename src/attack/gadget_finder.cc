@@ -1,36 +1,18 @@
 #include "attack/gadget_finder.h"
 
+#include "analysis/decoded_image.h"
+
 namespace rsafe::attack {
 
 using isa::Opcode;
 
 GadgetFinder::GadgetFinder(const isa::Image& image, std::size_t max_instrs)
 {
-    // Enumerate every suffix of length 1..max_instrs ending at each ret.
-    for (Addr addr = image.base(); addr + kInstrBytes <= image.end();
-         addr += kInstrBytes) {
-        const auto instr = image.instr_at(addr);
-        if (!instr || instr->op != Opcode::kRet)
-            continue;
-        for (std::size_t len = 1; len <= max_instrs; ++len) {
-            const Addr start = addr - (len - 1) * kInstrBytes;
-            if (start < image.base())
-                break;
-            Gadget gadget;
-            gadget.addr = start;
-            bool ok = true;
-            for (std::size_t i = 0; i < len; ++i) {
-                const auto g = image.instr_at(start + i * kInstrBytes);
-                if (!g) {
-                    ok = false;
-                    break;
-                }
-                gadget.instrs.push_back(*g);
-            }
-            if (ok)
-                gadgets_.push_back(std::move(gadget));
-        }
-    }
+    // The enumeration is the analyzer's shared decode walk: every suffix
+    // of 1..max_instrs decodable slots ending at each ret.
+    const analysis::DecodedImage decoded(image);
+    for (auto& run : analysis::ret_runs(decoded, max_instrs))
+        gadgets_.push_back(Gadget{run.addr, std::move(run.instrs)});
 }
 
 std::optional<Addr>

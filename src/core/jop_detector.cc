@@ -9,11 +9,31 @@ namespace rsafe::core {
 JopDetector::JopDetector(const std::vector<const isa::Image*>& images,
                          std::size_t hardware_slots)
 {
+    std::vector<FunctionBounds> functions;
     for (const isa::Image* image : images) {
         if (image == nullptr)
             fatal("JopDetector: null image");
         for (const auto& [name, range] : image->functions())
-            functions_.push_back(Fn{range.begin, range.end, false});
+            functions.push_back(FunctionBounds{range.begin, range.end});
+    }
+    build_table(functions, hardware_slots);
+}
+
+JopDetector::JopDetector(const std::vector<FunctionBounds>& functions,
+                         std::size_t hardware_slots)
+{
+    build_table(functions, hardware_slots);
+}
+
+void
+JopDetector::build_table(const std::vector<FunctionBounds>& functions,
+                         std::size_t hardware_slots)
+{
+    functions_.reserve(functions.size());
+    for (const FunctionBounds& fn : functions) {
+        if (fn.begin >= fn.end)
+            fatal("JopDetector: inverted function bounds");
+        functions_.push_back(Fn{fn.begin, fn.end, false});
     }
     std::sort(functions_.begin(), functions_.end(),
               [](const Fn& a, const Fn& b) { return a.begin < b.begin; });

@@ -32,6 +32,17 @@ enum class JopVerdict {
     kAlarm,          ///< not explainable by the available table
 };
 
+/**
+ * One function's [begin, end) extent as the detector tables it. This is
+ * the exchange format between the detector and whoever supplies the
+ * bounds — the image symbol table or the static analyzer's recovered
+ * function table (analysis::FunctionTable::jop_bounds()).
+ */
+struct FunctionBounds {
+    Addr begin = 0;
+    Addr end = 0;  ///< one past the last byte
+};
+
 /** Hardware/replay JOP target checker. */
 class JopDetector {
   public:
@@ -44,6 +55,14 @@ class JopDetector {
      *                        check uses all of them.
      */
     JopDetector(const std::vector<const isa::Image*>& images,
+                std::size_t hardware_slots);
+
+    /**
+     * Analysis-backed constructor: build directly from recovered bounds
+     * (e.g., analysis::FunctionTable::jop_bounds()), so the table the
+     * hardware trusts is the one the static analyzer verified.
+     */
+    JopDetector(const std::vector<FunctionBounds>& functions,
                 std::size_t hardware_slots);
 
     /** First-line hardware check (small table). */
@@ -65,6 +84,8 @@ class JopDetector {
         bool in_hardware_table;
     };
 
+    void build_table(const std::vector<FunctionBounds>& functions,
+                     std::size_t hardware_slots);
     JopVerdict check(Addr branch_pc, Addr target, bool hardware_only) const;
     const Fn* function_containing(Addr addr) const;
 

@@ -13,6 +13,20 @@ Image::add_symbol(const std::string& name, Addr addr)
 void
 Image::add_function(const std::string& name, Addr begin, Addr end)
 {
+    if (begin >= end) {
+        fatal(strcat_args("Image: function '", name,
+                          "' has an inverted or empty range [0x", std::hex,
+                          begin, ", 0x", end, ")"));
+    }
+    for (const auto& [other, range] : functions_) {
+        if (other == name)
+            continue;  // re-registration replaces the old extent
+        if (begin < range.end && range.begin < end) {
+            fatal(strcat_args("Image: function '", name, "' [0x", std::hex,
+                              begin, ", 0x", end, ") overlaps '", other,
+                              "' [0x", range.begin, ", 0x", range.end, ")"));
+        }
+    }
     symbols_[name] = begin;
     functions_[name] = SymbolRange{begin, end};
 }

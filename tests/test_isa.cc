@@ -7,6 +7,9 @@
 #include "isa/disassembler.h"
 #include "isa/encoding.h"
 #include "isa/program.h"
+#include "kernel/kernel_builder.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
 
 namespace rsafe::isa {
 namespace {
@@ -245,6 +248,75 @@ TEST(Disassembler, RangeAnnotatesFunctions)
     EXPECT_NE(text.find("<foo>"), std::string::npos);
     EXPECT_NE(text.find("nop"), std::string::npos);
     EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(Image, AddFunctionRejectsInvertedRange)
+{
+    Image image(0x1000, std::vector<std::uint8_t>(64, 0));
+    EXPECT_THROW(image.add_function("empty", 0x1000, 0x1000), FatalError);
+    EXPECT_THROW(image.add_function("inverted", 0x1020, 0x1010), FatalError);
+}
+
+TEST(Image, AddFunctionRejectsOverlappingRanges)
+{
+    Image image(0x1000, std::vector<std::uint8_t>(64, 0));
+    image.add_function("first", 0x1000, 0x1020);
+    EXPECT_THROW(image.add_function("tail_overlap", 0x1018, 0x1028),
+                 FatalError);
+    EXPECT_THROW(image.add_function("contained", 0x1008, 0x1010),
+                 FatalError);
+    EXPECT_THROW(image.add_function("covering", 0x0ff8, 0x1040), FatalError);
+    // Adjacent ranges and same-name re-registration stay legal.
+    image.add_function("second", 0x1020, 0x1030);
+    image.add_function("first", 0x1000, 0x1018);
+    EXPECT_EQ(image.find_function("first")->end, 0x1018u);
+}
+
+TEST(RoundTrip, WorkloadProgramsSurviveDecodeEncode)
+{
+    // Property check over real generated code: every decodable slot of
+    // every Table 3 workload image must re-encode to identical bytes, and
+    // disassemble to a non-empty rendering of its mnemonic.
+    for (const std::string& name : workloads::benchmark_names()) {
+        const workloads::GeneratedWorkload generated =
+            workloads::generate_workload(workloads::benchmark_profile(name));
+        const Image& image = generated.image;
+        std::size_t decoded_slots = 0;
+        for (Addr addr = image.base(); addr + kInstrBytes <= image.end();
+             addr += kInstrBytes) {
+            const auto instr = image.instr_at(addr);
+            if (!instr)
+                continue;
+            ++decoded_slots;
+            const auto bytes = encode(*instr);
+            for (std::size_t i = 0; i < kInstrBytes; ++i) {
+                ASSERT_EQ(bytes[i],
+                          image.bytes()[addr - image.base() + i])
+                    << name << " slot at 0x" << std::hex << addr;
+            }
+            const std::string text = disassemble(*instr);
+            ASSERT_FALSE(text.empty());
+            EXPECT_EQ(text.find(opcode_name(instr->op)), 0u)
+                << name << ": '" << text << "'";
+        }
+        EXPECT_GT(decoded_slots, 0u) << name;
+    }
+}
+
+TEST(RoundTrip, KernelImageSurvivesDecodeEncode)
+{
+    const kernel::GuestKernel guest = kernel::build_kernel();
+    const Image& image = guest.image;
+    for (Addr addr = image.base(); addr + kInstrBytes <= image.end();
+         addr += kInstrBytes) {
+        const auto instr = image.instr_at(addr);
+        ASSERT_TRUE(instr) << "kernel slot at 0x" << std::hex << addr;
+        const auto bytes = encode(*instr);
+        for (std::size_t i = 0; i < kInstrBytes; ++i) {
+            ASSERT_EQ(bytes[i], image.bytes()[addr - image.base() + i])
+                << "slot at 0x" << std::hex << addr;
+        }
+    }
 }
 
 }  // namespace

@@ -3,9 +3,10 @@
 # (RelWithDebInfo) configuration and again under ASan+UBSan
 # (-DRSAFE_SANITIZE=ON). Run from the repository root:
 #
-#   tools/check.sh            # both configurations
+#   tools/check.sh            # both test configurations
 #   tools/check.sh release    # normal configuration only
 #   tools/check.sh sanitize   # sanitizer configuration only
+#   tools/check.sh tidy       # clang-tidy over src/ (skips if not installed)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,15 +20,32 @@ run_config() {
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
 }
 
+run_tidy() {
+    # clang-tidy is optional tooling: gate on its presence so the tier-1
+    # flow works on machines without it.
+    if ! command -v clang-tidy > /dev/null 2>&1; then
+        echo "check.sh: clang-tidy not installed, skipping tidy mode"
+        return 0
+    fi
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    if command -v run-clang-tidy > /dev/null 2>&1; then
+        run-clang-tidy -p build -quiet "src/.*\.cc"
+    else
+        find src -name '*.cc' -print0 |
+            xargs -0 -n 1 -P "$(nproc)" clang-tidy -p build --quiet
+    fi
+}
+
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
+  tidy)     run_tidy ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tidy|all]" >&2
     exit 2
     ;;
 esac
