@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Serial vs concurrent pipeline harness.
+ *
+ * Runs the full RnR-Safe pipeline over the Table 3 workloads plus a
+ * multi-alarm attack workload, once in PipelineMode::kSerial and once in
+ * PipelineMode::kConcurrent with 1, 2, and 4 alarm-replayer workers, and
+ * reports both measurements of end-to-end latency:
+ *
+ *  - host wall-clock (milliseconds) — the real time the pipeline took on
+ *    this machine; only meaningful as a speedup when the host grants the
+ *    process multiple CPUs (host_cpus is recorded in the JSON);
+ *  - simulated pipeline latency (cycles) — the deterministic,
+ *    machine-independent figure the repo's benches normalize by: serial
+ *    latency is record + CR + every alarm replay back to back, concurrent
+ *    latency is max(record, CR) (the streamed stages overlap) plus the
+ *    alarm-replay makespan over the worker pool, scheduled exactly as the
+ *    pool schedules (each worker claims the next alarm as it frees up).
+ *
+ * Always ends by writing BENCH_pipeline.json (schema
+ * rsafe-bench-pipeline-v1). Pass --json-only to skip the table.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/attack_mounter.h"
+#include "bench_common.h"
+#include "core/framework.h"
+#include "kernel/kernel_builder.h"
+#include "kernel/layout.h"
+#include "stats/table.h"
+#include "workloads/generator.h"
+
+namespace rsafe::bench {
+namespace {
+
+namespace k = rsafe::kernel;
+
+/** The workload set: Table 3 plus the alarm-heavy attack mix. */
+struct PipelineWorkload {
+    std::string name;
+    core::VmFactory factory;
+};
+
+/**
+ * An attack mix: the mysql profile with @p attackers extra tasks, each
+ * mounting the kernel ROP from its own code/staging area at a staggered
+ * delay. Every mounted attack raises its own RAS alarm, so the alarm
+ * replays fan out across the worker pool.
+ */
+core::VmFactory
+attack_mix_factory(std::size_t attackers)
+{
+    auto profile = bench_profile("mysql");
+    profile.iterations_per_task = std::max<std::uint64_t>(
+        profile.iterations_per_task / 4, 150);
+    profile.num_tasks = 2;
+
+    const auto kernel = k::build_kernel();
+    std::vector<isa::Image> images;
+    std::vector<Addr> entries;
+    for (std::size_t i = 0; i < attackers; ++i) {
+        const auto program = attack::build_attacker_program(
+            kernel, k::kUserCodeBase + 0x40000 + i * 0x8000,
+            k::kUserDataBase + (15 + i) * 0x10000, 200 + i * 350);
+        images.push_back(program.image);
+        entries.push_back(program.entry);
+    }
+    return workloads::vm_factory(profile, images, entries);
+}
+
+/** One timed pipeline execution. */
+struct PipelineRun {
+    double wall_ms = 0.0;
+    Cycles record_cycles = 0;
+    Cycles cr_cycles = 0;
+    std::vector<Cycles> ar_cycles;  ///< per alarm replay, in alarm order
+    std::size_t alarms_logged = 0;
+    std::uint64_t max_replay_lag = 0;
+    std::uint64_t producer_waits = 0;
+    std::uint64_t consumer_waits = 0;
+};
+
+PipelineRun
+run_pipeline(const core::VmFactory& factory, core::PipelineMode mode,
+             std::size_t workers)
+{
+    core::FrameworkConfig config;
+    config.pipeline = mode;
+    config.ar_workers = workers;
+    core::RnrSafeFramework framework(factory, config);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = framework.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    PipelineRun run;
+    run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    run.record_cycles = result.recorded_vm->cpu().cycles();
+    run.cr_cycles = result.cr_vm->cpu().cycles();
+    for (const auto& ar : result.ar_results)
+        run.ar_cycles.push_back(ar.analysis.analysis_cycles);
+    run.alarms_logged = result.alarms_logged;
+    run.max_replay_lag = result.replay_lag.max_lag;
+    run.producer_waits = result.channel_stats.producer_waits;
+    run.consumer_waits = result.channel_stats.consumer_waits;
+    return run;
+}
+
+/** Serial simulated latency: every stage back to back. */
+Cycles
+serial_latency(const PipelineRun& run)
+{
+    Cycles total = run.record_cycles + run.cr_cycles;
+    for (Cycles c : run.ar_cycles)
+        total += c;
+    return total;
+}
+
+/**
+ * Concurrent simulated latency: record and CR overlap (the CR replays the
+ * streamed log on the fly), then the alarm replays run on @p workers
+ * workers, each claiming the next alarm in log order as it frees up —
+ * the same greedy schedule run_alarm_pool() produces.
+ */
+Cycles
+concurrent_latency(const PipelineRun& run, std::size_t workers)
+{
+    Cycles latency = std::max(run.record_cycles, run.cr_cycles);
+    if (run.ar_cycles.empty() || workers == 0)
+        return latency;
+    std::vector<Cycles> free_at(std::min(workers, run.ar_cycles.size()), 0);
+    for (Cycles c : run.ar_cycles) {
+        auto it = std::min_element(free_at.begin(), free_at.end());
+        *it += c;
+    }
+    return latency + *std::max_element(free_at.begin(), free_at.end());
+}
+
+struct WorkloadReport {
+    std::string name;
+    PipelineRun serial;
+    std::vector<std::pair<std::size_t, PipelineRun>> concurrent;
+};
+
+void
+write_json(const char* path, const std::vector<WorkloadReport>& reports)
+{
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"rsafe-bench-pipeline-v1\",\n");
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"cycles_per_second\": %llu,\n",
+                 static_cast<unsigned long long>(kCyclesPerSecond));
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const auto& report = reports[i];
+        const Cycles serial_sim = serial_latency(report.serial);
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", report.name.c_str());
+        std::fprintf(f, "      \"alarms_logged\": %zu,\n",
+                     report.serial.alarms_logged);
+        std::fprintf(f, "      \"alarm_replays\": %zu,\n",
+                     report.serial.ar_cycles.size());
+        std::fprintf(f,
+                     "      \"serial\": {\"wall_ms\": %.2f, "
+                     "\"sim_cycles\": %llu},\n",
+                     report.serial.wall_ms,
+                     static_cast<unsigned long long>(serial_sim));
+        std::fprintf(f, "      \"concurrent\": [\n");
+        for (std::size_t j = 0; j < report.concurrent.size(); ++j) {
+            const auto& [workers, run] = report.concurrent[j];
+            const Cycles sim = concurrent_latency(run, workers);
+            std::fprintf(
+                f,
+                "        {\"ar_workers\": %zu, \"wall_ms\": %.2f, "
+                "\"sim_cycles\": %llu, \"sim_speedup\": %.2f, "
+                "\"max_replay_lag\": %llu, \"producer_waits\": %llu, "
+                "\"consumer_waits\": %llu}%s\n",
+                workers, run.wall_ms,
+                static_cast<unsigned long long>(sim),
+                sim > 0 ? double(serial_sim) / double(sim) : 0.0,
+                static_cast<unsigned long long>(run.max_replay_lag),
+                static_cast<unsigned long long>(run.producer_waits),
+                static_cast<unsigned long long>(run.consumer_waits),
+                j + 1 < report.concurrent.size() ? "," : "");
+        }
+        std::fprintf(f, "      ]\n");
+        std::fprintf(f, "    }%s\n", i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+void
+print_table(const std::vector<WorkloadReport>& reports)
+{
+    stats::Table table("Pipeline: serial vs concurrent",
+                       {"workload", "alarms", "ARs", "serial ms",
+                        "conc ms (W=2)", "sim speedup W=1", "W=2", "W=4",
+                        "max lag"});
+    for (const auto& report : reports) {
+        const Cycles serial_sim = serial_latency(report.serial);
+        std::vector<std::string> row = {
+            report.name,
+            std::to_string(report.serial.alarms_logged),
+            std::to_string(report.serial.ar_cycles.size()),
+            stats::Table::fmt(report.serial.wall_ms, 1),
+        };
+        std::string conc_ms = "-";
+        std::vector<std::string> speedups;
+        std::string max_lag = "-";
+        for (const auto& [workers, run] : report.concurrent) {
+            const Cycles sim = concurrent_latency(run, workers);
+            speedups.push_back(stats::Table::fmt(
+                sim > 0 ? double(serial_sim) / double(sim) : 0.0, 2));
+            if (workers == 2) {
+                conc_ms = stats::Table::fmt(run.wall_ms, 1);
+                max_lag = std::to_string(run.max_replay_lag);
+            }
+        }
+        row.push_back(conc_ms);
+        for (const auto& s : speedups)
+            row.push_back(s);
+        row.push_back(max_lag);
+        table.add_row(row);
+    }
+    emit(table);
+}
+
+}  // namespace
+}  // namespace rsafe::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace rsafe;
+    using namespace rsafe::bench;
+
+    bool json_only = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--json-only")
+            json_only = true;
+
+    std::vector<PipelineWorkload> workloads;
+    for (const char* name :
+         {"apache", "fileio", "make", "mysql", "radiosity"}) {
+        auto profile = bench_profile(name);
+        workloads.push_back(
+            {name, workloads::vm_factory(profile)});
+    }
+    workloads.push_back({"attack-mix", attack_mix_factory(4)});
+
+    std::vector<WorkloadReport> reports;
+    for (const auto& workload : workloads) {
+        WorkloadReport report;
+        report.name = workload.name;
+        report.serial = run_pipeline(workload.factory,
+                                     core::PipelineMode::kSerial, 1);
+        for (std::size_t workers : {1u, 2u, 4u})
+            report.concurrent.emplace_back(
+                workers, run_pipeline(workload.factory,
+                                      core::PipelineMode::kConcurrent,
+                                      workers));
+        reports.push_back(std::move(report));
+    }
+
+    if (!json_only)
+        print_table(reports);
+    write_json("BENCH_pipeline.json", reports);
+    return 0;
+}

@@ -1,6 +1,11 @@
 #include "core/framework.h"
 
+#include <atomic>
+#include <exception>
+#include <thread>
+
 #include "common/log.h"
+#include "rnr/log_source.h"
 
 namespace rsafe::core {
 
@@ -13,6 +18,137 @@ RnrSafeFramework::RnrSafeFramework(VmFactory factory, FrameworkConfig config)
 
 FrameworkResult
 RnrSafeFramework::run()
+{
+    switch (config_.pipeline) {
+      case PipelineMode::kSerial:
+        return run_serial();
+      case PipelineMode::kConcurrent:
+        return run_concurrent();
+    }
+    panic("RnrSafeFramework: bad pipeline mode");
+}
+
+AlarmReplayResult
+RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
+                                const rnr::InputLog* log,
+                                stats::StatRegistry* local_stats)
+{
+    if (!pending.checkpoint)
+        panic("pending alarm without a checkpoint");
+    rnr::ReplayOptions ar_options = config_.cr.replay;
+    ar_options.trap_kernel_call_ret = true;
+
+    AlarmReplayResult out;
+    out.log_index = pending.log_index;
+
+    auto ar_vm = factory_();
+    replay::AlarmReplayer ar(ar_vm.get(), log, *pending.checkpoint,
+                             ar_options);
+    local_stats->counter("ar.replays").inc();
+    out.analysis = ar.analyze(pending.log_index);
+
+    if (out.analysis.cause == replay::AlarmCause::kNeedsDeeperAnalysis) {
+        // Re-run with more instrumentation (Section 4.6.2): trace
+        // user-mode call/ret as well.
+        ar_options.trap_user_call_ret = true;
+        auto deep_vm = factory_();
+        replay::AlarmReplayer deep_ar(deep_vm.get(), log,
+                                      *pending.checkpoint, ar_options);
+        local_stats->counter("ar.replays").inc();
+        local_stats->counter("ar.deep_reruns").inc();
+        out.analysis = deep_ar.analyze(pending.log_index);
+        out.deep_rerun = true;
+    }
+    if (out.analysis.is_attack)
+        local_stats->counter("ar.attacks").inc();
+    local_stats->counter("ar.analysis_cycles")
+        .inc(out.analysis.analysis_cycles);
+    return out;
+}
+
+std::vector<AlarmReplayResult>
+RnrSafeFramework::run_alarm_pool(
+    const std::vector<replay::PendingAlarm>& pending,
+    const rnr::InputLog* log, stats::StatRegistry* stats_out)
+{
+    std::vector<AlarmReplayResult> results(pending.size());
+    if (pending.empty())
+        return results;
+
+    std::size_t workers = config_.ar_workers == 0 ? 1 : config_.ar_workers;
+    if (workers > pending.size())
+        workers = pending.size();
+
+    if (workers == 1) {
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            results[i] = analyze_alarm(pending[i], log, stats_out);
+        return results;
+    }
+
+    // Each worker claims alarm indices from a shared counter and writes
+    // into its own result slot and its own stats registry: no shared
+    // mutation on the hot path, deterministic merge order at join.
+    std::atomic<std::size_t> next{0};
+    std::vector<stats::StatRegistry> worker_stats(workers);
+    std::vector<std::exception_ptr> worker_errors(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            try {
+                while (true) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= pending.size())
+                        break;
+                    results[i] =
+                        analyze_alarm(pending[i], log, &worker_stats[w]);
+                }
+            } catch (...) {
+                worker_errors[w] = std::current_exception();
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    for (const auto& error : worker_errors)
+        if (error)
+            std::rethrow_exception(error);
+    for (const auto& ws : worker_stats)
+        stats_out->merge(ws);
+    return results;
+}
+
+void
+RnrSafeFramework::finalize(FrameworkResult* result,
+                           std::vector<AlarmReplayResult> ar_results)
+{
+    // Fold AR outputs back in alarm order: identical between the serial
+    // pipeline and any worker-pool schedule.
+    for (auto& ar : ar_results) {
+        result->alarm_replays += ar.deep_rerun ? 2 : 1;
+        result->alarms.add(ar.analysis);
+    }
+    result->ar_results = std::move(ar_results);
+
+    // Pipeline-wide counters. Only values that are bit-identical across
+    // pipeline modes belong here (the determinism A/B test compares the
+    // whole snapshot); lag and channel traffic stay in their own fields.
+    auto& stats = result->pipeline_stats;
+    stats.counter("record.instructions")
+        .inc(result->recorded_vm->cpu().icount());
+    stats.counter("record.log_records").inc(result->recorder->log().size());
+    stats.counter("record.log_bytes")
+        .inc(result->recorder->log().total_bytes());
+    stats.counter("record.alarms_logged").inc(result->alarms_logged);
+    stats.counter("cr.instructions").inc(result->cr_vm->cpu().icount());
+    stats.counter("cr.checkpoints").inc(result->cr->checkpoints_taken());
+    stats.counter("cr.underflows_resolved").inc(result->underflows_resolved);
+    stats.counter("cr.single_steps").inc(result->cr->single_steps());
+}
+
+FrameworkResult
+RnrSafeFramework::run_serial()
 {
     FrameworkResult result;
 
@@ -32,32 +168,84 @@ RnrSafeFramework::run()
         result.cr_vm.get(), &log, config_.cr);
     result.cr_outcome = result.cr->run();
     result.underflows_resolved = result.cr->underflows_resolved();
+    result.replay_lag = result.cr->lag();
 
-    // 3. Alarm replays, one per unresolved alarm.
-    for (const auto& pending : result.cr->pending_alarms()) {
-        if (!pending.checkpoint)
-            panic("pending alarm without a checkpoint");
-        rnr::ReplayOptions ar_options = config_.cr.replay;
-        ar_options.trap_kernel_call_ret = true;
+    // 3. Alarm replays, one per unresolved alarm, in alarm order.
+    std::vector<AlarmReplayResult> ar_results;
+    ar_results.reserve(result.cr->pending_alarms().size());
+    for (const auto& pending : result.cr->pending_alarms())
+        ar_results.push_back(
+            analyze_alarm(pending, &log, &result.pipeline_stats));
+    finalize(&result, std::move(ar_results));
+    return result;
+}
 
-        auto ar_vm = factory_();
-        replay::AlarmReplayer ar(ar_vm.get(), &log, *pending.checkpoint,
-                                 ar_options);
-        ++result.alarm_replays;
-        auto analysis = ar.analyze(pending.log_index);
+FrameworkResult
+RnrSafeFramework::run_concurrent()
+{
+    FrameworkResult result;
 
-        if (analysis.cause == replay::AlarmCause::kNeedsDeeperAnalysis) {
-            // Re-run with more instrumentation (Section 4.6.2): trace
-            // user-mode call/ret as well.
-            ar_options.trap_user_call_ret = true;
-            auto deep_vm = factory_();
-            replay::AlarmReplayer deep_ar(deep_vm.get(), &log,
-                                          *pending.checkpoint, ar_options);
-            ++result.alarm_replays;
-            analysis = deep_ar.analyze(pending.log_index);
+    // Both VMs and both engines are built up front on this thread; only
+    // run() executes on the component threads.
+    result.recorded_vm = factory_();
+    result.recorder = std::make_unique<rnr::Recorder>(
+        result.recorded_vm.get(), config_.recorder);
+
+    rnr::LogChannel channel(config_.channel);
+    result.recorder->attach_stream(&channel);
+    rnr::LogReader reader(&channel);
+
+    result.cr_vm = factory_();
+    result.cr = std::make_unique<replay::CheckpointReplayer>(
+        result.cr_vm.get(), static_cast<rnr::LogSource*>(&reader),
+        config_.cr);
+
+    // 1+2 concurrently: the recorder streams the log through the bounded
+    // channel; the CR consumes it on the fly (Figure 1's arrow is a live
+    // queue, not a file handed over after the fact).
+    std::exception_ptr record_error, cr_error;
+    std::thread record_thread([&] {
+        try {
+            result.record_result =
+                result.recorder->run(config_.max_instructions);
+            channel.close();
+        } catch (...) {
+            record_error = std::current_exception();
+            channel.poison();
         }
-        result.alarms.add(std::move(analysis));
-    }
+    });
+    std::thread cr_thread([&] {
+        try {
+            result.cr_outcome = result.cr->run();
+        } catch (...) {
+            cr_error = std::current_exception();
+            // Unblock the producer: without a consumer the bounded
+            // channel would park the recorder forever.
+            channel.abandon();
+        }
+    });
+    record_thread.join();
+    cr_thread.join();
+    // The channel dies with this frame; the recorder must not keep a
+    // pointer to it.
+    result.recorder->attach_stream(nullptr);
+    if (record_error)
+        std::rethrow_exception(record_error);
+    if (cr_error)
+        std::rethrow_exception(cr_error);
+
+    const rnr::InputLog& log = result.recorder->log();
+    result.alarms_logged =
+        log.find_all(rnr::RecordType::kRasAlarm).size();
+    result.underflows_resolved = result.cr->underflows_resolved();
+    result.replay_lag = result.cr->lag();
+    result.channel_stats = channel.stats();
+
+    // 3. Alarm replays across the worker pool. Each AR is independent
+    // given its originating checkpoint; results merge in alarm order.
+    auto ar_results = run_alarm_pool(result.cr->pending_alarms(), &log,
+                                     &result.pipeline_stats);
+    finalize(&result, std::move(ar_results));
     return result;
 }
 

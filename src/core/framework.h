@@ -3,11 +3,14 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/alarm.h"
 #include "hv/vm.h"
 #include "replay/checkpoint_replayer.h"
+#include "rnr/log_channel.h"
 #include "rnr/recorder.h"
+#include "stats/stats.h"
 
 /**
  * @file
@@ -26,9 +29,24 @@
  *     kernel-only tracing), the AR is re-run at the deeper analysis
  *     level, exactly as Section 4.6.2 envisions.
  *
+ * Two pipeline shapes (FrameworkConfig::pipeline):
+ *
+ *  - kSerial runs the three stages back to back — simple, and the
+ *    reference for determinism A/B testing;
+ *  - kConcurrent is the paper's actual deployment shape: the recorder
+ *    streams the log through a bounded LogChannel to the CR, which runs
+ *    on its own thread *while recording is still in progress* (replay
+ *    lag, not a post-hoc batch pass, bounds detection latency), and the
+ *    pending alarms then fan out across a small worker pool of alarm
+ *    replayers. Results are merged back in alarm order, so both shapes
+ *    produce bit-identical outcomes.
+ *
  * The caller supplies a VmFactory that builds identically-configured VMs
  * (same images, tasks, and device seeds); the recorded VM, the CR VM, and
- * each AR VM are separate instances of it.
+ * each AR VM are separate instances of it. In the concurrent pipeline the
+ * factory is invoked from worker threads and must therefore be
+ * thread-safe (the workloads::vm_factory() factories are: each call
+ * derives everything from per-call seeded state).
  */
 
 namespace rsafe::core {
@@ -36,12 +54,35 @@ namespace rsafe::core {
 /** Builds one more identically-configured VM. */
 using VmFactory = std::function<std::unique_ptr<hv::Vm>()>;
 
+/** Stage scheduling of the pipeline. */
+enum class PipelineMode {
+    kSerial,      ///< record, then replay, then analyze — one thread
+    kConcurrent,  ///< stream record->CR, fan alarm replays onto workers
+};
+
 /** Pipeline configuration. */
 struct FrameworkConfig {
     rnr::RecorderOptions recorder;
     replay::CrOptions cr;
     /** Stop the recorded run after this many guest instructions. */
     InstrCount max_instructions = ~static_cast<InstrCount>(0);
+    /** Stage scheduling (see PipelineMode). */
+    PipelineMode pipeline = PipelineMode::kSerial;
+    /** Alarm-replayer worker threads (concurrent pipeline only). */
+    std::size_t ar_workers = 2;
+    /** Recorder->CR streaming channel shape (concurrent pipeline only). */
+    rnr::ChannelOptions channel;
+};
+
+/** Everything one alarm replay produced (satellite of result.alarms). */
+struct AlarmReplayResult {
+    /** Index of the alarm record in the input log. */
+    std::size_t log_index = 0;
+    /** True if the first AR pass lacked instrumentation and a deeper
+     *  rerun (user-mode call/ret tracing) produced the final analysis. */
+    bool deep_rerun = false;
+    /** The final classification, forensics, and report. */
+    replay::AlarmAnalysis analysis;
 };
 
 /** Everything the pipeline produced. */
@@ -54,8 +95,22 @@ struct FrameworkResult {
     std::size_t alarms_logged = 0;
     /** Underflow alarms the CR resolved itself. */
     std::uint64_t underflows_resolved = 0;
-    /** Alarm replays that were launched. */
+    /** Alarm replays that were launched (deep reruns count separately). */
     std::size_t alarm_replays = 0;
+
+    /** Per-alarm AR outputs, ordered by alarm position in the log. */
+    std::vector<AlarmReplayResult> ar_results;
+
+    /** How far the CR trailed the recorder (meaningful when streaming;
+     *  against a finished log it is the distance to the recording end). */
+    rnr::ReplayLag replay_lag;
+
+    /** Recorder->CR channel traffic (concurrent pipeline only). */
+    rnr::ChannelStats channel_stats;
+
+    /** Pipeline-wide counters, merged from per-component (and, in the
+     *  concurrent pipeline, per-worker) registries after join. */
+    stats::StatRegistry pipeline_stats;
 
     // The pipeline components, kept alive for inspection by callers.
     std::unique_ptr<hv::Vm> recorded_vm;
@@ -73,6 +128,27 @@ class RnrSafeFramework {
     FrameworkResult run();
 
   private:
+    FrameworkResult run_serial();
+    FrameworkResult run_concurrent();
+
+    /**
+     * Launch one alarm replayer (plus the deeper rerun if needed) for
+     * @p pending and account it into @p local_stats. Builds its VMs via
+     * factory_; safe to call from worker threads.
+     */
+    AlarmReplayResult analyze_alarm(const replay::PendingAlarm& pending,
+                                    const rnr::InputLog* log,
+                                    stats::StatRegistry* local_stats);
+
+    /** Fan pending alarms across workers; results land in alarm order. */
+    std::vector<AlarmReplayResult> run_alarm_pool(
+        const std::vector<replay::PendingAlarm>& pending,
+        const rnr::InputLog* log, stats::StatRegistry* stats_out);
+
+    /** Fold AR results + component counters into @p result. */
+    void finalize(FrameworkResult* result,
+                  std::vector<AlarmReplayResult> ar_results);
+
     VmFactory factory_;
     FrameworkConfig config_;
 };

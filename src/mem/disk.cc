@@ -1,5 +1,6 @@
 #include "mem/disk.h"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -12,8 +13,10 @@ namespace {
 std::uint64_t
 next_disk_id()
 {
-    static std::uint64_t next = 1;
-    return next++;
+    // Atomic: the framework's alarm-replayer worker pool builds VMs (and
+    // thus disks) from several threads at once.
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "mem/phys_mem.h"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -18,8 +19,10 @@ constexpr bool kLittleEndianHost = std::endian::native == std::endian::little;
 std::uint64_t
 next_phys_mem_id()
 {
-    static std::uint64_t next = 1;
-    return next++;
+    // Atomic: the framework's alarm-replayer worker pool builds VMs (and
+    // thus memories) from several threads at once.
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace

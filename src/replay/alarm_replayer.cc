@@ -98,7 +98,7 @@ AlarmReplayer::analyze(std::size_t alarm_log_index)
     if (!reached_target_ || outcome != rnr::ReplayOutcome::kStopRequested) {
         panic("AlarmReplayer: did not reach the target alarm record");
     }
-    return build_analysis(log_->at(alarm_log_index));
+    return build_analysis(source_->at(alarm_log_index));
 }
 
 std::vector<Addr>

@@ -11,6 +11,20 @@ CheckpointReplayer::CheckpointReplayer(hv::Vm* vm, const rnr::InputLog* log,
     : rnr::Replayer(vm, log, 0, options.replay), cr_options_(options),
       store_(options.max_checkpoints)
 {
+    take_initial_checkpoint();
+}
+
+CheckpointReplayer::CheckpointReplayer(hv::Vm* vm, rnr::LogSource* source,
+                                       const CrOptions& options)
+    : rnr::Replayer(vm, source, 0, options.replay), cr_options_(options),
+      store_(options.max_checkpoints)
+{
+    take_initial_checkpoint();
+}
+
+void
+CheckpointReplayer::take_initial_checkpoint()
+{
     if (cr_options_.checkpoint_interval > 0) {
         // The initial full checkpoint: the baseline every later
         // incremental checkpoint chains from. Not charged to the replay

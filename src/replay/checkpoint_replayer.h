@@ -46,6 +46,11 @@ class CheckpointReplayer : public rnr::Replayer {
     CheckpointReplayer(hv::Vm* vm, const rnr::InputLog* log,
                        const CrOptions& options);
 
+    /** Streaming variant: consume records on the fly from @p source
+     *  (a LogReader draining the recorder's channel, Figure 1's arrow). */
+    CheckpointReplayer(hv::Vm* vm, rnr::LogSource* source,
+                       const CrOptions& options);
+
     /** Checkpoints taken so far. */
     CheckpointStore& checkpoints() { return store_; }
     const CheckpointStore& checkpoints() const { return store_; }
@@ -73,6 +78,7 @@ class CheckpointReplayer : public rnr::Replayer {
     void hook_exit_boundary() override;
 
   private:
+    void take_initial_checkpoint();
     void maybe_checkpoint();
 
     CrOptions cr_options_;

@@ -1,0 +1,74 @@
+#include "rnr/log_source.h"
+
+#include "common/log.h"
+
+namespace rsafe::rnr {
+
+InputLogSource::InputLogSource(const InputLog* log) : log_(log)
+{
+    if (log_ == nullptr)
+        fatal("InputLogSource: null log");
+    if (log_->size() > 0)
+        last_icount_ = log_->at(log_->size() - 1).icount;
+}
+
+bool
+InputLogSource::await(std::size_t index)
+{
+    return index < log_->size();
+}
+
+const LogRecord&
+InputLogSource::at(std::size_t index) const
+{
+    return log_->at(index);
+}
+
+std::size_t
+InputLogSource::visible() const
+{
+    return log_->size();
+}
+
+LogReader::LogReader(LogChannel* channel) : channel_(channel)
+{
+    if (channel_ == nullptr)
+        fatal("LogReader: null channel");
+}
+
+bool
+LogReader::await(std::size_t index)
+{
+    std::vector<LogRecord> chunk;
+    while (index >= buffer_.size() && !ended_) {
+        switch (channel_->pop(&chunk)) {
+          case LogChannel::PopResult::kData:
+            for (auto& record : chunk)
+                buffer_.append(std::move(record));
+            chunk.clear();
+            break;
+          case LogChannel::PopResult::kClosed:
+            ended_ = true;
+            break;
+          case LogChannel::PopResult::kPoisoned:
+            ended_ = true;
+            aborted_ = true;
+            break;
+        }
+    }
+    return index < buffer_.size();
+}
+
+const LogRecord&
+LogReader::at(std::size_t index) const
+{
+    return buffer_.at(index);
+}
+
+std::size_t
+LogReader::visible() const
+{
+    return buffer_.size();
+}
+
+}  // namespace rsafe::rnr

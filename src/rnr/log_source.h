@@ -1,0 +1,107 @@
+#ifndef RSAFE_RNR_LOG_SOURCE_H_
+#define RSAFE_RNR_LOG_SOURCE_H_
+
+#include <cstddef>
+
+#include "rnr/log_channel.h"
+#include "rnr/log_io.h"
+
+/**
+ * @file
+ * Where a replayer's records come from.
+ *
+ * The base Replayer historically read a complete InputLog. To let the
+ * checkpointing replayer run on the fly (concurrently with the recorder),
+ * its log access goes through LogSource: an indexable, *awaitable* view
+ * of the record stream. Two implementations:
+ *
+ *  - InputLogSource wraps a finished InputLog (the serial pipeline, alarm
+ *    replayers re-reading ranges, every existing test/bench);
+ *  - LogReader drains a LogChannel into a private, growing InputLog as
+ *    the recorder publishes chunks — await() blocks until the requested
+ *    record exists or the stream ends.
+ *
+ * Both are single-consumer objects: exactly one replayer thread may call
+ * await()/at()/visible() on a given source.
+ */
+
+namespace rsafe::rnr {
+
+/** An indexable, awaitable stream of log records. */
+class LogSource {
+  public:
+    virtual ~LogSource() = default;
+
+    /**
+     * Block until record @p index exists or the stream is over.
+     * @return true iff at(index) is now valid.
+     */
+    virtual bool await(std::size_t index) = 0;
+
+    /** Record @p index; requires a prior await(index) == true. */
+    virtual const LogRecord& at(std::size_t index) const = 0;
+
+    /** Records visible so far (the final count once await() fails). */
+    virtual std::size_t visible() const = 0;
+
+    /** @return true if the producer aborted (poisoned stream). */
+    virtual bool aborted() const = 0;
+
+    /** icount of the newest record the producer has emitted (lag base). */
+    virtual InstrCount producer_icount() const = 0;
+};
+
+/** A LogSource over a complete, immutable InputLog. */
+class InputLogSource final : public LogSource {
+  public:
+    /** @param log must outlive this source. */
+    explicit InputLogSource(const InputLog* log);
+
+    bool await(std::size_t index) override;
+    const LogRecord& at(std::size_t index) const override;
+    std::size_t visible() const override;
+    bool aborted() const override { return false; }
+    InstrCount producer_icount() const override { return last_icount_; }
+
+  private:
+    const InputLog* log_;
+    InstrCount last_icount_ = 0;
+};
+
+/**
+ * The streaming consumer end of a LogChannel.
+ *
+ * Accumulates every drained record into an owned InputLog, so after the
+ * stream closes the full log remains available (log()) for alarm
+ * replayers and byte accounting — no second copy needs shipping.
+ */
+class LogReader final : public LogSource {
+  public:
+    /** @param channel must outlive this reader. */
+    explicit LogReader(LogChannel* channel);
+
+    bool await(std::size_t index) override;
+    const LogRecord& at(std::size_t index) const override;
+    std::size_t visible() const override;
+    bool aborted() const override { return aborted_; }
+    InstrCount producer_icount() const override
+    {
+        return channel_->producer_icount();
+    }
+
+    /** @return true once the channel reported close or poison. */
+    bool ended() const { return ended_; }
+
+    /** Every record drained so far (complete once ended() && !aborted()). */
+    const InputLog& log() const { return buffer_; }
+
+  private:
+    LogChannel* channel_;
+    InputLog buffer_;
+    bool ended_ = false;
+    bool aborted_ = false;
+};
+
+}  // namespace rsafe::rnr
+
+#endif  // RSAFE_RNR_LOG_SOURCE_H_

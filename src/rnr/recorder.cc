@@ -23,13 +23,15 @@ Recorder::Recorder(hv::Vm* vm, const RecorderOptions& options)
 }
 
 Cycles
-Recorder::charge_log_write(const LogRecord& record)
+Recorder::charge_log_write(LogRecord record)
 {
     const Cycles cost =
         Costs::kLogRecord +
         Costs::kLogPer8Bytes * (record.serialized_size() / 8);
     vm_->cpu().add_cycles(cost);
-    log_.append(record);
+    if (stream_ != nullptr)
+        stream_->push(record);
+    log_.append(std::move(record));
     return cost;
 }
 

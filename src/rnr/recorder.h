@@ -2,6 +2,7 @@
 #define RSAFE_RNR_RECORDER_H_
 
 #include "hv/hypervisor.h"
+#include "rnr/log_channel.h"
 #include "rnr/log_io.h"
 
 /**
@@ -57,6 +58,14 @@ class Recorder : public hv::Hypervisor {
     /** The input log built so far (streamed to the replayers on the fly). */
     const InputLog& log() const { return log_; }
 
+    /**
+     * Tee every appended record into @p channel as well, so an on-the-fly
+     * checkpointing replayer can consume the log while this recorder is
+     * still producing it. The caller keeps ownership of the channel and
+     * is responsible for close()/poison() when the recording ends.
+     */
+    void attach_stream(LogChannel* channel) { stream_ = channel; }
+
     /** Per-category overhead attribution (Figure 5b). */
     const RecordOverhead& overhead() const { return overhead_; }
 
@@ -78,12 +87,13 @@ class Recorder : public hv::Hypervisor {
 
   private:
     /** Charge the simulated cost of appending @p record; @return cost. */
-    Cycles charge_log_write(const LogRecord& record);
+    Cycles charge_log_write(LogRecord record);
 
     static hv::HvOptions make_hv_options(const RecorderOptions& options);
 
     RecorderOptions rec_options_;
     InputLog log_;
+    LogChannel* stream_ = nullptr;
     RecordOverhead overhead_;
     bool alarm_stop_ = false;
 };

@@ -7,14 +7,16 @@ namespace rsafe::rnr {
 
 using cpu::Costs;
 
-Replayer::Replayer(hv::Vm* vm, const InputLog* log, std::size_t start_pos,
+Replayer::Replayer(hv::Vm* vm, LogSource* source, std::size_t start_pos,
                    const ReplayOptions& options)
     : hv::VmEnvBase(vm, options.manage_backras, options.whitelists),
-      log_(log),
+      source_(source),
       cursor_(start_pos),
       options_(options),
       skid_rng_(options.seed)
 {
+    if (source_ == nullptr)
+        fatal("Replayer: null log source");
     auto& cpu = vm_->cpu();
     cpu.vmcs().controls.exit_on_io = true;
     cpu.vmcs().controls.exit_on_rdtsc = true;
@@ -23,6 +25,19 @@ Replayer::Replayer(hv::Vm* vm, const InputLog* log, std::size_t start_pos,
     cpu.vmcs().controls.ras_evict_exit = false;
     cpu.vmcs().controls.trap_kernel_call_ret = options.trap_kernel_call_ret;
     cpu.vmcs().controls.trap_user_call_ret = options.trap_user_call_ret;
+}
+
+Replayer::Replayer(hv::Vm* vm, std::unique_ptr<InputLogSource> owned,
+                   std::size_t start_pos, const ReplayOptions& options)
+    : Replayer(vm, owned.get(), start_pos, options)
+{
+    owned_source_ = std::move(owned);
+}
+
+Replayer::Replayer(hv::Vm* vm, const InputLog* log, std::size_t start_pos,
+                   const ReplayOptions& options)
+    : Replayer(vm, std::make_unique<InputLogSource>(log), start_pos, options)
+{
 }
 
 bool
@@ -41,12 +56,28 @@ Replayer::is_positional(RecordType type) const
 }
 
 std::size_t
-Replayer::next_positional() const
+Replayer::next_positional()
 {
-    for (std::size_t i = cursor_; i < log_->size(); ++i)
-        if (is_positional(log_->at(i).type))
+    // Blocks (streaming source) until a positional record is visible or
+    // the producer finished: the replayer cannot arm its perf counter
+    // without knowing the next injection point, so the pipeline overlaps
+    // at positional-segment granularity.
+    for (std::size_t i = cursor_; source_->await(i); ++i)
+        if (is_positional(source_->at(i).type))
             return i;
-    return log_->size();
+    return kNoMore;
+}
+
+void
+Replayer::sample_lag()
+{
+    const InstrCount produced = source_->producer_icount();
+    const InstrCount here = vm_->cpu().icount();
+    const InstrCount lag = produced > here ? produced - here : 0;
+    if (lag > lag_.max_lag)
+        lag_.max_lag = lag;
+    lag_.sum_lag += lag;
+    ++lag_.samples;
 }
 
 void
@@ -60,10 +91,10 @@ Replayer::divergence(const std::string& detail)
 const LogRecord&
 Replayer::expect_sync(RecordType type)
 {
-    if (cursor_ >= log_->size())
+    if (!source_->await(cursor_))
         divergence(strcat_args("log exhausted, expected ",
                                record_type_name(type)));
-    const LogRecord& record = log_->at(cursor_);
+    const LogRecord& record = source_->at(cursor_);
     if (record.type != type)
         divergence(strcat_args("expected ", record_type_name(type), ", log has ",
                                record.to_string()));
@@ -118,8 +149,8 @@ Replayer::on_mmio_write(Addr addr, Word value)
     // NIC receive: the packet bytes come from the log, not from the
     // replica NIC (whose traffic generator is recording-side state).
     if (addr == dev::kMmioBase + dev::kNicRxBuf) {
-        if (cursor_ < log_->size()) {
-            const LogRecord& record = log_->at(cursor_);
+        if (source_->await(cursor_)) {
+            const LogRecord& record = source_->at(cursor_);
             if (record.type == RecordType::kNicDma &&
                 record.icount == vm_->cpu().icount()) {
                 vm_->mem().write_block(record.addr, record.payload.data(),
@@ -235,18 +266,24 @@ Replayer::run()
     auto& cpu = vm_->cpu();
     while (true) {
         const std::size_t pos = next_positional();
-        if (pos >= log_->size()) {
+        if (pos == kNoMore) {
+            if (source_->aborted()) {
+                // The recorder died mid-stream (poisoned channel): the
+                // recording is invalid, stop where we are.
+                return ReplayOutcome::kLogAborted;
+            }
             // No positional records left; consume any trailing
             // synchronous records (a recording stopped by an instruction
             // budget has no halt marker).
-            if (cursor_ < log_->size()) {
+            if (cursor_ < source_->visible()) {
                 const InstrCount last =
-                    log_->at(log_->size() - 1).icount;
+                    source_->at(source_->visible() - 1).icount;
                 cpu.run(~static_cast<Cycles>(0), last + 1);
             }
+            sample_lag();
             return ReplayOutcome::kLogExhausted;
         }
-        const LogRecord& record = log_->at(pos);
+        const LogRecord& record = source_->at(pos);
 
         if (record.type == RecordType::kHalt) {
             const auto reason = cpu.run(~static_cast<Cycles>(0),
@@ -260,6 +297,7 @@ Replayer::run()
             if (cursor_ != pos)
                 divergence("unconsumed sync records at halt");
             cursor_ = pos + 1;
+            sample_lag();
             return ReplayOutcome::kFinished;
         }
 
@@ -284,6 +322,7 @@ Replayer::run()
           default:
             divergence("unexpected positional record");
         }
+        sample_lag();
         hook_exit_boundary();
     }
 }

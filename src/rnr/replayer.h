@@ -1,9 +1,12 @@
 #ifndef RSAFE_RNR_REPLAYER_H_
 #define RSAFE_RNR_REPLAYER_H_
 
+#include <memory>
+
 #include "common/random.h"
 #include "hv/hypervisor.h"
 #include "rnr/log_io.h"
+#include "rnr/log_source.h"
 
 /**
  * @file
@@ -55,6 +58,27 @@ enum class ReplayOutcome {
     kLogExhausted,  ///< ran out of log records (no halt marker)
     kStopRequested, ///< a hook asked to stop (e.g., alarm under analysis)
     kGuestFault,    ///< replayed guest faulted
+    kLogAborted,    ///< the producer poisoned the stream (recorder died)
+};
+
+/**
+ * How far the replayer trails the recorder, in guest instructions.
+ * Sampled at every positional-record boundary against the producer's
+ * newest emitted icount; in the streaming pipeline this bounds detection
+ * latency (the paper's on-the-fly property). Against a finished log the
+ * lag is simply the distance to the end of the recording.
+ */
+struct ReplayLag {
+    InstrCount max_lag = 0;
+    std::uint64_t sum_lag = 0;
+    std::uint64_t samples = 0;
+
+    double mean() const
+    {
+        if (samples == 0)
+            return 0.0;
+        return static_cast<double>(sum_lag) / static_cast<double>(samples);
+    }
 };
 
 /** Per-category replay cycle attribution (feeds Figure 7b). */
@@ -72,10 +96,18 @@ class Replayer : public hv::VmEnvBase {
   public:
     /**
      * @param vm         the replay VM (fresh boot or checkpoint-restored).
-     * @param log        the input log (must outlive the replayer).
+     * @param log        the finished input log (must outlive the replayer).
      * @param start_pos  log index to start consuming at (InputLogPtr).
      */
     Replayer(hv::Vm* vm, const InputLog* log, std::size_t start_pos,
+             const ReplayOptions& options);
+
+    /**
+     * Streaming variant: records come from @p source (e.g. a LogReader
+     * draining the recorder's LogChannel on the fly). @p source must
+     * outlive the replayer and be consumed by this replayer only.
+     */
+    Replayer(hv::Vm* vm, LogSource* source, std::size_t start_pos,
              const ReplayOptions& options);
 
     /** Replay until the log ends, the guest halts, or a hook stops us. */
@@ -83,6 +115,9 @@ class Replayer : public hv::VmEnvBase {
 
     /** @return the current log cursor (the InputLogPtr). */
     std::size_t log_pos() const { return cursor_; }
+
+    /** @return instructions-behind-the-recorder statistics. */
+    const ReplayLag& lag() const { return lag_; }
 
     /** @return total single-steps taken for async injections. */
     std::uint64_t single_steps() const { return single_steps_; }
@@ -119,7 +154,8 @@ class Replayer : public hv::VmEnvBase {
 
     [[noreturn]] void divergence(const std::string& detail);
 
-    const InputLog* log_;
+    /** Where records come from (an owned adapter in the InputLog ctor). */
+    LogSource* source_;
     std::size_t cursor_;
     ReplayOptions options_;
     ReplayOverhead overhead_;
@@ -127,11 +163,22 @@ class Replayer : public hv::VmEnvBase {
     std::uint64_t single_steps_ = 0;
 
   private:
+    /** next_positional() result when the stream ended first. */
+    static constexpr std::size_t kNoMore = ~static_cast<std::size_t>(0);
+
+    /** Bridge: takes ownership of the adapter built by the InputLog ctor. */
+    Replayer(hv::Vm* vm, std::unique_ptr<InputLogSource> owned,
+             std::size_t start_pos, const ReplayOptions& options);
+
     bool is_positional(RecordType type) const;
-    std::size_t next_positional() const;
+    std::size_t next_positional();
     void approach(InstrCount target);
     void handle_irq(const LogRecord& record);
     void handle_disk_complete();
+    void sample_lag();
+
+    std::unique_ptr<InputLogSource> owned_source_;
+    ReplayLag lag_;
 };
 
 }  // namespace rsafe::rnr

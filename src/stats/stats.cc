@@ -55,6 +55,21 @@ Histogram::reset()
     max_sample_ = 0;
 }
 
+void
+Histogram::merge(const Histogram& other)
+{
+    if (other.bucket_width_ != bucket_width_ ||
+        other.counts_.size() != counts_.size()) {
+        fatal("Histogram::merge: bucket geometry mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_sample_ > max_sample_)
+        max_sample_ = other.max_sample_;
+}
+
 Counter&
 StatRegistry::counter(const std::string& name)
 {
@@ -83,6 +98,13 @@ StatRegistry::reset()
 {
     for (auto& [name, counter] : counters_)
         counter.reset();
+}
+
+void
+StatRegistry::merge(const StatRegistry& other)
+{
+    for (const auto& [name, counter] : other.counters_)
+        counters_[name].merge(counter);
 }
 
 }  // namespace rsafe::stats

@@ -33,6 +33,9 @@ class Counter {
     /** Reset to zero. */
     void reset() { value_ = 0; }
 
+    /** Fold @p other into this counter (thread-join aggregation). */
+    void merge(const Counter& other) { value_ += other.value_; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -71,6 +74,9 @@ class Histogram {
     /** Reset all buckets. */
     void reset();
 
+    /** Fold @p other into this histogram; fatal on geometry mismatch. */
+    void merge(const Histogram& other);
+
   private:
     std::uint64_t bucket_width_;
     std::vector<std::uint64_t> counts_;
@@ -93,6 +99,15 @@ class StatRegistry {
 
     /** Reset every registered counter. */
     void reset();
+
+    /**
+     * Fold every counter of @p other into this registry, creating names
+     * as needed. This is the concurrency contract of the stats package:
+     * each thread mutates only its own registry on the hot path, and the
+     * coordinator merges the per-thread instances after join — counter
+     * sums are commutative, so any merge order gives identical totals.
+     */
+    void merge(const StatRegistry& other);
 
   private:
     std::map<std::string, Counter> counters_;

@@ -205,6 +205,26 @@ TEST(AlarmReplay, LongjmpClassifiedAsFalsePositive)
     // At least one alarm is the canonical imperfect-nesting case.
     EXPECT_GE(result.alarms.count(replay::AlarmCause::kImperfectNesting),
               1u);
+
+    // Per-AR outputs survive in the result (they used to be discarded):
+    // one entry per launched alarm replay, ordered by log position, each
+    // carrying its verdict, audit report, and the deep-rerun flag.
+    ASSERT_EQ(result.ar_results.size(), result.alarms.analyses().size());
+    std::size_t deep_reruns = 0;
+    std::size_t previous_index = 0;
+    for (const auto& ar : result.ar_results) {
+        EXPECT_EQ(recorder.log().at(ar.log_index).type,
+                  rnr::RecordType::kRasAlarm);
+        EXPECT_GE(ar.log_index, previous_index);
+        previous_index = ar.log_index;
+        EXPECT_FALSE(ar.analysis.is_attack);
+        EXPECT_FALSE(ar.analysis.report.empty());
+        // User-mode alarms under kernel-only tracing force the deep pass.
+        EXPECT_TRUE(ar.deep_rerun);
+        deep_reruns += ar.deep_rerun ? 1 : 0;
+    }
+    EXPECT_EQ(result.alarm_replays,
+              result.ar_results.size() + deep_reruns);
 }
 
 }  // namespace

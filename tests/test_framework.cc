@@ -123,6 +123,129 @@ TEST_F(AttackPipeline, DetectionIsDelayIndependent)
 
 }  // namespace
 }  // namespace rsafe
+// Appended: concurrent pipeline (streamed CR + AR worker pool) A/B
+// determinism coverage.
+namespace rsafe {
+namespace {
+
+/** Run the alarm-heavy attack workload under @p mode / @p workers. */
+core::FrameworkResult
+run_pipeline_mode(core::PipelineMode mode, std::size_t workers)
+{
+    auto profile = workloads::benchmark_profile("mysql");
+    profile.iterations_per_task = 150;
+    profile.num_tasks = 2;
+    const auto kernel = k::build_kernel();
+    const auto program = attack::build_attacker_program(
+        kernel, k::kUserCodeBase + 0x40000,
+        k::kUserDataBase + 15 * 0x10000, 200);
+    auto factory =
+        workloads::vm_factory(profile, {program.image}, {program.entry});
+    core::FrameworkConfig config;
+    config.pipeline = mode;
+    config.ar_workers = workers;
+    core::RnrSafeFramework framework(factory, config);
+    return framework.run();
+}
+
+TEST(ConcurrentPipeline, MatchesSerialBitForBit)
+{
+    auto serial = run_pipeline_mode(core::PipelineMode::kSerial, 1);
+    auto conc = run_pipeline_mode(core::PipelineMode::kConcurrent, 3);
+
+    // Outcomes and aggregate counters.
+    EXPECT_EQ(conc.record_result, serial.record_result);
+    EXPECT_EQ(conc.cr_outcome, serial.cr_outcome);
+    EXPECT_EQ(conc.alarms_logged, serial.alarms_logged);
+    EXPECT_EQ(conc.underflows_resolved, serial.underflows_resolved);
+    EXPECT_EQ(conc.alarm_replays, serial.alarm_replays);
+    EXPECT_EQ(conc.alarms.attack_detected(), serial.alarms.attack_detected());
+
+    // The streamed log is byte-identical to the batch log.
+    EXPECT_EQ(conc.recorder->log().serialize(),
+              serial.recorder->log().serialize());
+
+    // Per-alarm verdicts and audit trails, in alarm order.
+    ASSERT_EQ(conc.ar_results.size(), serial.ar_results.size());
+    ASSERT_GT(serial.ar_results.size(), 0u);
+    for (std::size_t i = 0; i < serial.ar_results.size(); ++i) {
+        const auto& s = serial.ar_results[i];
+        const auto& c = conc.ar_results[i];
+        EXPECT_EQ(c.log_index, s.log_index) << "alarm " << i;
+        EXPECT_EQ(c.deep_rerun, s.deep_rerun) << "alarm " << i;
+        EXPECT_EQ(c.analysis.cause, s.analysis.cause) << "alarm " << i;
+        EXPECT_EQ(c.analysis.is_attack, s.analysis.is_attack)
+            << "alarm " << i;
+        EXPECT_EQ(c.analysis.gadget_chain, s.analysis.gadget_chain)
+            << "alarm " << i;
+        EXPECT_EQ(c.analysis.report, s.analysis.report) << "alarm " << i;
+        EXPECT_EQ(c.analysis.analysis_cycles, s.analysis.analysis_cycles)
+            << "alarm " << i;
+    }
+
+    // Final CPU and memory digests of both machines.
+    EXPECT_EQ(conc.recorded_vm->state_hash(), serial.recorded_vm->state_hash());
+    EXPECT_EQ(conc.cr_vm->state_hash(), serial.cr_vm->state_hash());
+    EXPECT_EQ(conc.cr_vm->cpu().icount(), serial.cr_vm->cpu().icount());
+    EXPECT_EQ(conc.cr_vm->cpu().cycles(), serial.cr_vm->cpu().cycles());
+    EXPECT_EQ(conc.cr_vm->cpu().state().pc, serial.cr_vm->cpu().state().pc);
+
+    // The merged pipeline counters agree entry for entry.
+    EXPECT_EQ(conc.pipeline_stats.snapshot(),
+              serial.pipeline_stats.snapshot());
+}
+
+TEST(ConcurrentPipeline, BenignStreamingRunMatchesSerial)
+{
+    // Streaming-heavy benign workload (no ARs): the on-the-fly CR must
+    // still converge to the recorded machine exactly.
+    auto profile = workloads::benchmark_profile("apache");
+    profile.iterations_per_task = 300;
+    for (auto mode :
+         {core::PipelineMode::kSerial, core::PipelineMode::kConcurrent}) {
+        core::FrameworkConfig config;
+        config.pipeline = mode;
+        core::RnrSafeFramework framework(workloads::vm_factory(profile),
+                                         config);
+        auto result = framework.run();
+        EXPECT_EQ(result.cr_outcome, rnr::ReplayOutcome::kFinished);
+        EXPECT_FALSE(result.alarms.attack_detected());
+        EXPECT_EQ(result.cr_vm->state_hash(),
+                  result.recorded_vm->state_hash());
+    }
+}
+
+TEST(ConcurrentPipeline, TracksReplayLagAndChannelTraffic)
+{
+    auto result = run_pipeline_mode(core::PipelineMode::kConcurrent, 2);
+    // Lag was sampled at every positional boundary.
+    EXPECT_GT(result.replay_lag.samples, 0u);
+    EXPECT_GE(result.replay_lag.max_lag, 1u);
+    EXPECT_LE(result.replay_lag.mean(),
+              static_cast<double>(result.replay_lag.max_lag));
+    // Every record the recorder appended flowed through the channel.
+    EXPECT_EQ(result.channel_stats.records_pushed,
+              result.recorder->log().size());
+    EXPECT_GT(result.channel_stats.chunks_published, 0u);
+    EXPECT_EQ(result.channel_stats.records_dropped, 0u);
+}
+
+TEST(ConcurrentPipeline, WorkerCountDoesNotChangeResults)
+{
+    auto one = run_pipeline_mode(core::PipelineMode::kConcurrent, 1);
+    auto four = run_pipeline_mode(core::PipelineMode::kConcurrent, 4);
+    ASSERT_EQ(one.ar_results.size(), four.ar_results.size());
+    for (std::size_t i = 0; i < one.ar_results.size(); ++i) {
+        EXPECT_EQ(one.ar_results[i].analysis.cause,
+                  four.ar_results[i].analysis.cause);
+        EXPECT_EQ(one.ar_results[i].analysis.report,
+                  four.ar_results[i].analysis.report);
+    }
+    EXPECT_EQ(one.pipeline_stats.snapshot(), four.pipeline_stats.snapshot());
+}
+
+}  // namespace
+}  // namespace rsafe
 // Appended: risk-averse mode and pipeline-robustness coverage.
 namespace rsafe {
 namespace {

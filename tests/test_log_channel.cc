@@ -1,0 +1,218 @@
+/** @file Unit and stress tests of the recorder->CR streaming channel:
+ *  backpressure on a full queue, drain-after-close, poison outranking
+ *  queued data, abandon unblocking the producer, and a randomized
+ *  producer/consumer pacing stress that checks the LogReader reassembles
+ *  the stream byte-identically. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/random.h"
+#include "rnr/log_channel.h"
+#include "rnr/log_source.h"
+
+namespace rsafe::rnr {
+namespace {
+
+LogRecord
+make_record(std::uint64_t i)
+{
+    LogRecord record;
+    record.type = RecordType::kRdtsc;
+    record.icount = i + 1;
+    record.value = i * 3 + 7;
+    return record;
+}
+
+/** Push @p count records and close; @return the reference log. */
+InputLog
+feed(LogChannel* channel, std::size_t count)
+{
+    InputLog reference;
+    for (std::size_t i = 0; i < count; ++i) {
+        LogRecord record = make_record(i);
+        reference.append(record);
+        channel->push(std::move(record));
+    }
+    channel->close();
+    return reference;
+}
+
+TEST(LogChannel, DrainsEverythingAfterClose)
+{
+    ChannelOptions options;
+    options.chunk_records = 3;  // force a partial final chunk
+    LogChannel channel(options);
+    InputLog reference = feed(&channel, 10);
+
+    LogReader reader(&channel);
+    ASSERT_TRUE(reader.await(9));
+    EXPECT_FALSE(reader.await(10));  // close, not poison
+    EXPECT_TRUE(reader.ended());
+    EXPECT_FALSE(reader.aborted());
+    EXPECT_EQ(reader.visible(), 10u);
+    EXPECT_EQ(reader.log().serialize(), reference.serialize());
+    EXPECT_EQ(channel.stats().records_pushed, 10u);
+    EXPECT_EQ(channel.stats().records_dropped, 0u);
+}
+
+TEST(LogChannel, PoisonOutranksQueuedData)
+{
+    LogChannel channel;
+    channel.push(make_record(0));
+    channel.flush();
+    channel.poison();
+
+    // The abort is reported before (instead of) the queued chunk.
+    std::vector<LogRecord> chunk;
+    EXPECT_EQ(channel.pop(&chunk), LogChannel::PopResult::kPoisoned);
+    EXPECT_TRUE(channel.poisoned());
+
+    LogChannel channel2;
+    channel2.push(make_record(0));
+    channel2.flush();
+    channel2.poison();
+    LogReader reader(&channel2);
+    EXPECT_FALSE(reader.await(0));
+    EXPECT_TRUE(reader.aborted());
+    EXPECT_EQ(reader.visible(), 0u);
+}
+
+TEST(LogChannel, ProducerBlocksOnFullQueueUntilConsumerDrains)
+{
+    ChannelOptions options;
+    options.capacity_records = 8;
+    options.chunk_records = 4;
+    LogChannel channel(options);
+
+    // Fill to capacity from this thread (no consumer yet: must not block).
+    for (std::size_t i = 0; i < 8; ++i)
+        channel.push(make_record(i));
+
+    // The 9th..16th records exceed capacity: the producer must park until
+    // the consumer drains a chunk.
+    std::thread producer([&] {
+        for (std::size_t i = 8; i < 16; ++i)
+            channel.push(make_record(i));
+        channel.close();
+    });
+
+    // The queue is full, so the producer's next publish is guaranteed to
+    // block; hold off draining until that wait is observable.
+    while (channel.stats().producer_waits == 0)
+        std::this_thread::yield();
+
+    std::size_t drained = 0;
+    std::vector<LogRecord> chunk;
+    while (channel.pop(&chunk) == LogChannel::PopResult::kData)
+        drained += chunk.size();
+    producer.join();
+
+    EXPECT_EQ(drained, 16u);
+    const ChannelStats stats = channel.stats();
+    EXPECT_GT(stats.producer_waits, 0u);
+    EXPECT_LE(stats.max_queued_records, options.capacity_records);
+    EXPECT_EQ(stats.records_pushed, 16u);
+}
+
+TEST(LogChannel, AbandonUnblocksAndDropsProducer)
+{
+    ChannelOptions options;
+    options.capacity_records = 4;
+    options.chunk_records = 2;
+    LogChannel channel(options);
+
+    // A producer racing a consumer that walks away mid-stream: every
+    // push must return (dropping, not blocking) once abandoned.
+    std::thread producer([&] {
+        for (std::size_t i = 0; i < 1000; ++i)
+            channel.push(make_record(i));
+        channel.close();
+    });
+    std::vector<LogRecord> chunk;
+    ASSERT_EQ(channel.pop(&chunk), LogChannel::PopResult::kData);
+    channel.abandon();
+    producer.join();  // would deadlock if abandon didn't disarm pushes
+
+    EXPECT_GT(channel.stats().records_dropped, 0u);
+}
+
+TEST(LogChannel, RejectsDegenerateGeometry)
+{
+    ChannelOptions zero_chunk;
+    zero_chunk.chunk_records = 0;
+    EXPECT_THROW(LogChannel{zero_chunk}, FatalError);
+
+    ChannelOptions tiny;
+    tiny.capacity_records = 2;
+    tiny.chunk_records = 8;
+    EXPECT_THROW(LogChannel{tiny}, FatalError);
+}
+
+TEST(LogChannel, RandomizedPacingStressPreservesTheStream)
+{
+    // Producer and consumer run with independently randomized pacing and
+    // chunk geometry; whatever the interleaving, the reader must end up
+    // with a byte-identical log.
+    Rng geometry_rng(0xC0FFEE);
+    for (int round = 0; round < 6; ++round) {
+        ChannelOptions options;
+        options.chunk_records = 1 + geometry_rng.next_below(9);
+        options.capacity_records =
+            options.chunk_records * (1 + geometry_rng.next_below(7));
+        LogChannel channel(options);
+        const std::size_t total = 500 + geometry_rng.next_below(1500);
+
+        InputLog reference;
+        std::thread producer([&, seed = geometry_rng.next()] {
+            Rng rng(seed);
+            for (std::size_t i = 0; i < total; ++i) {
+                LogRecord record = make_record(i);
+                if (rng.chance(0.05)) {
+                    // Occasional bulky NIC-DMA-like payload.
+                    record.type = RecordType::kNicDma;
+                    record.payload.assign(rng.next_below(200), 0xAB);
+                }
+                reference.append(record);
+                channel.push(std::move(record));
+                if (rng.chance(0.02))
+                    std::this_thread::yield();
+            }
+            channel.close();
+        });
+
+        LogReader reader(&channel);
+        Rng consumer_rng(geometry_rng.next());
+        std::size_t index = 0;
+        while (reader.await(index)) {
+            // Consume in random-sized strides, sometimes yielding.
+            index += 1 + consumer_rng.next_below(32);
+            if (consumer_rng.chance(0.02))
+                std::this_thread::yield();
+        }
+        producer.join();
+
+        ASSERT_FALSE(reader.aborted()) << "round " << round;
+        ASSERT_EQ(reader.visible(), total) << "round " << round;
+        EXPECT_EQ(reader.log().serialize(), reference.serialize())
+            << "round " << round;
+        const ChannelStats stats = channel.stats();
+        EXPECT_EQ(stats.records_pushed, total);
+        EXPECT_LE(stats.max_queued_records, options.capacity_records);
+    }
+}
+
+TEST(LogChannel, ProducerIcountTracksNewestRecord)
+{
+    LogChannel channel;
+    EXPECT_EQ(channel.producer_icount(), 0u);
+    channel.push(make_record(41));  // icount 42
+    EXPECT_EQ(channel.producer_icount(), 42u);
+    channel.close();
+}
+
+}  // namespace
+}  // namespace rsafe::rnr

@@ -138,5 +138,61 @@ TEST(Table, FmtFormatsDoubles)
     EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
 }
 
+// Thread-join aggregation: each worker mutates only its own instances
+// and the coordinator folds them together afterwards.
+
+TEST(Counter, MergeSumsValues)
+{
+    Counter a, b;
+    a.inc(5);
+    b.inc(7);
+    a.merge(b);
+    EXPECT_EQ(a.value(), 12u);
+    EXPECT_EQ(b.value(), 7u);  // source unchanged
+}
+
+TEST(Histogram, MergeCombinesBucketsAndMoments)
+{
+    Histogram a(100, 4), b(100, 4);
+    a.sample(10);
+    a.sample(90);
+    b.sample(10);
+    b.sample(500);  // overflow bucket
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.sum(), 610u);
+    EXPECT_EQ(a.max_sample(), 500u);
+    EXPECT_EQ(a.bucket(0), 2u);  // both 10s
+    EXPECT_EQ(a.bucket(a.num_buckets() - 1), 1u);
+}
+
+TEST(Histogram, MergeRejectsGeometryMismatch)
+{
+    Histogram a(100, 4), b(100, 8);
+    EXPECT_THROW(a.merge(b), FatalError);
+    Histogram c(200, 4);
+    EXPECT_THROW(a.merge(c), FatalError);
+}
+
+TEST(StatRegistry, MergeFoldsByNameAndOrderIsIrrelevant)
+{
+    StatRegistry w1, w2, order_a, order_b;
+    w1.counter("ar.replays").inc(3);
+    w1.counter("ar.attacks").inc(1);
+    w2.counter("ar.replays").inc(2);
+    w2.counter("ar.deep_reruns").inc(4);
+
+    order_a.merge(w1);
+    order_a.merge(w2);
+    order_b.merge(w2);
+    order_b.merge(w1);
+
+    EXPECT_EQ(order_a.value("ar.replays"), 5u);
+    EXPECT_EQ(order_a.value("ar.attacks"), 1u);
+    EXPECT_EQ(order_a.value("ar.deep_reruns"), 4u);
+    // Counter sums are commutative: any join order, identical snapshot.
+    EXPECT_EQ(order_a.snapshot(), order_b.snapshot());
+}
+
 }  // namespace
 }  // namespace rsafe::stats

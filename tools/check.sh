@@ -3,9 +3,10 @@
 # (RelWithDebInfo) configuration and again under ASan+UBSan
 # (-DRSAFE_SANITIZE=ON). Run from the repository root:
 #
-#   tools/check.sh            # both test configurations
+#   tools/check.sh            # release + asan + tsan test configurations
 #   tools/check.sh release    # normal configuration only
-#   tools/check.sh sanitize   # sanitizer configuration only
+#   tools/check.sh sanitize   # ASan+UBSan configuration only
+#   tools/check.sh tsan       # ThreadSanitizer configuration only
 #   tools/check.sh tidy       # clang-tidy over src/ (skips if not installed)
 set -eu
 
@@ -39,13 +40,15 @@ run_tidy() {
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
+  tsan)     run_config build-tsan -DRSAFE_SANITIZE=thread ;;
   tidy)     run_tidy ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
+    run_config build-tsan -DRSAFE_SANITIZE=thread
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tidy|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|all]" >&2
     exit 2
     ;;
 esac
