@@ -134,17 +134,72 @@ RnrSafeFramework::finalize(FrameworkResult* result,
     // Pipeline-wide counters. Only values that are bit-identical across
     // pipeline modes belong here (the determinism A/B test compares the
     // whole snapshot); lag and channel traffic stay in their own fields.
+    // Replay-only runs (replay_wire) have no recording stage.
     auto& stats = result->pipeline_stats;
-    stats.counter("record.instructions")
-        .inc(result->recorded_vm->cpu().icount());
-    stats.counter("record.log_records").inc(result->recorder->log().size());
-    stats.counter("record.log_bytes")
-        .inc(result->recorder->log().total_bytes());
+    if (result->recorded_vm && result->recorder) {
+        stats.counter("record.instructions")
+            .inc(result->recorded_vm->cpu().icount());
+        stats.counter("record.log_records")
+            .inc(result->recorder->log().size());
+        stats.counter("record.log_bytes")
+            .inc(result->recorder->log().total_bytes());
+    }
     stats.counter("record.alarms_logged").inc(result->alarms_logged);
     stats.counter("cr.instructions").inc(result->cr_vm->cpu().icount());
     stats.counter("cr.checkpoints").inc(result->cr->checkpoints_taken());
     stats.counter("cr.underflows_resolved").inc(result->underflows_resolved);
     stats.counter("cr.single_steps").inc(result->cr->single_steps());
+}
+
+FrameworkResult
+RnrSafeFramework::replay_wire(const std::vector<std::uint8_t>& bytes)
+{
+    FrameworkResult result;
+
+    // Deserialize tolerantly: a damaged image yields its longest intact
+    // record prefix plus a forensic report of what was lost.
+    result.shipped_log = std::make_unique<rnr::InputLog>();
+    result.log_integrity =
+        rnr::InputLog::deserialize_tolerant(bytes, result.shipped_log.get());
+    const rnr::InputLog& log = *result.shipped_log;
+    result.alarms_logged = log.find_all(rnr::RecordType::kRasAlarm).size();
+
+    // Checkpointing replay over the recovered prefix. The CR stops at the
+    // corruption boundary (the log simply ends there) instead of the
+    // whole pipeline aborting.
+    result.cr_vm = factory_();
+    result.cr = std::make_unique<replay::CheckpointReplayer>(
+        result.cr_vm.get(), &log, config_.cr);
+    result.cr_outcome = result.cr->run();
+    result.underflows_resolved = result.cr->underflows_resolved();
+    result.replay_lag = result.cr->lag();
+
+    // Alarm replays, scheduled per the configured pipeline shape.
+    std::vector<AlarmReplayResult> ar_results;
+    if (config_.pipeline == PipelineMode::kSerial) {
+        ar_results.reserve(result.cr->pending_alarms().size());
+        for (const auto& pending : result.cr->pending_alarms())
+            ar_results.push_back(
+                analyze_alarm(pending, &log, &result.pipeline_stats));
+    } else {
+        ar_results = run_alarm_pool(result.cr->pending_alarms(), &log,
+                                    &result.pipeline_stats);
+    }
+    finalize(&result, std::move(ar_results));
+
+    if (!result.log_integrity.intact()) {
+        // Surface the damage as a first-class alarm: replay verdicts
+        // derived from a non-intact log only cover the recovered prefix,
+        // and tampering cannot be ruled out.
+        replay::AlarmAnalysis integrity;
+        integrity.is_attack = false;
+        integrity.cause = replay::AlarmCause::kLogIntegrity;
+        integrity.report = "input log integrity failure: " +
+                           result.log_integrity.to_string();
+        result.alarms.add(std::move(integrity));
+        result.pipeline_stats.counter("log.integrity_failures").inc();
+    }
+    return result;
 }
 
 FrameworkResult

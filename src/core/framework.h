@@ -10,6 +10,7 @@
 #include "replay/checkpoint_replayer.h"
 #include "rnr/log_channel.h"
 #include "rnr/recorder.h"
+#include "rnr/wire.h"
 #include "stats/stats.h"
 
 /**
@@ -112,11 +113,23 @@ struct FrameworkResult {
      *  concurrent pipeline, per-worker) registries after join. */
     stats::StatRegistry pipeline_stats;
 
+    /**
+     * Integrity verdict of the input log this run replayed. In-process
+     * recordings are trusted and stay intact; replay_wire() fills this
+     * with the forensic report of the shipped image — when the image was
+     * damaged, the CR replayed only the recovered prefix and a
+     * kLogIntegrity alarm carrying this report's detail was raised.
+     */
+    rnr::wire::LoadReport log_integrity;
+
     // The pipeline components, kept alive for inspection by callers.
     std::unique_ptr<hv::Vm> recorded_vm;
     std::unique_ptr<rnr::Recorder> recorder;
     std::unique_ptr<hv::Vm> cr_vm;
     std::unique_ptr<replay::CheckpointReplayer> cr;
+
+    /** The deserialized shipped log (replay_wire() runs only). */
+    std::unique_ptr<rnr::InputLog> shipped_log;
 };
 
 /** The RnR-Safe pipeline. */
@@ -126,6 +139,17 @@ class RnrSafeFramework {
 
     /** Run record -> checkpointing replay -> alarm replays. */
     FrameworkResult run();
+
+    /**
+     * The replay-machine half of Figure 1 for a log that arrived over the
+     * wire: deserialize @p bytes tolerantly, run the checkpointing replay
+     * over the recovered records, and fan out alarm replays per the
+     * configured pipeline mode. A damaged image never aborts: the CR
+     * stops at the corruption boundary and the damage is surfaced as a
+     * kLogIntegrity alarm plus the forensic FrameworkResult::log_integrity
+     * report.
+     */
+    FrameworkResult replay_wire(const std::vector<std::uint8_t>& bytes);
 
   private:
     FrameworkResult run_serial();

@@ -1,0 +1,189 @@
+#include "fault/injector.h"
+
+#include "common/log.h"
+#include "rnr/wire.h"
+
+namespace rsafe::fault {
+
+namespace wire = rnr::wire;
+
+const char*
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kBitFlip: return "bit-flip";
+      case FaultKind::kTruncate: return "truncate";
+      case FaultKind::kDuplicateRecord: return "duplicate-record";
+      case FaultKind::kReorderRecords: return "reorder-records";
+      case FaultKind::kBadMagic: return "bad-magic";
+      case FaultKind::kBadVersion: return "bad-version";
+    }
+    return "<bad>";
+}
+
+StatusCode
+expected_detection(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kBitFlip: return StatusCode::kChecksumMismatch;
+      case FaultKind::kTruncate: return StatusCode::kTruncated;
+      case FaultKind::kDuplicateRecord: return StatusCode::kDuplicateRecord;
+      case FaultKind::kReorderRecords: return StatusCode::kReorderedRecord;
+      case FaultKind::kBadMagic: return StatusCode::kBadMagic;
+      case FaultKind::kBadVersion: return StatusCode::kBadVersion;
+    }
+    return StatusCode::kInvalidArgument;
+}
+
+std::uint64_t
+Rng::next()
+{
+    // splitmix64: full-period, seed-deterministic, platform-independent.
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below(0)");
+    return next() % bound;
+}
+
+Status
+Injector::inject(FaultKind kind, std::vector<std::uint8_t>* image,
+                 FaultReport* report)
+{
+    report->kind = kind;
+    report->detail.clear();
+
+    std::vector<wire::FrameSpan> frames;
+    const Status index_status = wire::index_frames(*image, &frames);
+    if (!index_status.ok()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "injector needs an intact image: " +
+                          index_status.to_string());
+    }
+
+    switch (kind) {
+      case FaultKind::kBitFlip: {
+        if (frames.empty())
+            return Status(StatusCode::kInvalidArgument,
+                          "bit-flip needs at least one frame");
+        // Aim at the payload (or, for empty payloads, the stored CRC):
+        // both are covered by the frame checksum alone, so the flip is
+        // classified as kChecksumMismatch and nothing vaguer. A flip in
+        // the length field could instead present as truncation.
+        const std::size_t f = rng_.below(frames.size());
+        const wire::FrameSpan& span = frames[f];
+        const std::size_t payload_size = span.size - wire::kFrameHeaderSize;
+        std::size_t target;
+        if (payload_size > 0) {
+            target = span.offset + wire::kFrameHeaderSize +
+                     rng_.below(payload_size);
+        } else {
+            target = span.offset + 8 + rng_.below(4);  // stored CRC field
+        }
+        const int bit = static_cast<int>(rng_.below(8));
+        (*image)[target] ^= static_cast<std::uint8_t>(1u << bit);
+        report->detail = strcat_args("flipped bit ", bit, " of byte ",
+                                     target, " (record #", f, ")");
+        return Status();
+      }
+
+      case FaultKind::kTruncate: {
+        if (frames.empty())
+            return Status(StatusCode::kInvalidArgument,
+                          "truncation needs at least one frame");
+        // Any cut point from the end of the header to one byte short of
+        // the end leaves some frame incomplete.
+        const std::size_t span = image->size() - wire::kHeaderSize;
+        const std::size_t keep = wire::kHeaderSize + rng_.below(span);
+        const std::size_t lost = image->size() - keep;
+        image->resize(keep);
+        report->detail =
+            strcat_args("cut to ", keep, " bytes (", lost, " lost)");
+        return Status();
+      }
+
+      case FaultKind::kDuplicateRecord: {
+        if (frames.size() < 2) {
+            return Status(StatusCode::kInvalidArgument,
+                          "duplication needs at least two frames (a "
+                          "duplicated last frame is just trailing bytes)");
+        }
+        // Duplicate a non-final frame in place: the decoder meets the
+        // copy where the next sequence number is due.
+        const std::size_t f = rng_.below(frames.size() - 1);
+        const wire::FrameSpan& span = frames[f];
+        const std::vector<std::uint8_t> copy(
+            image->begin() + static_cast<std::ptrdiff_t>(span.offset),
+            image->begin() +
+                static_cast<std::ptrdiff_t>(span.offset + span.size));
+        image->insert(image->begin() + static_cast<std::ptrdiff_t>(
+                                           span.offset + span.size),
+                      copy.begin(), copy.end());
+        report->detail = strcat_args("record #", f, " (", span.size,
+                                     " bytes) delivered twice");
+        return Status();
+      }
+
+      case FaultKind::kReorderRecords: {
+        if (frames.size() < 2)
+            return Status(StatusCode::kInvalidArgument,
+                          "reordering needs at least two frames");
+        // Swap two adjacent frames; each stays internally consistent,
+        // only the sequence numbers betray the swap.
+        const std::size_t f = rng_.below(frames.size() - 1);
+        const wire::FrameSpan& a = frames[f];
+        const wire::FrameSpan& b = frames[f + 1];
+        std::vector<std::uint8_t> swapped;
+        swapped.reserve(a.size + b.size);
+        swapped.insert(swapped.end(),
+                       image->begin() +
+                           static_cast<std::ptrdiff_t>(b.offset),
+                       image->begin() +
+                           static_cast<std::ptrdiff_t>(b.offset + b.size));
+        swapped.insert(swapped.end(),
+                       image->begin() +
+                           static_cast<std::ptrdiff_t>(a.offset),
+                       image->begin() +
+                           static_cast<std::ptrdiff_t>(a.offset + a.size));
+        std::copy(swapped.begin(), swapped.end(),
+                  image->begin() + static_cast<std::ptrdiff_t>(a.offset));
+        report->detail =
+            strcat_args("records #", f, " and #", f + 1, " swapped");
+        return Status();
+      }
+
+      case FaultKind::kBadMagic: {
+        // A foreign file with the right length: overwrite the magic.
+        static constexpr std::uint8_t kBogus[8] = {'N', 'O', 'T', 'W',
+                                                   'I', 'R', 'E', '!'};
+        for (int i = 0; i < 8; ++i)
+            (*image)[static_cast<std::size_t>(i)] = kBogus[i];
+        report->detail = "magic overwritten with \"NOTWIRE!\"";
+        return Status();
+      }
+
+      case FaultKind::kBadVersion: {
+        // A file from a future format revision: bump the version and
+        // re-seal the header CRC, so the only complaint left is the
+        // version itself.
+        const auto version =
+            static_cast<std::uint16_t>(wire::kVersion + 1 + rng_.below(7));
+        const Status status = wire::set_header_version(image, version);
+        if (!status.ok())
+            return status;
+        report->detail =
+            strcat_args("header rewritten as wire version ", version);
+        return Status();
+      }
+    }
+    return Status(StatusCode::kInvalidArgument, "unknown fault kind");
+}
+
+}  // namespace rsafe::fault

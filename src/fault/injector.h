@@ -1,0 +1,100 @@
+#ifndef RSAFE_FAULT_INJECTOR_H_
+#define RSAFE_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/**
+ * @file
+ * Deterministic fault injection for wire-format images.
+ *
+ * The injector mutates a serialized artifact (an input log, a checkpoint
+ * digest) the way real transport and storage do: a flipped bit, a file
+ * cut short, a record played twice, records swapped in flight, or a
+ * foreign/old header. Every mutation is aimed so its detection class is
+ * exact — the injection-matrix tests assert that each FaultKind is
+ * caught as its own StatusCode, never silently and never as a vaguer
+ * error than necessary.
+ *
+ * All randomness comes from a seeded splitmix64 stream: the same seed
+ * over the same image produces byte-identical mutations on every run
+ * and every platform. No wall-clock entropy anywhere.
+ */
+
+namespace rsafe::fault {
+
+/** The corruption classes of the injection matrix. */
+enum class FaultKind {
+    kBitFlip,          ///< one bit flipped inside a frame
+    kTruncate,         ///< image cut short mid-record
+    kDuplicateRecord,  ///< an intact frame replayed twice
+    kReorderRecords,   ///< two adjacent intact frames swapped
+    kBadMagic,         ///< foreign file: magic overwritten
+    kBadVersion,       ///< future format: version bumped, CRC resealed
+};
+
+/** @return a short name for @p kind. */
+const char* fault_kind_name(FaultKind kind);
+
+/** Every FaultKind, in matrix order. */
+inline constexpr std::array<FaultKind, 6> kAllFaultKinds = {
+    FaultKind::kBitFlip,        FaultKind::kTruncate,
+    FaultKind::kDuplicateRecord, FaultKind::kReorderRecords,
+    FaultKind::kBadMagic,        FaultKind::kBadVersion,
+};
+
+/**
+ * @return the StatusCode a tolerant decode must report after @p kind was
+ * injected — the contract the injection-matrix suite enforces.
+ */
+StatusCode expected_detection(FaultKind kind);
+
+/** What a single injection did, for test output and forensics. */
+struct FaultReport {
+    FaultKind kind = FaultKind::kBitFlip;
+    std::string detail;  ///< what was mutated and where
+};
+
+/** Deterministic seeded PRNG (splitmix64). */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * The fault injector. One instance drives one deterministic stream of
+ * mutations; inject() draws from it, so a sequence of injections with
+ * one seed is as reproducible as a single one.
+ */
+class Injector {
+  public:
+    explicit Injector(std::uint64_t seed) : rng_(seed) {}
+
+    /**
+     * Mutate @p image in place per @p kind. The image must be an intact
+     * wire image (kBitFlip needs >= 1 frame; kDuplicateRecord and
+     * kReorderRecords need >= 2 so the damage is not just trailing
+     * garbage). On success @p report says exactly what changed.
+     */
+    Status inject(FaultKind kind, std::vector<std::uint8_t>* image,
+                  FaultReport* report);
+
+  private:
+    Rng rng_;
+};
+
+}  // namespace rsafe::fault
+
+#endif  // RSAFE_FAULT_INJECTOR_H_

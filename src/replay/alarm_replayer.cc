@@ -18,6 +18,7 @@ alarm_cause_name(AlarmCause cause)
       case AlarmCause::kHardwareArtifact: return "hardware-artifact";
       case AlarmCause::kWhitelistViolation: return "whitelist-violation";
       case AlarmCause::kNeedsDeeperAnalysis: return "needs-deeper-analysis";
+      case AlarmCause::kLogIntegrity: return "LOG-INTEGRITY";
     }
     return "<bad>";
 }

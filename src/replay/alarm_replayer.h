@@ -34,6 +34,7 @@ enum class AlarmCause {
     kHardwareArtifact,  ///< software RAS predicted correctly (false pos.)
     kWhitelistViolation,///< non-procedural return to an illegal target
     kNeedsDeeperAnalysis, ///< needs a rerun with more instrumentation
+    kLogIntegrity,      ///< the input log itself failed integrity checks
 };
 
 /** @return a short name for @p cause. */

@@ -1,8 +1,10 @@
 #include "replay/checkpoint.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.h"
+#include "rnr/wire.h"
 
 namespace rsafe::replay {
 
@@ -147,6 +149,174 @@ restore_checkpoint(const Checkpoint& checkpoint, hv::Vm* vm,
     env->restore_context(checkpoint.current_tid,
                          checkpoint.have_current_tid,
                          checkpoint.context_dying);
+}
+
+namespace {
+
+namespace wire = rnr::wire;
+
+/** Hash one PageTable's contents in index order (null refs included). */
+std::uint64_t
+hash_page_table(const mem::PageTable& table)
+{
+    std::uint64_t hash = wire::kFnvOffset;
+    for (std::uint64_t i = 0; i < table.size(); ++i) {
+        const auto& ref = table.at(i);
+        if (!ref) {
+            hash = wire::fnv1a64_u64(0x6e756c6cULL /* "null" */, hash);
+            continue;
+        }
+        hash = wire::fnv1a64(ref->data(), ref->size(), hash);
+    }
+    return hash;
+}
+
+std::uint64_t
+hash_saved_ras(const cpu::SavedRas& ras, std::uint64_t hash)
+{
+    hash = wire::fnv1a64_u64(ras.entries.size(), hash);
+    for (const auto& entry : ras.entries) {
+        hash = wire::fnv1a64_u64(entry.addr, hash);
+        hash = wire::fnv1a64_u64(entry.restored ? 1 : 0, hash);
+    }
+    return hash;
+}
+
+}  // namespace
+
+CheckpointDigest
+digest_of(const Checkpoint& checkpoint)
+{
+    CheckpointDigest digest;
+    digest.id = checkpoint.id;
+    digest.icount = checkpoint.icount;
+    digest.cycles = checkpoint.cycles;
+    digest.log_pos = checkpoint.log_pos;
+
+    std::uint64_t cpu = wire::kFnvOffset;
+    for (const Word reg : checkpoint.cpu_state.regs)
+        cpu = wire::fnv1a64_u64(reg, cpu);
+    cpu = wire::fnv1a64_u64(checkpoint.cpu_state.pc, cpu);
+    cpu = wire::fnv1a64_u64(checkpoint.cpu_state.sp, cpu);
+    cpu = wire::fnv1a64_u64(
+        static_cast<std::uint64_t>(checkpoint.cpu_state.mode), cpu);
+    cpu = wire::fnv1a64_u64(checkpoint.cpu_state.iflag ? 1 : 0, cpu);
+    cpu = wire::fnv1a64_u64(checkpoint.cpu_state.halted ? 1 : 0, cpu);
+    cpu = wire::fnv1a64_u64(
+        checkpoint.pending_irq ? 0x100u + *checkpoint.pending_irq : 0, cpu);
+    digest.cpu_hash = cpu;
+
+    digest.pages_hash = hash_page_table(checkpoint.pages);
+    digest.blocks_hash = hash_page_table(checkpoint.blocks);
+
+    std::uint64_t ras = wire::kFnvOffset;
+    ras = hash_saved_ras(checkpoint.ras, ras);
+    ras = wire::fnv1a64_u64(checkpoint.backras.size(), ras);
+    for (const auto& [tid, saved] : checkpoint.backras) {
+        ras = wire::fnv1a64_u64(tid, ras);
+        ras = hash_saved_ras(saved, ras);
+    }
+    ras = wire::fnv1a64_u64(checkpoint.current_tid, ras);
+    ras = wire::fnv1a64_u64(checkpoint.have_current_tid ? 1 : 0, ras);
+    ras = wire::fnv1a64_u64(checkpoint.context_dying ? 1 : 0, ras);
+    digest.ras_hash = ras;
+    return digest;
+}
+
+namespace {
+
+/** Field order of the digest's single wire frame. */
+constexpr std::size_t kDigestWords = 8;
+
+void
+digest_fields(const CheckpointDigest& digest,
+              std::uint64_t (&fields)[kDigestWords])
+{
+    fields[0] = digest.id;
+    fields[1] = digest.icount;
+    fields[2] = digest.cycles;
+    fields[3] = digest.log_pos;
+    fields[4] = digest.cpu_hash;
+    fields[5] = digest.pages_hash;
+    fields[6] = digest.blocks_hash;
+    fields[7] = digest.ras_hash;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t>
+CheckpointDigest::serialize() const
+{
+    std::uint64_t fields[kDigestWords];
+    digest_fields(*this, fields);
+    std::vector<std::uint8_t> payload;
+    payload.reserve(kDigestWords * 8);
+    for (const std::uint64_t field : fields)
+        for (int i = 0; i < 8; ++i)
+            payload.push_back(
+                static_cast<std::uint8_t>((field >> (8 * i)) & 0xff));
+
+    std::vector<std::uint8_t> out;
+    wire::Header header;
+    header.kind = wire::PayloadKind::kCheckpointDigest;
+    header.frame_count = 1;
+    wire::encode_header(header, &out);
+    wire::append_frame(0, payload.data(), payload.size(), &out);
+    return out;
+}
+
+Status
+CheckpointDigest::deserialize(const std::vector<std::uint8_t>& bytes,
+                              CheckpointDigest* out)
+{
+    bool seen = false;
+    const wire::LoadReport report = wire::read_frames(
+        bytes, wire::PayloadKind::kCheckpointDigest,
+        [&](std::uint64_t seq, std::size_t offset, std::size_t length) {
+            if (seen)
+                return Status(StatusCode::kMalformedRecord,
+                              "checkpoint digest has more than one frame");
+            if (length != kDigestWords * 8) {
+                return Status(
+                    StatusCode::kMalformedRecord,
+                    strcat_args("digest frame is ", length, " bytes, want ",
+                                kDigestWords * 8));
+            }
+            std::uint64_t fields[kDigestWords] = {};
+            for (std::size_t w = 0; w < kDigestWords; ++w)
+                for (int i = 0; i < 8; ++i)
+                    fields[w] |= static_cast<std::uint64_t>(
+                                     bytes[offset + w * 8 + i])
+                                 << (8 * i);
+            out->id = fields[0];
+            out->icount = fields[1];
+            out->cycles = fields[2];
+            out->log_pos = fields[3];
+            out->cpu_hash = fields[4];
+            out->pages_hash = fields[5];
+            out->blocks_hash = fields[6];
+            out->ras_hash = fields[7];
+            seen = true;
+            (void)seq;
+            return Status();
+        });
+    if (!report.intact())
+        return report.status;
+    if (!seen)
+        return Status(StatusCode::kMalformedRecord,
+                      "checkpoint digest image has no frame");
+    return Status();
+}
+
+std::string
+CheckpointDigest::to_string() const
+{
+    std::ostringstream os;
+    os << "chk#" << id << " icount=" << icount << " cycles=" << cycles
+       << " log_pos=" << log_pos << std::hex << " cpu=0x" << cpu_hash
+       << " pages=0x" << pages_hash << " blocks=0x" << blocks_hash
+       << " ras=0x" << ras_hash << std::dec;
+    return os.str();
 }
 
 }  // namespace rsafe::replay

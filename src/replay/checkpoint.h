@@ -5,7 +5,10 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "cpu/cpu.h"
 #include "cpu/ras.h"
@@ -79,6 +82,45 @@ struct Checkpoint {
     std::uint64_t disk_epoch = 0;
     /** @} */
 };
+
+/**
+ * A compact, machine-portable summary of a checkpoint's state: enough to
+ * assert that two independently produced checkpoints captured the same
+ * instant of the same execution (cross-pipeline determinism audits,
+ * golden-corpus compatibility gates). Serialized in the hardened wire
+ * format (rnr/wire.h) with the same CRC/versioning guarantees as the
+ * input log, so a digest shipped between machines fails loudly — never
+ * silently — when damaged.
+ *
+ * Only run-deterministic fields participate: process-local identifiers
+ * (mem_id/disk_id) and dirty epochs are excluded so digests compare
+ * equal across processes.
+ */
+struct CheckpointDigest {
+    std::uint64_t id = 0;
+    std::uint64_t icount = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t log_pos = 0;
+    std::uint64_t cpu_hash = 0;    ///< registers, pc, sp, mode, flags
+    std::uint64_t pages_hash = 0;  ///< every captured RAM page, in order
+    std::uint64_t blocks_hash = 0; ///< every captured disk block, in order
+    std::uint64_t ras_hash = 0;    ///< live RAS + BackRAS + thread context
+
+    bool operator==(const CheckpointDigest&) const = default;
+
+    /** Wire-format encoding (PayloadKind::kCheckpointDigest). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Strict parse; any integrity defect is an error, never an abort. */
+    static Status deserialize(const std::vector<std::uint8_t>& bytes,
+                              CheckpointDigest* out);
+
+    /** One-line rendering (diagnostics). */
+    std::string to_string() const;
+};
+
+/** Compute the digest of @p checkpoint. */
+CheckpointDigest digest_of(const Checkpoint& checkpoint);
 
 /** Builds, retains, and recycles checkpoints for one replay stream. */
 class CheckpointStore {

@@ -8,7 +8,58 @@
 namespace rsafe::rnr {
 
 namespace {
-constexpr std::uint64_t kLogMagic = 0x52534146454C4F47ULL;  // "RSAFELOG"
+
+/** The legacy (version 1) magic: bare count + records, no checksums. */
+constexpr std::uint64_t kLogMagicV1 = 0x52534146454C4F47ULL;  // "RSAFELOG"
+
+/**
+ * Parse a legacy v1 image (magic + u64 count + packed records) into
+ * @p out, tolerantly: keep everything parsed before the first defect.
+ * v1 has no redundancy, so corruption classes beyond truncation and
+ * malformed fields are indistinguishable.
+ */
+wire::LoadReport
+parse_legacy_v1(const std::vector<std::uint8_t>& bytes, InputLog* out)
+{
+    wire::LoadReport report;
+    report.version = 1;
+    report.bytes_total = bytes.size();
+    if (bytes.size() < 16) {
+        report.status =
+            Status(StatusCode::kTruncated,
+                   strcat_args("legacy v1 image is ", bytes.size(),
+                               " bytes, header needs 16"));
+        return report;
+    }
+    std::uint64_t count = 0;
+    for (int i = 0; i < 8; ++i)
+        count |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+    report.frames_declared = count;
+    std::size_t pos = 16;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        report.corrupt_offset = pos;
+        LogRecord record;
+        const Status status = LogRecord::decode(bytes, &pos, &record);
+        if (!status.ok()) {
+            report.status =
+                Status(status.code(),
+                       strcat_args("legacy v1 record #", i, ": ",
+                                   status.message()));
+            return report;
+        }
+        out->append(std::move(record));
+        ++report.frames_recovered;
+    }
+    report.corrupt_offset = pos;
+    if (pos != bytes.size()) {
+        report.status = Status(
+            StatusCode::kTrailingBytes,
+            strcat_args(bytes.size() - pos,
+                        " bytes of trailing garbage after legacy v1 log"));
+    }
+    return report;
+}
+
 }  // namespace
 
 std::size_t
@@ -60,71 +111,132 @@ std::vector<std::uint8_t>
 InputLog::serialize() const
 {
     std::vector<std::uint8_t> out;
-    out.reserve(total_bytes_ + 16);
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<std::uint8_t>((kLogMagic >> (8 * i)) & 0xff));
-    const std::uint64_t count = records_.size();
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<std::uint8_t>((count >> (8 * i)) & 0xff));
-    for (const auto& record : records_)
-        record.serialize(&out);
+    out.reserve(wire::kHeaderSize + total_bytes_ +
+                records_.size() * wire::kFrameHeaderSize);
+    wire::Header header;
+    header.kind = wire::PayloadKind::kInputLog;
+    header.frame_count = records_.size();
+    wire::encode_header(header, &out);
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        payload.clear();
+        records_[i].serialize(&payload);
+        wire::append_frame(static_cast<std::uint32_t>(i), payload.data(),
+                           payload.size(), &out);
+    }
     return out;
 }
 
-bool
-InputLog::deserialize(const std::vector<std::uint8_t>& bytes, InputLog* out)
+wire::LoadReport
+InputLog::deserialize_tolerant(const std::vector<std::uint8_t>& bytes,
+                               InputLog* out)
 {
-    if (bytes.size() < 16)
-        return false;
-    std::uint64_t magic = 0, count = 0;
-    for (int i = 0; i < 8; ++i)
-        magic |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
-    for (int i = 0; i < 8; ++i)
-        count |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
-    if (magic != kLogMagic)
-        return false;
     out->records_.clear();
     out->total_bytes_ = 0;
-    std::size_t pos = 16;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        LogRecord record;
-        if (!LogRecord::deserialize(bytes, &pos, &record))
-            return false;
-        out->append(std::move(record));
+
+    // Legacy v1 images carry their own magic; route them to the
+    // unchecksummed parser (and flag version 1 in the report).
+    if (bytes.size() >= 8) {
+        std::uint64_t magic = 0;
+        for (int i = 0; i < 8; ++i)
+            magic |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+        if (magic == kLogMagicV1)
+            return parse_legacy_v1(bytes, out);
     }
-    return pos == bytes.size();
+
+    return wire::read_frames(
+        bytes, wire::PayloadKind::kInputLog,
+        [&](std::uint64_t seq, std::size_t offset, std::size_t length) {
+            std::size_t pos = offset;
+            LogRecord record;
+            const Status status = LogRecord::decode(bytes, &pos, &record);
+            if (!status.ok()) {
+                return Status(StatusCode::kMalformedRecord,
+                              strcat_args("record #", seq, ": ",
+                                          status.message()));
+            }
+            if (pos != offset + length) {
+                return Status(
+                    StatusCode::kMalformedRecord,
+                    strcat_args("record #", seq, ": frame is ", length,
+                                " bytes but record encoding is ",
+                                pos - offset));
+            }
+            out->append(std::move(record));
+            return Status();
+        });
 }
 
-void
+Status
+InputLog::deserialize(const std::vector<std::uint8_t>& bytes, InputLog* out)
+{
+    const wire::LoadReport report = deserialize_tolerant(bytes, out);
+    if (!report.intact()) {
+        out->records_.clear();
+        out->total_bytes_ = 0;
+        return report.status;
+    }
+    return Status();
+}
+
+Status
 InputLog::save(const std::string& path) const
 {
     const auto bytes = serialize();
     std::ofstream file(path, std::ios::binary | std::ios::trunc);
     if (!file)
-        fatal("InputLog::save: cannot open " + path);
+        return Status(StatusCode::kIoError,
+                      "InputLog::save: cannot open " + path);
     file.write(reinterpret_cast<const char*>(bytes.data()),
                static_cast<std::streamsize>(bytes.size()));
     if (!file)
-        fatal("InputLog::save: write failed for " + path);
+        return Status(StatusCode::kIoError,
+                      "InputLog::save: write failed for " + path);
+    return Status();
 }
 
-InputLog
-InputLog::load(const std::string& path)
+namespace {
+
+/** Slurp @p path into @p bytes (kIoError on any file-level failure). */
+Status
+read_file(const std::string& path, std::vector<std::uint8_t>* bytes)
 {
     std::ifstream file(path, std::ios::binary | std::ios::ate);
     if (!file)
-        fatal("InputLog::load: cannot open " + path);
+        return Status(StatusCode::kIoError, "cannot open " + path);
     const auto size = static_cast<std::size_t>(file.tellg());
     file.seekg(0);
-    std::vector<std::uint8_t> bytes(size);
-    file.read(reinterpret_cast<char*>(bytes.data()),
+    bytes->resize(size);
+    file.read(reinterpret_cast<char*>(bytes->data()),
               static_cast<std::streamsize>(size));
     if (!file)
-        fatal("InputLog::load: read failed for " + path);
-    InputLog log;
-    if (!deserialize(bytes, &log))
-        fatal("InputLog::load: corrupt log file " + path);
-    return log;
+        return Status(StatusCode::kIoError, "read failed for " + path);
+    return Status();
+}
+
+}  // namespace
+
+Status
+InputLog::load(const std::string& path, InputLog* out)
+{
+    std::vector<std::uint8_t> bytes;
+    const Status io = read_file(path, &bytes);
+    if (!io.ok())
+        return io;
+    return deserialize(bytes, out);
+}
+
+wire::LoadReport
+InputLog::load_tolerant(const std::string& path, InputLog* out)
+{
+    std::vector<std::uint8_t> bytes;
+    const Status io = read_file(path, &bytes);
+    if (!io.ok()) {
+        wire::LoadReport report;
+        report.status = io;
+        return report;
+    }
+    return deserialize_tolerant(bytes, out);
 }
 
 }  // namespace rsafe::rnr

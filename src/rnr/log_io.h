@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "rnr/log_record.h"
+#include "rnr/wire.h"
 
 /**
  * @file
@@ -16,6 +18,15 @@
  * consumes them by index (the checkpoint's InputLogPtr is such an index),
  * and alarm replayers re-read ranges of it. Byte accounting feeds the log
  * generation-rate results (Figure 6a).
+ *
+ * On disk the log uses the hardened wire format (rnr/wire.h): a
+ * versioned, checksummed header plus one CRC32C-sealed, sequence-numbered
+ * frame per record. Parsing never aborts the process: strict APIs return
+ * a Status, and the tolerant APIs recover every record before the first
+ * defect so a replayer can run up to the corruption boundary while the
+ * LoadReport says exactly what was lost. Legacy version-1 images (bare
+ * magic + count + records, no checksums) are still read, flagged as
+ * version 1 in the report.
  */
 
 namespace rsafe::rnr {
@@ -45,16 +56,30 @@ class InputLog {
     /** @return indices of all records of @p type. */
     std::vector<std::size_t> find_all(RecordType type) const;
 
-    /** Serialize the whole log (magic + count + records). */
+    /** Serialize the whole log in wire format v2 (CRC-framed records). */
     std::vector<std::uint8_t> serialize() const;
 
-    /** Parse a serialized log. @return false on corrupt input. */
-    static bool deserialize(const std::vector<std::uint8_t>& bytes,
-                            InputLog* out);
+    /**
+     * Strict parse: any integrity defect (truncation, bit rot, duplicate
+     * or reordered records, version mismatch) is an error and @p out is
+     * left empty.
+     */
+    static Status deserialize(const std::vector<std::uint8_t>& bytes,
+                              InputLog* out);
 
-    /** Write to / read from a file. @{ */
-    void save(const std::string& path) const;
-    static InputLog load(const std::string& path);
+    /**
+     * Tolerant parse: recover the longest intact record prefix into
+     * @p out and report where and why decoding stopped. Never throws on
+     * malformed input.
+     */
+    static wire::LoadReport deserialize_tolerant(
+        const std::vector<std::uint8_t>& bytes, InputLog* out);
+
+    /** Write to / read from a file (strict and tolerant variants). @{ */
+    Status save(const std::string& path) const;
+    static Status load(const std::string& path, InputLog* out);
+    static wire::LoadReport load_tolerant(const std::string& path,
+                                          InputLog* out);
     /** @} */
 
   private:

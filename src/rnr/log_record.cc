@@ -164,18 +164,26 @@ LogRecord::serialize(std::vector<std::uint8_t>* out) const
     }
 }
 
-bool
-LogRecord::deserialize(const std::vector<std::uint8_t>& data,
-                       std::size_t* pos, LogRecord* out)
+Status
+LogRecord::decode(const std::vector<std::uint8_t>& data, std::size_t* pos,
+                  LogRecord* out)
 {
+    const auto truncated = [&](const char* what) {
+        return Status(StatusCode::kTruncated,
+                      strcat_args("record truncated at byte ", *pos,
+                                  " reading ", what));
+    };
     std::uint8_t type_byte;
     if (!get_u8(data, pos, &type_byte))
-        return false;
-    if (type_byte > static_cast<std::uint8_t>(RecordType::kDiskComplete))
-        return false;
+        return truncated("type");
+    if (type_byte > static_cast<std::uint8_t>(RecordType::kDiskComplete)) {
+        return Status(StatusCode::kMalformedRecord,
+                      strcat_args("unknown record type ",
+                                  static_cast<unsigned>(type_byte)));
+    }
     out->type = static_cast<RecordType>(type_byte);
     if (!get_u64(data, pos, &out->icount))
-        return false;
+        return truncated("icount");
     out->value = 0;
     out->addr = 0;
     out->tid = 0;
@@ -183,37 +191,47 @@ LogRecord::deserialize(const std::vector<std::uint8_t>& data,
 
     switch (out->type) {
       case RecordType::kRdtsc:
-        return get_u64(data, pos, &out->value);
+        if (!get_u64(data, pos, &out->value))
+            return truncated("rdtsc value");
+        return Status();
       case RecordType::kIoIn: {
         std::uint8_t lo, hi;
         if (!get_u8(data, pos, &lo) || !get_u8(data, pos, &hi))
-            return false;
+            return truncated("pio port");
         out->addr = lo | (static_cast<Addr>(hi) << 8);
-        return get_u64(data, pos, &out->value);
+        if (!get_u64(data, pos, &out->value))
+            return truncated("pio value");
+        return Status();
       }
       case RecordType::kMmioRead: {
         std::uint32_t offset;
         if (!get_u32(data, pos, &offset))
-            return false;
+            return truncated("mmio offset");
         out->addr = 0xF0000000ULL + offset;
-        return get_u64(data, pos, &out->value);
+        if (!get_u64(data, pos, &out->value))
+            return truncated("mmio value");
+        return Status();
       }
       case RecordType::kNicDma: {
         std::uint32_t len;
         if (!get_u64(data, pos, &out->addr) || !get_u32(data, pos, &len))
-            return false;
-        if (*pos + len > data.size())
-            return false;
+            return truncated("dma header");
+        if (*pos + len > data.size()) {
+            return Status(StatusCode::kTruncated,
+                          strcat_args("dma payload wants ", len,
+                                      " bytes, only ", data.size() - *pos,
+                                      " left"));
+        }
         out->payload.assign(data.begin() + *pos, data.begin() + *pos + len);
         *pos += len;
-        return true;
+        return Status();
       }
       case RecordType::kIrqInject: {
         std::uint8_t vector;
         if (!get_u8(data, pos, &vector))
-            return false;
+            return truncated("irq vector");
         out->value = vector;
-        return true;
+        return Status();
       }
       case RecordType::kRasAlarm: {
         std::uint8_t kind, kernel_mode;
@@ -224,23 +242,36 @@ LogRecord::deserialize(const std::vector<std::uint8_t>& data,
             !get_u64(data, pos, &out->alarm.sp_after) ||
             !get_u8(data, pos, &kernel_mode) ||
             !get_u32(data, pos, &out->tid)) {
-            return false;
+            return truncated("alarm fields");
         }
         if (kind > static_cast<std::uint8_t>(
                        cpu::RasAlarmKind::kWhitelistMiss)) {
-            return false;
+            return Status(StatusCode::kMalformedRecord,
+                          strcat_args("unknown alarm kind ",
+                                      static_cast<unsigned>(kind)));
         }
         out->alarm.kind = static_cast<cpu::RasAlarmKind>(kind);
         out->alarm.kernel_mode = kernel_mode != 0;
-        return true;
+        return Status();
       }
       case RecordType::kRasEvict:
-        return get_u64(data, pos, &out->addr) && get_u32(data, pos, &out->tid);
+        if (!get_u64(data, pos, &out->addr) ||
+            !get_u32(data, pos, &out->tid)) {
+            return truncated("evict fields");
+        }
+        return Status();
       case RecordType::kHalt:
       case RecordType::kDiskComplete:
-        return true;
+        return Status();
     }
-    return false;
+    return Status(StatusCode::kMalformedRecord, "unreachable record type");
+}
+
+bool
+LogRecord::deserialize(const std::vector<std::uint8_t>& data,
+                       std::size_t* pos, LogRecord* out)
+{
+    return decode(data, pos, out).ok();
 }
 
 std::string

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "cpu/cpu.h"
 
@@ -74,8 +75,14 @@ struct LogRecord {
 
     /**
      * Decode one record from @p data at offset @p pos (advanced past the
-     * record). @return false on truncated/corrupt input.
+     * record). On malformed input the status says which field of which
+     * record type was truncated or out of range — forensic detail the
+     * wire-level LoadReport carries up to the framework.
      */
+    static Status decode(const std::vector<std::uint8_t>& data,
+                         std::size_t* pos, LogRecord* out);
+
+    /** Boolean convenience wrapper around decode(). */
     static bool deserialize(const std::vector<std::uint8_t>& data,
                             std::size_t* pos, LogRecord* out);
 

@@ -1,0 +1,340 @@
+#include "rnr/wire.h"
+
+#include <array>
+
+#include "common/log.h"
+
+namespace rsafe::rnr::wire {
+
+namespace {
+
+/** Castagnoli polynomial, bit-reflected. */
+constexpr std::uint32_t kCrc32cPoly = 0x82f63b78u;
+
+const std::array<std::uint32_t, 256>&
+crc32c_table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1) ? kCrc32cPoly : 0);
+            t[i] = crc;
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+put_u16(std::vector<std::uint8_t>* out, std::uint16_t v)
+{
+    out->push_back(static_cast<std::uint8_t>(v & 0xff));
+    out->push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void
+put_u32(std::vector<std::uint8_t>* out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+put_u64(std::vector<std::uint8_t>* out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t
+read_u16(const std::uint8_t* p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+read_u32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+read_u64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Raw (no init/final XOR) CRC update, for incremental use. */
+std::uint32_t
+crc32c_update(std::uint32_t crc, const std::uint8_t* data, std::size_t len)
+{
+    const auto& table = crc32c_table();
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    return crc;
+}
+
+/** CRC32C of (seq ++ length ++ payload), the per-frame checksum. */
+std::uint32_t
+frame_crc(std::uint32_t seq, std::uint32_t length,
+          const std::uint8_t* payload)
+{
+    std::uint8_t prefix[8];
+    for (int i = 0; i < 4; ++i)
+        prefix[i] = static_cast<std::uint8_t>((seq >> (8 * i)) & 0xff);
+    for (int i = 0; i < 4; ++i)
+        prefix[4 + i] = static_cast<std::uint8_t>((length >> (8 * i)) & 0xff);
+    std::uint32_t crc = 0xffffffffu;
+    crc = crc32c_update(crc, prefix, sizeof(prefix));
+    crc = crc32c_update(crc, payload, length);
+    return crc ^ 0xffffffffu;
+}
+
+}  // namespace
+
+std::uint32_t
+crc32c(const std::uint8_t* data, std::size_t len)
+{
+    return crc32c_update(0xffffffffu, data, len) ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32c(const std::vector<std::uint8_t>& data)
+{
+    return crc32c(data.data(), data.size());
+}
+
+std::uint64_t
+fnv1a64(const std::uint8_t* data, std::size_t len, std::uint64_t seed)
+{
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64_u64(std::uint64_t value, std::uint64_t seed)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+    return fnv1a64(bytes, sizeof(bytes), seed);
+}
+
+void
+encode_header(const Header& header, std::vector<std::uint8_t>* out)
+{
+    const std::size_t base = out->size();
+    put_u64(out, header.magic);
+    put_u16(out, header.version);
+    put_u16(out, static_cast<std::uint16_t>(header.kind));
+    put_u32(out, header.flags);
+    put_u64(out, header.frame_count);
+    put_u32(out, 0);  // reserved
+    put_u32(out, crc32c(out->data() + base, kHeaderSize - 4));
+}
+
+Status
+decode_header(const std::vector<std::uint8_t>& bytes, Header* out)
+{
+    if (bytes.size() < kHeaderSize) {
+        return Status(StatusCode::kTruncated,
+                      strcat_args("image is ", bytes.size(),
+                                  " bytes, wire header needs ", kHeaderSize));
+    }
+    const std::uint8_t* p = bytes.data();
+    out->magic = read_u64(p);
+    if (out->magic != kMagic) {
+        return Status(StatusCode::kBadMagic,
+                      strcat_args("bad magic 0x", std::hex, out->magic,
+                                  ", expected 0x", kMagic, std::dec));
+    }
+    out->version = read_u16(p + 8);
+    if (out->version != kVersion) {
+        return Status(StatusCode::kBadVersion,
+                      strcat_args("image is wire version ", out->version,
+                                  "; this build reads version ", kVersion));
+    }
+    const std::uint32_t stored_crc = read_u32(p + kHeaderSize - 4);
+    const std::uint32_t actual_crc = crc32c(p, kHeaderSize - 4);
+    if (stored_crc != actual_crc) {
+        return Status(StatusCode::kHeaderCorrupt,
+                      strcat_args("header CRC 0x", std::hex, stored_crc,
+                                  ", computed 0x", actual_crc, std::dec));
+    }
+    out->kind = static_cast<PayloadKind>(read_u16(p + 10));
+    out->flags = read_u32(p + 12);
+    out->frame_count = read_u64(p + 16);
+    return Status();
+}
+
+void
+append_frame(std::uint32_t seq, const std::uint8_t* payload, std::size_t len,
+             std::vector<std::uint8_t>* out)
+{
+    if (len > kMaxFrameLength)
+        panic(strcat_args("wire frame payload of ", len, " bytes exceeds ",
+                          kMaxFrameLength));
+    const auto length = static_cast<std::uint32_t>(len);
+    put_u32(out, seq);
+    put_u32(out, length);
+    put_u32(out, frame_crc(seq, length, payload));
+    out->insert(out->end(), payload, payload + len);
+}
+
+Status
+set_header_version(std::vector<std::uint8_t>* image, std::uint16_t version)
+{
+    if (image->size() < kHeaderSize)
+        return Status(StatusCode::kInvalidArgument,
+                      "image too short to carry a wire header");
+    (*image)[8] = static_cast<std::uint8_t>(version & 0xff);
+    (*image)[9] = static_cast<std::uint8_t>((version >> 8) & 0xff);
+    const std::uint32_t crc = crc32c(image->data(), kHeaderSize - 4);
+    for (int i = 0; i < 4; ++i)
+        (*image)[kHeaderSize - 4 + i] =
+            static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff);
+    return Status();
+}
+
+std::string
+LoadReport::to_string() const
+{
+    if (intact()) {
+        return strcat_args("intact wire v", version, " image: ",
+                           frames_recovered, " records, ", bytes_total,
+                           " bytes");
+    }
+    return strcat_args(status.to_string(), " [v", version, ", recovered ",
+                       frames_recovered, "/", frames_declared,
+                       " records, stopped at byte ", corrupt_offset, "/",
+                       bytes_total, "]");
+}
+
+LoadReport
+read_frames(const std::vector<std::uint8_t>& bytes, PayloadKind expected_kind,
+            const FrameSink& sink)
+{
+    LoadReport report;
+    report.bytes_total = bytes.size();
+
+    Header header;
+    report.status = decode_header(bytes, &header);
+    if (!report.status.ok()) {
+        // The version is only meaningful once the magic matched.
+        if (report.status.code() == StatusCode::kBadVersion ||
+            report.status.code() == StatusCode::kHeaderCorrupt) {
+            report.version = header.version;
+        }
+        return report;
+    }
+    report.version = header.version;
+    report.frames_declared = header.frame_count;
+    if (header.kind != expected_kind) {
+        report.status = Status(
+            StatusCode::kMalformedRecord,
+            strcat_args("payload kind ",
+                        static_cast<unsigned>(header.kind), ", expected ",
+                        static_cast<unsigned>(expected_kind)));
+        return report;
+    }
+
+    std::size_t pos = kHeaderSize;
+    for (std::uint64_t i = 0; i < header.frame_count; ++i) {
+        report.corrupt_offset = pos;
+        if (pos + kFrameHeaderSize > bytes.size()) {
+            report.status = Status(
+                StatusCode::kTruncated,
+                strcat_args("record #", i, ": frame header truncated at byte ",
+                            pos, " of ", bytes.size()));
+            return report;
+        }
+        const std::uint8_t* p = bytes.data() + pos;
+        const std::uint32_t seq = read_u32(p);
+        const std::uint32_t length = read_u32(p + 4);
+        const std::uint32_t stored_crc = read_u32(p + 8);
+        if (length > kMaxFrameLength) {
+            report.status = Status(
+                StatusCode::kMalformedRecord,
+                strcat_args("record #", i, ": implausible frame length ",
+                            length));
+            return report;
+        }
+        if (pos + kFrameHeaderSize + length > bytes.size()) {
+            report.status = Status(
+                StatusCode::kTruncated,
+                strcat_args("record #", i, ": frame wants ", length,
+                            " payload bytes, only ",
+                            bytes.size() - pos - kFrameHeaderSize, " left"));
+            return report;
+        }
+        const std::uint8_t* payload = p + kFrameHeaderSize;
+        const std::uint32_t actual_crc = frame_crc(seq, length, payload);
+        if (stored_crc != actual_crc) {
+            report.status = Status(
+                StatusCode::kChecksumMismatch,
+                strcat_args("record #", i, ": frame CRC 0x", std::hex,
+                            stored_crc, ", computed 0x", actual_crc,
+                            std::dec));
+            return report;
+        }
+        // The frame is internally consistent; now check its ordering.
+        if (seq != i) {
+            const auto code = seq < i ? StatusCode::kDuplicateRecord
+                                      : StatusCode::kReorderedRecord;
+            report.status = Status(
+                code, strcat_args("record #", i,
+                                  ": frame carries sequence number ", seq));
+            return report;
+        }
+        const Status sink_status =
+            sink(seq, pos + kFrameHeaderSize, length);
+        if (!sink_status.ok()) {
+            report.status = sink_status;
+            return report;
+        }
+        pos += kFrameHeaderSize + length;
+        ++report.frames_recovered;
+    }
+    report.corrupt_offset = pos;
+    if (pos != bytes.size()) {
+        report.status = Status(
+            StatusCode::kTrailingBytes,
+            strcat_args(bytes.size() - pos,
+                        " bytes of trailing garbage after the last record"));
+        return report;
+    }
+    return report;
+}
+
+Status
+index_frames(const std::vector<std::uint8_t>& bytes,
+             std::vector<FrameSpan>* out)
+{
+    out->clear();
+    Header header;
+    const Status header_status = decode_header(bytes, &header);
+    if (!header_status.ok())
+        return header_status;
+    const LoadReport report = read_frames(
+        bytes, header.kind,
+        [&](std::uint64_t, std::size_t offset, std::size_t length) {
+            out->push_back(FrameSpan{offset - kFrameHeaderSize,
+                                     kFrameHeaderSize + length});
+            return Status();
+        });
+    return report.status;
+}
+
+}  // namespace rsafe::rnr::wire

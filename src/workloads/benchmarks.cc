@@ -111,4 +111,14 @@ benchmark_names()
     return {"apache", "fileio", "make", "mysql", "radiosity"};
 }
 
+WorkloadProfile
+golden_profile(const std::string& name)
+{
+    // The golden wire corpus and its compat test must describe the very
+    // same bounded run; the single source of that truth lives here.
+    WorkloadProfile profile = benchmark_profile(name);
+    profile.iterations_per_task = 120;
+    return profile;
+}
+
 }  // namespace rsafe::workloads

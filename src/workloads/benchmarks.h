@@ -34,6 +34,15 @@ WorkloadProfile benchmark_profile(const std::string& name);
 /** @return all five benchmark names in the paper's order. */
 std::vector<std::string> benchmark_names();
 
+/**
+ * @return the bounded variant of benchmark @p name used for the golden
+ * wire corpus (tests/corpus/golden): short enough to record in a test,
+ * long enough to exercise every record type the benchmark produces.
+ * rsafe-corpus serializes these recordings; test_wire_compat re-replays
+ * the checked-in bytes and compares final machine digests.
+ */
+WorkloadProfile golden_profile(const std::string& name);
+
 }  // namespace rsafe::workloads
 
 #endif  // RSAFE_WORKLOADS_BENCHMARKS_H_

@@ -147,7 +147,7 @@ TEST(InputLog, WholeLogSerializationRoundTrip)
         log.append(sample_record(static_cast<RecordType>(t)));
     const auto bytes = log.serialize();
     InputLog out;
-    ASSERT_TRUE(InputLog::deserialize(bytes, &out));
+    ASSERT_TRUE(InputLog::deserialize(bytes, &out).ok());
     ASSERT_EQ(out.size(), log.size());
     EXPECT_EQ(out.total_bytes(), log.total_bytes());
     for (std::size_t i = 0; i < log.size(); ++i)
@@ -161,7 +161,10 @@ TEST(InputLog, RejectsCorruptMagic)
     auto bytes = log.serialize();
     bytes[0] ^= 0xff;
     InputLog out;
-    EXPECT_FALSE(InputLog::deserialize(bytes, &out));
+    const Status status = InputLog::deserialize(bytes, &out);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kBadMagic);
+    EXPECT_EQ(out.size(), 0u);
 }
 
 TEST(InputLog, FileSaveLoadRoundTrip)
@@ -170,8 +173,9 @@ TEST(InputLog, FileSaveLoadRoundTrip)
     log.append(sample_record(RecordType::kNicDma));
     log.append(sample_record(RecordType::kHalt));
     const std::string path = "/tmp/rsafe_test_log.bin";
-    log.save(path);
-    const InputLog loaded = InputLog::load(path);
+    ASSERT_TRUE(log.save(path).ok());
+    InputLog loaded;
+    ASSERT_TRUE(InputLog::load(path, &loaded).ok());
     EXPECT_EQ(loaded.size(), 2u);
     EXPECT_EQ(loaded.at(0).payload, log.at(0).payload);
     std::remove(path.c_str());
@@ -347,8 +351,9 @@ TEST(LogPersistence, RecordedLogSurvivesDiskRoundTripAndReplays)
 
     // Ship the log to the "replay machine" via the file format.
     const std::string path = "/tmp/rsafe_e2e_log.bin";
-    recorder.log().save(path);
-    const InputLog shipped = InputLog::load(path);
+    ASSERT_TRUE(recorder.log().save(path).ok());
+    InputLog shipped;
+    ASSERT_TRUE(InputLog::load(path, &shipped).ok());
     std::remove(path.c_str());
     ASSERT_EQ(shipped.size(), recorder.log().size());
 

@@ -1,0 +1,150 @@
+/** @file The golden-corpus replay gate.
+ *
+ *  tests/corpus/golden holds one serialized recording per Table 3
+ *  benchmark (written once by rsafe-corpus) plus manifest.txt with the
+ *  machine digest each must replay to. This suite re-reads those exact
+ *  bytes with the current tree and replays them on a freshly built VM:
+ *  any wire-format change that breaks old images, and any determinism
+ *  drift that changes where a replay lands, fails here before it ships.
+ *  The corpus also pins a legacy version-1 image, so the old-format
+ *  loading path stays alive. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rnr/log_io.h"
+#include "rnr/replayer.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
+
+#ifndef RSAFE_CORPUS_DIR
+#error "RSAFE_CORPUS_DIR must point at tests/corpus (set by CMake)"
+#endif
+
+namespace rsafe {
+namespace {
+
+struct GoldenEntry {
+    std::string name;     ///< manifest row name ("fileio", "fileio-v1")
+    std::string file;     ///< file under golden/
+    std::size_t records = 0;
+    InstrCount icount = 0;
+    std::uint64_t state_hash = 0;
+};
+
+std::string
+golden_dir()
+{
+    return std::string(RSAFE_CORPUS_DIR) + "/golden";
+}
+
+/** Sentinel row emitted when the manifest is missing or unreadable, so
+ *  the parameterized suite still instantiates and fails loudly instead
+ *  of silently running zero tests. */
+constexpr const char* kMissing = "<missing>";
+
+std::vector<GoldenEntry>
+read_manifest()
+{
+    // Called at instantiation time (before any test runs): no gtest
+    // assertions here — defects become sentinel rows the tests reject.
+    std::vector<GoldenEntry> entries;
+    std::ifstream in(golden_dir() + "/manifest.txt");
+    if (!in) {
+        entries.push_back(GoldenEntry{kMissing, "", 0, 0, 0});
+        return entries;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        GoldenEntry entry;
+        std::string icount, hash;
+        fields >> entry.name >> entry.file >> entry.records >> icount >>
+            hash;
+        if (fields.fail()) {
+            entries.push_back(GoldenEntry{kMissing, "", 0, 0, 0});
+            continue;
+        }
+        entry.icount = std::stoull(icount);
+        entry.state_hash = std::stoull(hash, nullptr, 16);
+        entries.push_back(std::move(entry));
+    }
+    if (entries.empty())
+        entries.push_back(GoldenEntry{kMissing, "", 0, 0, 0});
+    return entries;
+}
+
+/** The benchmark a manifest row replays ("fileio-v1" -> "fileio"). */
+std::string
+benchmark_of(const std::string& row_name)
+{
+    const auto dash = row_name.find('-');
+    return dash == std::string::npos ? row_name : row_name.substr(0, dash);
+}
+
+class GoldenCorpus : public ::testing::TestWithParam<GoldenEntry> {};
+
+TEST_P(GoldenCorpus, CheckedInBytesStillReplayToTheirDigest)
+{
+    const GoldenEntry& entry = GetParam();
+    ASSERT_NE(entry.name, kMissing)
+        << "golden corpus missing or malformed: run build/tools/"
+           "rsafe-corpus from the repo root to regenerate "
+        << golden_dir();
+
+    // The checked-in bytes must load with the current parser (a legacy
+    // v1 image included) — never abort, never quietly change meaning.
+    rnr::InputLog log;
+    const Status status =
+        rnr::InputLog::load(golden_dir() + "/" + entry.file, &log);
+    ASSERT_TRUE(status.ok()) << status.to_string();
+    ASSERT_EQ(log.size(), entry.records);
+
+    // Replaying them on a VM built by today's tree must land exactly on
+    // the digest recorded when the corpus was generated.
+    const auto profile = workloads::golden_profile(benchmark_of(entry.name));
+    auto factory = workloads::vm_factory(profile);
+    auto vm = factory();
+    rnr::Replayer replayer(vm.get(), &log, 0, rnr::ReplayOptions{});
+    ASSERT_EQ(replayer.run(), rnr::ReplayOutcome::kFinished);
+    EXPECT_EQ(vm->cpu().icount(), entry.icount);
+    EXPECT_EQ(vm->state_hash(), entry.state_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Manifest, GoldenCorpus, ::testing::ValuesIn(read_manifest()),
+    [](const auto& info) {
+        if (info.param.name == kMissing)
+            return "corpus_missing_" + std::to_string(info.index);
+        std::string name = info.param.name;
+        for (auto& c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(GoldenCorpusManifest, CoversEveryBenchmarkPlusALegacyImage)
+{
+    const auto entries = read_manifest();
+    for (const std::string& name : workloads::benchmark_names()) {
+        bool found = false;
+        for (const auto& entry : entries)
+            if (entry.name == name)
+                found = true;
+        EXPECT_TRUE(found) << "no golden log for " << name;
+    }
+    bool legacy = false;
+    for (const auto& entry : entries)
+        if (entry.name.find("-v1") != std::string::npos)
+            legacy = true;
+    EXPECT_TRUE(legacy) << "no legacy v1 image in the golden corpus";
+}
+
+}  // namespace
+}  // namespace rsafe

@@ -8,6 +8,9 @@
 #   tools/check.sh sanitize   # ASan+UBSan configuration only
 #   tools/check.sh tsan       # ThreadSanitizer configuration only
 #   tools/check.sh tidy       # clang-tidy over src/ (skips if not installed)
+#   tools/check.sh fuzz       # libFuzzer smoke over tests/corpus (clang);
+#                             # falls back to corpus replay under gcc.
+#                             # RSAFE_FUZZ_RUNS bounds the run (default 50000).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,18 +40,41 @@ run_tidy() {
     fi
 }
 
+run_fuzz() {
+    runs="${RSAFE_FUZZ_RUNS:-50000}"
+    # libFuzzer instrumentation is Clang-only. Under any other compiler
+    # the same binaries are built with a standalone driver that replays
+    # the corpus once — still a regression gate, just not exploratory.
+    if ${CXX:-c++} --version 2> /dev/null | grep -q clang; then
+        cmake -B build-fuzz -S . -DRSAFE_FUZZ=ON -DRSAFE_SANITIZE=ON
+    else
+        echo "check.sh: compiler is not clang; corpus replay only"
+        runs=0
+        cmake -B build-fuzz -S .
+    fi
+    cmake --build build-fuzz -j "$(nproc)" \
+        --target fuzz_wire --target fuzz_log --target fuzz_checkpoint
+    for target in wire log checkpoint; do
+        echo "check.sh: fuzz_$target over tests/corpus/$target" \
+             "(runs=$runs)"
+        "./build-fuzz/tools/fuzz_$target" -runs="$runs" \
+            "tests/corpus/$target"
+    done
+}
+
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
   tsan)     run_config build-tsan -DRSAFE_SANITIZE=thread ;;
   tidy)     run_tidy ;;
+  fuzz)     run_fuzz ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
     run_config build-tsan -DRSAFE_SANITIZE=thread
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,38 @@
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "replay/checkpoint.h"
+
+/**
+ * @file
+ * Fuzz target: checkpoint state-digest deserialization.
+ *
+ * Arbitrary bytes must never crash CheckpointDigest::deserialize(); an
+ * accepted image must round-trip (serialize -> deserialize -> equal),
+ * and serialization of an accepted digest must itself be accepted.
+ */
+
+using rsafe::replay::CheckpointDigest;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::vector<std::uint8_t> bytes(data, data + size);
+
+    CheckpointDigest digest;
+    const rsafe::Status status = CheckpointDigest::deserialize(bytes, &digest);
+    (void)status.to_string();
+    if (!status.ok())
+        return 0;
+
+    (void)digest.to_string();
+    const std::vector<std::uint8_t> reencoded = digest.serialize();
+    CheckpointDigest again;
+    if (!CheckpointDigest::deserialize(reencoded, &again).ok())
+        std::abort();
+    if (!(again == digest))
+        std::abort();
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Standalone main for the fuzz targets on toolchains without libFuzzer.
+ *
+ * libFuzzer is a Clang feature; the GCC builds still want the harness
+ * logic exercised as a plain corpus-regression: run every file named on
+ * the command line (directories are walked recursively) through
+ * LLVMFuzzerTestOneInput exactly once. Any crash/abort fails the run,
+ * which is precisely the ctest contract. Ignores libFuzzer-style
+ * "-flag=value" arguments so the same command lines work everywhere.
+ */
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int
+run_file(const std::filesystem::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "fuzz-driver: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::size_t executed = 0;
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] == '-')
+            continue;  // libFuzzer flag: meaningless here
+        const std::filesystem::path path(arg);
+        if (std::filesystem::is_directory(path)) {
+            for (const auto& entry :
+                 std::filesystem::recursive_directory_iterator(path)) {
+                if (!entry.is_regular_file())
+                    continue;
+                failures += run_file(entry.path());
+                ++executed;
+            }
+        } else {
+            failures += run_file(path);
+            ++executed;
+        }
+    }
+    std::printf("fuzz-driver: %zu corpus inputs, %d unreadable\n", executed,
+                failures);
+    return failures == 0 ? 0 : 1;
+}

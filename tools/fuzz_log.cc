@@ -1,0 +1,58 @@
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "rnr/log_io.h"
+
+/**
+ * @file
+ * Fuzz target: input-log deserialization.
+ *
+ * Arbitrary bytes go through both the strict and the tolerant parser.
+ * Invariants checked on every input:
+ *
+ *  - neither parser crashes or aborts the process;
+ *  - strict success implies tolerant success (strict is a refinement);
+ *  - whatever record prefix the tolerant parser recovers re-serializes
+ *    to an image the strict parser accepts and that decodes back to the
+ *    same records (recovered data is never half-parsed garbage).
+ */
+
+using rsafe::rnr::InputLog;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::vector<std::uint8_t> bytes(data, data + size);
+
+    InputLog strict_log;
+    const rsafe::Status strict = InputLog::deserialize(bytes, &strict_log);
+
+    InputLog tolerant_log;
+    const auto report = InputLog::deserialize_tolerant(bytes, &tolerant_log);
+    (void)report.to_string();
+
+    if (strict.ok() && !report.intact())
+        std::abort();
+    if (strict.ok() && strict_log.size() != tolerant_log.size())
+        std::abort();
+
+    // Round-trip whatever was recovered: serialize -> strict parse must
+    // reproduce the same record stream bit for bit.
+    const std::vector<std::uint8_t> reencoded = tolerant_log.serialize();
+    InputLog again;
+    if (!InputLog::deserialize(reencoded, &again).ok())
+        std::abort();
+    if (again.size() != tolerant_log.size() ||
+        again.total_bytes() != tolerant_log.total_bytes())
+        std::abort();
+    for (std::size_t i = 0; i < again.size(); ++i) {
+        std::vector<std::uint8_t> a, b;
+        again.at(i).serialize(&a);
+        tolerant_log.at(i).serialize(&b);
+        if (a != b)
+            std::abort();
+    }
+    return 0;
+}

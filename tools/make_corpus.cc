@@ -1,0 +1,206 @@
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+#include "replay/checkpoint.h"
+#include "rnr/log_io.h"
+#include "rnr/recorder.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
+
+/**
+ * @file
+ * rsafe-corpus: regenerate the checked-in wire corpus (tests/corpus).
+ *
+ *   rsafe-corpus [corpus-root]       default root: tests/corpus
+ *
+ * Emits three things:
+ *
+ *  - fuzz seed inputs under wire/, log/ and checkpoint/ — intact images
+ *    of every artifact plus one deterministically-faulted variant per
+ *    FaultKind, so the fuzzers start from inputs that reach deep into
+ *    the decoders rather than dying at the magic check;
+ *  - the golden replay corpus under golden/: one serialized recording of
+ *    each Table 3 benchmark (golden_profile shape) plus manifest.txt
+ *    with the machine digest each must replay to — the wire-compat CI
+ *    gate (test_wire_compat) re-replays these bytes and any format or
+ *    determinism drift fails the build;
+ *  - a legacy version-1 encoding of one golden log, pinning the
+ *    old-format compatibility path.
+ *
+ * Everything here is seeded; reruns produce byte-identical output.
+ */
+
+namespace rsafe {
+namespace {
+
+namespace fs = std::filesystem;
+
+void
+write_file(const fs::path& path, const std::vector<std::uint8_t>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "rsafe-corpus: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A small log touching every record type (fuzz seed material). */
+rnr::InputLog
+sample_log()
+{
+    rnr::InputLog log;
+    for (int t = 0; t <= static_cast<int>(rnr::RecordType::kDiskComplete);
+         ++t) {
+        rnr::LogRecord record;
+        record.type = static_cast<rnr::RecordType>(t);
+        record.icount = 1000 + 17 * static_cast<InstrCount>(t);
+        record.value =
+            record.type == rnr::RecordType::kIrqInject ? 0xef : 0xfeedbeef;
+        record.addr = record.type == rnr::RecordType::kIoIn
+                          ? 0x10
+                          : 0xF0000008ULL;
+        record.tid = 3;
+        record.alarm.kind = cpu::RasAlarmKind::kUnderflow;
+        record.alarm.ret_pc = 0x2048;
+        record.alarm.predicted = 0x2050;
+        record.alarm.actual = 0x6000;
+        record.alarm.sp_after = 0x21000;
+        record.alarm.kernel_mode = true;
+        if (record.type == rnr::RecordType::kNicDma)
+            record.payload = {1, 2, 3, 4, 5};
+        log.append(std::move(record));
+    }
+    return log;
+}
+
+/** Encode @p log in the legacy v1 format (magic + count + records). */
+std::vector<std::uint8_t>
+encode_legacy_v1(const rnr::InputLog& log)
+{
+    constexpr std::uint64_t kLogMagicV1 = 0x52534146454C4F47ULL;
+    std::vector<std::uint8_t> out;
+    for (int i = 0; i < 8; ++i)
+        out.push_back(
+            static_cast<std::uint8_t>((kLogMagicV1 >> (8 * i)) & 0xff));
+    const std::uint64_t count = log.size();
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>((count >> (8 * i)) & 0xff));
+    for (std::size_t i = 0; i < log.size(); ++i)
+        log.at(i).serialize(&out);
+    return out;
+}
+
+/** Write @p image plus one faulted variant per FaultKind into @p dir. */
+void
+emit_fault_variants(const fs::path& dir, const std::string& stem,
+                    const std::vector<std::uint8_t>& image,
+                    std::uint64_t seed)
+{
+    write_file(dir / (stem + ".bin"), image);
+    fault::Injector injector(seed);
+    for (const fault::FaultKind kind : fault::kAllFaultKinds) {
+        std::vector<std::uint8_t> copy = image;
+        fault::FaultReport report;
+        if (!injector.inject(kind, &copy, &report).ok())
+            continue;  // image shape cannot express this fault
+        write_file(dir / (stem + "_" + fault_kind_name(kind) + ".bin"),
+                   copy);
+    }
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::setw(16) << std::setfill('0') << value;
+    return os.str();
+}
+
+}  // namespace
+}  // namespace rsafe
+
+int
+main(int argc, char** argv)
+{
+    using namespace rsafe;
+
+    const fs::path root = argc > 1 ? fs::path(argv[1]) : "tests/corpus";
+    for (const char* sub : {"wire", "log", "checkpoint", "golden"})
+        fs::create_directories(root / sub);
+
+    // ---- fuzz seeds -------------------------------------------------
+    const rnr::InputLog small = sample_log();
+    const auto small_image = small.serialize();
+    emit_fault_variants(root / "log", "records", small_image, 0x5EED0001);
+    write_file(root / "log" / "empty.bin", rnr::InputLog().serialize());
+    write_file(root / "log" / "legacy_v1.bin", encode_legacy_v1(small));
+
+    replay::CheckpointDigest digest;
+    digest.id = 7;
+    digest.icount = 123456;
+    digest.cycles = 654321;
+    digest.log_pos = 42;
+    digest.cpu_hash = 0x1111111111111111ULL;
+    digest.pages_hash = 0x2222222222222222ULL;
+    digest.blocks_hash = 0x3333333333333333ULL;
+    digest.ras_hash = 0x4444444444444444ULL;
+    emit_fault_variants(root / "checkpoint", "digest", digest.serialize(),
+                        0x5EED0002);
+
+    // wire/ mixes both payload kinds (the raw walker sees everything).
+    emit_fault_variants(root / "wire", "log", small_image, 0x5EED0003);
+    write_file(root / "wire" / "digest.bin", digest.serialize());
+    write_file(root / "wire" / "empty.bin", rnr::InputLog().serialize());
+    write_file(root / "wire" / "legacy_v1.bin", encode_legacy_v1(small));
+
+    // ---- golden replay corpus ---------------------------------------
+    std::ostringstream manifest;
+    manifest << "# benchmark  file  records  icount  final_state_hash\n";
+    std::vector<std::uint8_t> fileio_image;
+    for (const std::string& name : workloads::benchmark_names()) {
+        const auto profile = workloads::golden_profile(name);
+        auto factory = workloads::vm_factory(profile);
+        auto vm = factory();
+        rnr::Recorder recorder(vm.get(), rnr::RecorderOptions{});
+        const auto result = recorder.run(~static_cast<InstrCount>(0));
+        if (result != hv::RunResult::kHalted) {
+            std::fprintf(stderr,
+                         "rsafe-corpus: golden run of %s did not halt\n",
+                         name.c_str());
+            return 1;
+        }
+        const auto image = recorder.log().serialize();
+        const std::string file = name + ".rnrlog";
+        write_file(root / "golden" / file, image);
+        manifest << name << " " << file << " " << recorder.log().size()
+                 << " " << vm->cpu().icount() << " "
+                 << hex64(vm->state_hash()) << "\n";
+        if (name == "fileio") {
+            // The same recording in the legacy v1 encoding: replaying it
+            // must land on the same machine digest.
+            const auto v1 = encode_legacy_v1(recorder.log());
+            write_file(root / "golden" / "fileio_v1.rnrlog", v1);
+            manifest << "fileio-v1 fileio_v1.rnrlog "
+                     << recorder.log().size() << " " << vm->cpu().icount()
+                     << " " << hex64(vm->state_hash()) << "\n";
+        }
+    }
+    const std::string text = manifest.str();
+    write_file(root / "golden" / "manifest.txt",
+               std::vector<std::uint8_t>(text.begin(), text.end()));
+
+    std::printf("rsafe-corpus: corpus written under %s\n",
+                root.c_str());
+    return 0;
+}
