@@ -24,23 +24,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "attack/attack_mounter.h"
 #include "bench_common.h"
 #include "core/framework.h"
-#include "kernel/kernel_builder.h"
-#include "kernel/layout.h"
+#include "obs/trace.h"
 #include "stats/table.h"
+#include "workloads/attack_mix.h"
 #include "workloads/generator.h"
 
 namespace rsafe::bench {
 namespace {
-
-namespace k = rsafe::kernel;
 
 /** The workload set: Table 3 plus the alarm-heavy attack mix. */
 struct PipelineWorkload {
@@ -49,30 +47,19 @@ struct PipelineWorkload {
 };
 
 /**
- * An attack mix: the mysql profile with @p attackers extra tasks, each
- * mounting the kernel ROP from its own code/staging area at a staggered
- * delay. Every mounted attack raises its own RAS alarm, so the alarm
- * replays fan out across the worker pool.
+ * The shared attack mix (workloads::attack_mix) at bench size: mysql's
+ * bench iteration count with @p attackers extra tasks, each mounting the
+ * kernel ROP at a staggered delay. Every mounted attack raises its own
+ * RAS alarm, so the alarm replays fan out across the worker pool.
  */
 core::VmFactory
 attack_mix_factory(std::size_t attackers)
 {
-    auto profile = bench_profile("mysql");
-    profile.iterations_per_task = std::max<std::uint64_t>(
-        profile.iterations_per_task / 4, 150);
-    profile.num_tasks = 2;
-
-    const auto kernel = k::build_kernel();
-    std::vector<isa::Image> images;
-    std::vector<Addr> entries;
-    for (std::size_t i = 0; i < attackers; ++i) {
-        const auto program = attack::build_attacker_program(
-            kernel, k::kUserCodeBase + 0x40000 + i * 0x8000,
-            k::kUserDataBase + (15 + i) * 0x10000, 200 + i * 350);
-        images.push_back(program.image);
-        entries.push_back(program.entry);
-    }
-    return workloads::vm_factory(profile, images, entries);
+    workloads::AttackMixOptions options;
+    options.attackers = attackers;
+    options.iterations_per_task = std::max<std::uint64_t>(
+        bench_profile("mysql").iterations_per_task / 4, 150);
+    return workloads::attack_mix(options).factory;
 }
 
 /** One timed pipeline execution. */
@@ -241,6 +228,86 @@ print_table(const std::vector<WorkloadReport>& reports)
     emit(table);
 }
 
+/**
+ * Tracing overhead A/B: run the attack-mix pipeline @p repeats times
+ * with tracing off and on (alternating, to spread thermal/scheduler
+ * drift across both arms) and compare median wall-clock. Tracing adds
+ * no simulated cycles by construction — the honest figure is host time.
+ */
+struct ObsOverhead {
+    double off_ms = 0.0;    ///< median wall-clock, tracing off
+    double on_ms = 0.0;     ///< median wall-clock, tracing on
+    double overhead_pct = 0.0;
+    std::uint64_t events = 0;   ///< trace events in the last traced run
+    std::uint64_t dropped = 0;  ///< events shed to buffer exhaustion
+};
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+}
+
+ObsOverhead
+measure_obs_overhead(std::size_t repeats)
+{
+    const auto factory = attack_mix_factory(4);
+    auto& tracer = obs::Tracer::instance();
+    ObsOverhead result;
+    std::vector<double> off_ms;
+    std::vector<double> on_ms;
+    for (std::size_t i = 0; i < repeats; ++i) {
+        for (const bool traced : {false, true}) {
+            tracer.set_enabled(traced);
+            tracer.begin_session();
+            const auto run = run_pipeline(
+                factory, core::PipelineMode::kConcurrent, 2);
+            tracer.set_enabled(false);
+            (traced ? on_ms : off_ms).push_back(run.wall_ms);
+            if (traced) {
+                result.events = tracer.event_count();
+                result.dropped = tracer.dropped();
+            }
+        }
+    }
+    result.off_ms = median(off_ms);
+    result.on_ms = median(on_ms);
+    if (result.off_ms > 0.0) {
+        result.overhead_pct =
+            100.0 * (result.on_ms - result.off_ms) / result.off_ms;
+    }
+    return result;
+}
+
+void
+write_obs_json(const char* path, const ObsOverhead& obs, double gate_pct,
+               bool pass)
+{
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"rsafe-bench-obs-v1\",\n");
+    std::fprintf(f, "  \"workload\": \"attack-mix\",\n");
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"tracing_off_ms\": %.3f,\n", obs.off_ms);
+    std::fprintf(f, "  \"tracing_on_ms\": %.3f,\n", obs.on_ms);
+    std::fprintf(f, "  \"overhead_pct\": %.2f,\n", obs.overhead_pct);
+    std::fprintf(f, "  \"trace_events\": %llu,\n",
+                 static_cast<unsigned long long>(obs.events));
+    std::fprintf(f, "  \"trace_dropped\": %llu,\n",
+                 static_cast<unsigned long long>(obs.dropped));
+    std::fprintf(f, "  \"gate_pct\": %.2f,\n", gate_pct);
+    std::fprintf(f, "  \"pass\": %s\n", pass ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace rsafe::bench
 
@@ -251,9 +318,34 @@ main(int argc, char** argv)
     using namespace rsafe::bench;
 
     bool json_only = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::string(argv[i]) == "--json-only")
+    bool obs_only = false;
+    bool obs_gate = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json-only")
             json_only = true;
+        else if (arg == "--obs-only")
+            obs_only = true;
+        else if (arg == "--obs-gate")
+            obs_gate = true;
+    }
+
+    if (obs_only) {
+        // Tracing-overhead A/B only: BENCH_obs.json plus an optional
+        // pass/fail gate (--obs-gate; threshold RSAFE_OBS_GATE_PCT,
+        // default 5%).
+        double gate_pct = 5.0;
+        if (const char* env = std::getenv("RSAFE_OBS_GATE_PCT"))
+            gate_pct = std::atof(env);
+        const auto obs = measure_obs_overhead(5);
+        const bool pass = obs.overhead_pct < gate_pct;
+        write_obs_json("BENCH_obs.json", obs, gate_pct, pass);
+        std::printf("tracing overhead: off=%.2fms on=%.2fms (%+.2f%%, "
+                    "gate %.1f%%) -> %s\n",
+                    obs.off_ms, obs.on_ms, obs.overhead_pct, gate_pct,
+                    pass ? "pass" : "FAIL");
+        return obs_gate && !pass ? 1 : 0;
+    }
 
     std::vector<PipelineWorkload> workloads;
     for (const char* name :

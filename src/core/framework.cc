@@ -5,9 +5,20 @@
 #include <thread>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "rnr/log_source.h"
 
 namespace rsafe::core {
+
+namespace {
+
+/** Geometry of the per-alarm analysis-latency histogram: cycle costs of
+ *  one AR replay land in the millions, so a wide range with coarse
+ *  buckets keeps the percentiles meaningful without a huge table. */
+constexpr std::uint64_t kArLatencyHistMax = 64u * 1024u * 1024u;
+constexpr std::size_t kArLatencyHistBuckets = 64;
+
+}  // namespace
 
 RnrSafeFramework::RnrSafeFramework(VmFactory factory, FrameworkConfig config)
     : factory_(std::move(factory)), config_(std::move(config))
@@ -41,6 +52,13 @@ RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
     AlarmReplayResult out;
     out.log_index = pending.log_index;
 
+    // Flow head: close the arrow the CR opened when it queued this alarm
+    // (same id = the alarm's log index), inside the analysis span so the
+    // viewer binds the arrow to this slice.
+    obs::ScopedSpan span("ar.analyze", "ar");
+    obs::Tracer::instance().flow_finish("alarm", "alarm",
+                                        pending.log_index);
+
     auto ar_vm = factory_();
     replay::AlarmReplayer ar(ar_vm.get(), log, *pending.checkpoint,
                              ar_options);
@@ -51,6 +69,8 @@ RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
         // Re-run with more instrumentation (Section 4.6.2): trace
         // user-mode call/ret as well.
         ar_options.trap_user_call_ret = true;
+        obs::Tracer::instance().instant("ar.deep_rerun", "ar", "log_index",
+                                        pending.log_index);
         auto deep_vm = factory_();
         replay::AlarmReplayer deep_ar(deep_vm.get(), log,
                                       *pending.checkpoint, ar_options);
@@ -63,6 +83,11 @@ RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
         local_stats->counter("ar.attacks").inc();
     local_stats->counter("ar.analysis_cycles")
         .inc(out.analysis.analysis_cycles);
+    local_stats->histogram("ar.analysis_cycles_hist", kArLatencyHistMax,
+                           kArLatencyHistBuckets)
+        .sample(out.analysis.analysis_cycles);
+    obs::Tracer::instance().instant("ar.verdict", "ar", "is_attack",
+                                    out.analysis.is_attack ? 1 : 0);
     return out;
 }
 
@@ -96,6 +121,8 @@ RnrSafeFramework::run_alarm_pool(
     for (std::size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&, w] {
             try {
+                if (obs::Tracer::instance().enabled())
+                    obs::Tracer::instance().attach_thread("ar-worker");
                 while (true) {
                     const std::size_t i =
                         next.fetch_add(1, std::memory_order_relaxed);
@@ -149,12 +176,23 @@ RnrSafeFramework::finalize(FrameworkResult* result,
     stats.counter("cr.checkpoints").inc(result->cr->checkpoints_taken());
     stats.counter("cr.underflows_resolved").inc(result->underflows_resolved);
     stats.counter("cr.single_steps").inc(result->cr->single_steps());
+
+    // The lag time series rides in a gauge: gauges (like histograms) are
+    // excluded from snapshot(), so the scheduling-dependent series never
+    // perturbs the bit-for-bit pipeline determinism comparison.
+    auto& lag_gauge = stats.gauge("cr.replay_lag");
+    for (const auto& sample : result->replay_lag.series())
+        lag_gauge.set(sample.icount, sample.lag);
 }
 
 FrameworkResult
 RnrSafeFramework::replay_wire(const std::vector<std::uint8_t>& bytes)
 {
     FrameworkResult result;
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled())
+        tracer.attach_thread("pipeline");
+    obs::ScopedSpan pipeline_span("pipeline.replay_wire", "pipeline");
 
     // Deserialize tolerantly: a damaged image yields its longest intact
     // record prefix plus a forensic report of what was lost.
@@ -170,7 +208,10 @@ RnrSafeFramework::replay_wire(const std::vector<std::uint8_t>& bytes)
     result.cr_vm = factory_();
     result.cr = std::make_unique<replay::CheckpointReplayer>(
         result.cr_vm.get(), &log, config_.cr);
-    result.cr_outcome = result.cr->run();
+    {
+        obs::ScopedSpan span("cr.run", "cr");
+        result.cr_outcome = result.cr->run();
+    }
     result.underflows_resolved = result.cr->underflows_resolved();
     result.replay_lag = result.cr->lag();
 
@@ -206,12 +247,19 @@ FrameworkResult
 RnrSafeFramework::run_serial()
 {
     FrameworkResult result;
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled())
+        tracer.attach_thread("pipeline");
+    obs::ScopedSpan pipeline_span("pipeline.serial", "pipeline");
 
     // 1. Monitored recording.
     result.recorded_vm = factory_();
     result.recorder = std::make_unique<rnr::Recorder>(
         result.recorded_vm.get(), config_.recorder);
-    result.record_result = result.recorder->run(config_.max_instructions);
+    {
+        obs::ScopedSpan span("record.run", "record");
+        result.record_result = result.recorder->run(config_.max_instructions);
+    }
 
     const rnr::InputLog& log = result.recorder->log();
     result.alarms_logged =
@@ -221,7 +269,10 @@ RnrSafeFramework::run_serial()
     result.cr_vm = factory_();
     result.cr = std::make_unique<replay::CheckpointReplayer>(
         result.cr_vm.get(), &log, config_.cr);
-    result.cr_outcome = result.cr->run();
+    {
+        obs::ScopedSpan span("cr.run", "cr");
+        result.cr_outcome = result.cr->run();
+    }
     result.underflows_resolved = result.cr->underflows_resolved();
     result.replay_lag = result.cr->lag();
 
@@ -239,6 +290,10 @@ FrameworkResult
 RnrSafeFramework::run_concurrent()
 {
     FrameworkResult result;
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled())
+        tracer.attach_thread("pipeline");
+    obs::ScopedSpan pipeline_span("pipeline.concurrent", "pipeline");
 
     // Both VMs and both engines are built up front on this thread; only
     // run() executes on the component threads.
@@ -261,6 +316,9 @@ RnrSafeFramework::run_concurrent()
     std::exception_ptr record_error, cr_error;
     std::thread record_thread([&] {
         try {
+            if (obs::Tracer::instance().enabled())
+                obs::Tracer::instance().attach_thread("recorder");
+            obs::ScopedSpan span("record.run", "record");
             result.record_result =
                 result.recorder->run(config_.max_instructions);
             channel.close();
@@ -271,6 +329,9 @@ RnrSafeFramework::run_concurrent()
     });
     std::thread cr_thread([&] {
         try {
+            if (obs::Tracer::instance().enabled())
+                obs::Tracer::instance().attach_thread("cr");
+            obs::ScopedSpan span("cr.run", "cr");
             result.cr_outcome = result.cr->run();
         } catch (...) {
             cr_error = std::current_exception();
@@ -298,6 +359,7 @@ RnrSafeFramework::run_concurrent()
 
     // 3. Alarm replays across the worker pool. Each AR is independent
     // given its originating checkpoint; results merge in alarm order.
+    obs::ScopedSpan ar_span("ar.pool", "ar");
     auto ar_results = run_alarm_pool(result.cr->pending_alarms(), &log,
                                      &result.pipeline_stats);
     finalize(&result, std::move(ar_results));

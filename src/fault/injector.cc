@@ -1,6 +1,7 @@
 #include "fault/injector.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "rnr/wire.h"
 
 namespace rsafe::fault {
@@ -67,6 +68,9 @@ Injector::inject(FaultKind kind, std::vector<std::uint8_t>* image,
                       "injector needs an intact image: " +
                           index_status.to_string());
     }
+
+    obs::Tracer::instance().instant("fault.inject", "fault", "kind",
+                                    static_cast<std::uint64_t>(kind));
 
     switch (kind) {
       case FaultKind::kBitFlip: {

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "kernel/layout.h"
+#include "obs/trace.h"
 
 namespace rsafe::hv {
 
@@ -82,6 +83,8 @@ VmEnvBase::handle_context_switch()
     current_tid_ = new_tid;
     have_current_ = true;
     ++stats_.context_switches;
+    obs::Tracer::instance().instant("hv.context_switch", "hv", "tid",
+                                    new_tid);
     hook_context_switch(new_tid);
 }
 

@@ -1,0 +1,342 @@
+#include "obs/forensic.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "rnr/wire.h"
+
+namespace rsafe::obs {
+
+namespace {
+
+using rnr::wire::PayloadKind;
+
+/** Upper bound on an embedded string (decode sanity check). */
+constexpr std::uint32_t kMaxStringLength = 1u << 16;
+
+void
+put_u64(std::vector<std::uint8_t>* out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+put_u32(std::vector<std::uint8_t>* out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+put_string(std::vector<std::uint8_t>* out, const std::string& s)
+{
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out->insert(out->end(), s.begin(), s.end());
+}
+
+/** A bounds-checked little-endian reader over one frame payload. */
+class Cursor {
+  public:
+    Cursor(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    Status u8(std::uint8_t* out)
+    {
+        if (pos_ + 1 > size_)
+            return truncated("u8");
+        *out = data_[pos_++];
+        return Status();
+    }
+
+    Status u32(std::uint32_t* out)
+    {
+        if (pos_ + 4 > size_)
+            return truncated("u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        *out = v;
+        return Status();
+    }
+
+    Status u64(std::uint64_t* out)
+    {
+        if (pos_ + 8 > size_)
+            return truncated("u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        *out = v;
+        return Status();
+    }
+
+    Status string(std::string* out)
+    {
+        std::uint32_t len = 0;
+        if (Status s = u32(&len); !s.ok())
+            return s;
+        if (len > kMaxStringLength) {
+            return Status(StatusCode::kMalformedRecord,
+                          strcat_args("forensic string length ", len,
+                                      " exceeds cap ", kMaxStringLength));
+        }
+        if (pos_ + len > size_)
+            return truncated("string body");
+        out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+        pos_ += len;
+        return Status();
+    }
+
+    bool exhausted() const { return pos_ == size_; }
+
+  private:
+    Status truncated(const char* what) const
+    {
+        return Status(StatusCode::kTruncated,
+                      strcat_args("forensic frame ends mid-", what,
+                                  " at byte ", pos_, " of ", size_));
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** Append @p text JSON-escaped. */
+void
+append_escaped(std::string* out, const std::string& text)
+{
+    for (const char c : text) {
+        switch (c) {
+          case '"': *out += "\\\""; break;
+          case '\\': *out += "\\\\"; break;
+          case '\n': *out += "\\n"; break;
+          case '\t': *out += "\\t"; break;
+          default: *out += c;
+        }
+    }
+}
+
+std::string
+hex(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value;
+    return os.str();
+}
+
+}  // namespace
+
+const char*
+gadget_class_name(GadgetClass cls)
+{
+    switch (cls) {
+      case GadgetClass::kUnknown: return "unknown";
+      case GadgetClass::kChain: return "chain";
+      case GadgetClass::kLoad: return "load";
+      case GadgetClass::kStore: return "store";
+      case GadgetClass::kAlu: return "alu";
+      case GadgetClass::kStackPivot: return "stack-pivot";
+      case GadgetClass::kBranch: return "branch";
+      case GadgetClass::kSystem: return "system";
+    }
+    return "<bad>";
+}
+
+std::vector<std::uint8_t>
+ForensicReport::serialize() const
+{
+    // Frame 0 carries the scalar/string fields; frames 1..N carry one
+    // gadget each, so a damaged gadget frame loses only that link.
+    std::vector<std::uint8_t> head;
+    put_u64(&head, log_index);
+    put_u64(&head, icount);
+    head.push_back(is_attack ? 1 : 0);
+    head.push_back(kernel_mode ? 1 : 0);
+    put_string(&head, cause);
+    put_u64(&head, ret_pc);
+    put_string(&head, faulting_function);
+    put_u64(&head, function_begin);
+    put_u64(&head, function_end);
+    put_u64(&head, expected_target);
+    put_string(&head, call_site_function);
+    put_u64(&head, actual_target);
+    put_string(&head, target_function);
+    put_u64(&head, static_cast<std::uint64_t>(tid));
+    put_u64(&head, shadow_depth);
+    put_u64(&head, static_cast<std::uint64_t>(shadow_delta));
+    put_u64(&head, threads_tracked);
+
+    std::vector<std::uint8_t> out;
+    rnr::wire::Header header;
+    header.kind = PayloadKind::kForensicReport;
+    header.frame_count = 1 + gadgets.size();
+    rnr::wire::encode_header(header, &out);
+    rnr::wire::append_frame(0, head.data(), head.size(), &out);
+    for (std::size_t i = 0; i < gadgets.size(); ++i) {
+        std::vector<std::uint8_t> frame;
+        put_u64(&frame, gadgets[i].pc);
+        frame.push_back(static_cast<std::uint8_t>(gadgets[i].cls));
+        put_string(&frame, gadgets[i].disasm);
+        put_string(&frame, gadgets[i].function);
+        rnr::wire::append_frame(static_cast<std::uint32_t>(i + 1),
+                                frame.data(), frame.size(), &out);
+    }
+    return out;
+}
+
+Status
+ForensicReport::deserialize(const std::vector<std::uint8_t>& bytes,
+                            ForensicReport* out)
+{
+    *out = ForensicReport();
+    const auto report = rnr::wire::read_frames(
+        bytes, PayloadKind::kForensicReport,
+        [&](std::uint64_t seq, std::size_t offset,
+            std::size_t length) -> Status {
+            Cursor cursor(bytes.data() + offset, length);
+            if (seq == 0) {
+                std::uint8_t attack = 0;
+                std::uint8_t kernel = 0;
+                std::uint64_t tid64 = 0;
+                std::uint64_t delta64 = 0;
+                Status s;
+                if (!(s = cursor.u64(&out->log_index)).ok()) return s;
+                if (!(s = cursor.u64(&out->icount)).ok()) return s;
+                if (!(s = cursor.u8(&attack)).ok()) return s;
+                if (!(s = cursor.u8(&kernel)).ok()) return s;
+                if (!(s = cursor.string(&out->cause)).ok()) return s;
+                if (!(s = cursor.u64(&out->ret_pc)).ok()) return s;
+                if (!(s = cursor.string(&out->faulting_function)).ok())
+                    return s;
+                if (!(s = cursor.u64(&out->function_begin)).ok()) return s;
+                if (!(s = cursor.u64(&out->function_end)).ok()) return s;
+                if (!(s = cursor.u64(&out->expected_target)).ok()) return s;
+                if (!(s = cursor.string(&out->call_site_function)).ok())
+                    return s;
+                if (!(s = cursor.u64(&out->actual_target)).ok()) return s;
+                if (!(s = cursor.string(&out->target_function)).ok())
+                    return s;
+                if (!(s = cursor.u64(&tid64)).ok()) return s;
+                if (!(s = cursor.u64(&out->shadow_depth)).ok()) return s;
+                if (!(s = cursor.u64(&delta64)).ok()) return s;
+                if (!(s = cursor.u64(&out->threads_tracked)).ok()) return s;
+                out->is_attack = attack != 0;
+                out->kernel_mode = kernel != 0;
+                out->tid = static_cast<ThreadId>(tid64);
+                out->shadow_delta = static_cast<std::int64_t>(delta64);
+            } else {
+                GadgetInfo gadget;
+                std::uint8_t cls = 0;
+                Status s;
+                if (!(s = cursor.u64(&gadget.pc)).ok()) return s;
+                if (!(s = cursor.u8(&cls)).ok()) return s;
+                if (cls > static_cast<std::uint8_t>(GadgetClass::kSystem)) {
+                    return Status(StatusCode::kMalformedRecord,
+                                  strcat_args("gadget frame ", seq,
+                                              ": bad class ", cls));
+                }
+                if (!(s = cursor.string(&gadget.disasm)).ok()) return s;
+                if (!(s = cursor.string(&gadget.function)).ok()) return s;
+                gadget.cls = static_cast<GadgetClass>(cls);
+                out->gadgets.push_back(std::move(gadget));
+            }
+            if (!cursor.exhausted()) {
+                return Status(StatusCode::kMalformedRecord,
+                              strcat_args("forensic frame ", seq,
+                                          " carries trailing bytes"));
+            }
+            return Status();
+        });
+    return report.status;
+}
+
+std::string
+ForensicReport::to_string() const
+{
+    std::ostringstream os;
+    os << "forensic report: alarm #" << log_index << " @icount " << icount
+       << (kernel_mode ? " [kernel]" : " [user]") << " -> " << cause
+       << (is_attack ? " (ATTACK)" : "") << "\n";
+    os << "  where: ret at " << hex(ret_pc);
+    if (!faulting_function.empty()) {
+        os << " in <" << faulting_function << ">";
+        if (function_end != 0)
+            os << " [" << hex(function_begin) << ", " << hex(function_end)
+               << ")";
+    }
+    os << "\n         expected " << hex(expected_target);
+    if (!call_site_function.empty())
+        os << " in <" << call_site_function << ">";
+    os << ", redirected to " << hex(actual_target);
+    if (!target_function.empty())
+        os << " in <" << target_function << ">";
+    os << "\n  who:   tid " << tid << ", shadow depth " << shadow_depth
+       << " (delta " << (shadow_delta >= 0 ? "+" : "") << shadow_delta
+       << " since checkpoint), " << threads_tracked
+       << " thread(s) tracked\n";
+    os << "  what:  " << gadgets.size() << " gadget(s) staged";
+    for (const GadgetInfo& gadget : gadgets) {
+        os << "\n         " << hex(gadget.pc) << " ["
+           << gadget_class_name(gadget.cls) << "]";
+        if (!gadget.disasm.empty())
+            os << "  " << gadget.disasm;
+        if (!gadget.function.empty())
+            os << "  <" << gadget.function << ">";
+    }
+    os << "\n";
+    return os.str();
+}
+
+std::string
+ForensicReport::to_json() const
+{
+    std::string out = "{";
+    out += "\"log_index\": " + std::to_string(log_index);
+    out += ", \"icount\": " + std::to_string(icount);
+    out += ", \"cause\": \"";
+    append_escaped(&out, cause);
+    out += "\", \"is_attack\": ";
+    out += is_attack ? "true" : "false";
+    out += ", \"kernel_mode\": ";
+    out += kernel_mode ? "true" : "false";
+    out += ", \"where\": {\"ret_pc\": \"" + hex(ret_pc) + "\"";
+    out += ", \"faulting_function\": \"";
+    append_escaped(&out, faulting_function);
+    out += "\", \"function_begin\": \"" + hex(function_begin) + "\"";
+    out += ", \"function_end\": \"" + hex(function_end) + "\"";
+    out += ", \"expected_target\": \"" + hex(expected_target) + "\"";
+    out += ", \"call_site_function\": \"";
+    append_escaped(&out, call_site_function);
+    out += "\", \"actual_target\": \"" + hex(actual_target) + "\"";
+    out += ", \"target_function\": \"";
+    append_escaped(&out, target_function);
+    out += "\"}";
+    out += ", \"who\": {\"tid\": " + std::to_string(tid);
+    out += ", \"shadow_depth\": " + std::to_string(shadow_depth);
+    out += ", \"shadow_delta\": " + std::to_string(shadow_delta);
+    out += ", \"threads_tracked\": " + std::to_string(threads_tracked);
+    out += "}";
+    out += ", \"what\": {\"gadgets\": [";
+    for (std::size_t i = 0; i < gadgets.size(); ++i) {
+        if (i != 0)
+            out += ", ";
+        out += "{\"pc\": \"" + hex(gadgets[i].pc) + "\"";
+        out += ", \"class\": \"";
+        out += gadget_class_name(gadgets[i].cls);
+        out += "\", \"disasm\": \"";
+        append_escaped(&out, gadgets[i].disasm);
+        out += "\", \"function\": \"";
+        append_escaped(&out, gadgets[i].function);
+        out += "\"}";
+    }
+    out += "]}}";
+    return out;
+}
+
+}  // namespace rsafe::obs

@@ -1,0 +1,47 @@
+#ifndef RSAFE_OBS_METRICS_H_
+#define RSAFE_OBS_METRICS_H_
+
+#include <string>
+
+#include "stats/stats.h"
+
+/**
+ * @file
+ * Metrics export: render any StatRegistry — counters, histograms (with
+ * p50/p95/p99), and time-series gauges — as either a JSON document or
+ * Prometheus text exposition format (version 0.0.4). The exporter is a
+ * pure reader: it never mutates the registry, so it can run on merged
+ * post-join registries or on a live single-threaded one.
+ */
+
+namespace rsafe::obs {
+
+/** Renders StatRegistry contents in machine-readable formats. */
+class MetricsExporter {
+  public:
+    explicit MetricsExporter(const stats::StatRegistry& registry)
+        : registry_(&registry)
+    {
+    }
+
+    /** @return a JSON document: {"counters":…,"histograms":…,"gauges":…}. */
+    std::string to_json() const;
+
+    /**
+     * @return Prometheus text exposition. Metric names are sanitized
+     * (every character outside [a-zA-Z0-9_:] becomes '_') and prefixed
+     * with @p prefix; histograms emit cumulative `_bucket{le=…}`,
+     * `_sum` and `_count` series, gauges emit their last value.
+     */
+    std::string to_prometheus(const std::string& prefix = "rsafe_") const;
+
+  private:
+    const stats::StatRegistry* registry_;
+};
+
+/** @return @p name with every non-[a-zA-Z0-9_:] character replaced by '_'. */
+std::string sanitize_metric_name(const std::string& name);
+
+}  // namespace rsafe::obs
+
+#endif  // RSAFE_OBS_METRICS_H_

@@ -2,11 +2,64 @@
 
 #include <sstream>
 
+#include "analysis/cfg.h"
+#include "analysis/decoded_image.h"
+#include "analysis/function_bounds.h"
 #include "common/log.h"
 #include "isa/disassembler.h"
 #include "kernel/layout.h"
+#include "obs/trace.h"
 
 namespace rsafe::replay {
+
+namespace {
+
+/** What primitive the instruction at the head of a gadget provides. */
+obs::GadgetClass
+classify_gadget(const std::optional<isa::Instr>& instr)
+{
+    if (!instr)
+        return obs::GadgetClass::kUnknown;
+    switch (instr->op) {
+      case isa::Opcode::kRet:
+        return obs::GadgetClass::kChain;
+      case isa::Opcode::kLd:
+      case isa::Opcode::kLdb:
+      case isa::Opcode::kLdi:
+      case isa::Opcode::kLdiu:
+      case isa::Opcode::kMov:
+        return obs::GadgetClass::kLoad;
+      case isa::Opcode::kSt:
+      case isa::Opcode::kStb:
+        return obs::GadgetClass::kStore;
+      case isa::Opcode::kAdd: case isa::Opcode::kSub:
+      case isa::Opcode::kMul: case isa::Opcode::kDivu:
+      case isa::Opcode::kAnd: case isa::Opcode::kOr:
+      case isa::Opcode::kXor: case isa::Opcode::kShl:
+      case isa::Opcode::kShr: case isa::Opcode::kAddi:
+      case isa::Opcode::kAndi: case isa::Opcode::kOri:
+      case isa::Opcode::kXori: case isa::Opcode::kShli:
+      case isa::Opcode::kShri:
+        return obs::GadgetClass::kAlu;
+      case isa::Opcode::kPush: case isa::Opcode::kPop:
+      case isa::Opcode::kGetsp: case isa::Opcode::kSetsp:
+      case isa::Opcode::kAddsp:
+        return obs::GadgetClass::kStackPivot;
+      case isa::Opcode::kJmp: case isa::Opcode::kJmpr:
+      case isa::Opcode::kCall: case isa::Opcode::kCallr:
+      case isa::Opcode::kBeq: case isa::Opcode::kBne:
+      case isa::Opcode::kBlt: case isa::Opcode::kBge:
+      case isa::Opcode::kBltu: case isa::Opcode::kBgeu:
+        return obs::GadgetClass::kBranch;
+      case isa::Opcode::kSyscall: case isa::Opcode::kIret:
+      case isa::Opcode::kIn: case isa::Opcode::kOut:
+        return obs::GadgetClass::kSystem;
+      default:
+        return obs::GadgetClass::kUnknown;
+    }
+}
+
+}  // namespace
 
 const char*
 alarm_cause_name(AlarmCause cause)
@@ -49,6 +102,15 @@ AlarmReplayer::AlarmReplayer(hv::Vm* vm, const rnr::InputLog* log,
     if (checkpoint.have_current_tid) {
         shadow_.init_thread(checkpoint.current_tid, checkpoint.ras);
         shadow_.switch_to(checkpoint.current_tid);
+    }
+
+    // Snapshot the as-restored shadow depths: the forensic report states
+    // each thread's depth change between the checkpoint and the alarm.
+    for (const auto& [tid, saved] : checkpoint.backras)
+        initial_depth_[tid] = shadow_.depth(tid);
+    if (checkpoint.have_current_tid) {
+        initial_depth_[checkpoint.current_tid] =
+            shadow_.depth(checkpoint.current_tid);
     }
 }
 
@@ -203,7 +265,65 @@ AlarmReplayer::build_analysis(const rnr::LogRecord& record)
         report << "\n";
     }
     analysis.report = report.str();
+    build_forensic(record, &analysis);
     return analysis;
+}
+
+void
+AlarmReplayer::build_forensic(const rnr::LogRecord& record,
+                              AlarmAnalysis* out) const
+{
+    obs::ForensicReport& forensic = out->forensic;
+    forensic.log_index = target_index_;
+    forensic.icount = record.icount;
+    forensic.cause = alarm_cause_name(out->cause);
+    forensic.is_attack = out->is_attack;
+    forensic.kernel_mode = record.alarm.kernel_mode;
+    forensic.ret_pc = out->ret_pc;
+    forensic.faulting_function = out->faulting_function;
+    forensic.expected_target = out->expected_target;
+    forensic.call_site_function = out->call_site_function;
+    forensic.actual_target = out->actual_target;
+    const auto& image = vm_->guest_kernel().image;
+    forensic.target_function = image.function_at(out->actual_target);
+
+    forensic.tid = record.tid;
+    forensic.shadow_depth = shadow_.depth(record.tid);
+    const auto it = initial_depth_.find(record.tid);
+    const auto initial = static_cast<std::int64_t>(
+        it == initial_depth_.end() ? 0 : it->second);
+    forensic.shadow_delta =
+        static_cast<std::int64_t>(forensic.shadow_depth) - initial;
+    // Count every thread the shadow saw, not just the ones the
+    // checkpoint seeded: early checkpoints carry no BackRAS yet.
+    forensic.threads_tracked = shadow_.num_threads();
+
+    if (!out->is_attack)
+        return;
+
+    // Where, precisely: recover the CFG once and attach the inferred
+    // bounds of the faulting function. This walk is only paid on real
+    // attacks — false positives never reach it.
+    obs::ScopedSpan span("ar.function_bounds", "ar");
+    const analysis::DecodedImage decoded(image);
+    const analysis::Cfg cfg(decoded);
+    const auto table = analysis::FunctionTable::infer(cfg);
+    if (const auto* fn = table.function_containing(forensic.ret_pc)) {
+        forensic.function_begin = fn->begin;
+        forensic.function_end = fn->end;
+        if (forensic.faulting_function.empty())
+            forensic.faulting_function = fn->name;
+    }
+    for (const Addr pc : out->gadget_chain) {
+        obs::GadgetInfo gadget;
+        gadget.pc = pc;
+        const auto instr = image.instr_at(pc);
+        gadget.cls = classify_gadget(instr);
+        if (instr)
+            gadget.disasm = isa::disassemble(*instr);
+        gadget.function = image.function_at(pc);
+        forensic.gadgets.push_back(std::move(gadget));
+    }
 }
 
 }  // namespace rsafe::replay

@@ -1,11 +1,13 @@
 #ifndef RSAFE_REPLAY_ALARM_REPLAYER_H_
 #define RSAFE_REPLAY_ALARM_REPLAYER_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/forensic.h"
 #include "replay/checkpoint.h"
 #include "replay/shadow_ras.h"
 #include "rnr/replayer.h"
@@ -56,6 +58,9 @@ struct AlarmAnalysis {
     std::vector<Addr> gadget_chain;  ///< stack words pointing into the kernel
     std::string report;              ///< human-readable summary
 
+    /** The structured where/who/what record (wire-serializable). */
+    obs::ForensicReport forensic;
+
     /** Cycles the alarm replay itself consumed. */
     Cycles analysis_cycles = 0;
 };
@@ -95,8 +100,13 @@ class AlarmReplayer : public rnr::Replayer {
 
     AlarmAnalysis build_analysis(const rnr::LogRecord& record);
     std::vector<Addr> scan_gadget_chain(Addr sp) const;
+    void build_forensic(const rnr::LogRecord& record,
+                        AlarmAnalysis* analysis) const;
 
     ShadowRas shadow_;
+
+    /** Shadow depth per thread as restored from the checkpoint. */
+    std::map<ThreadId, std::size_t> initial_depth_;
     std::size_t target_index_ = ~static_cast<std::size_t>(0);
     Cycles start_cycles_ = 0;
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "rnr/wire.h"
 
 namespace rsafe::replay {
@@ -113,6 +114,7 @@ void
 restore_checkpoint(const Checkpoint& checkpoint, hv::Vm* vm,
                    hv::VmEnvBase* env)
 {
+    obs::ScopedSpan span("checkpoint.restore", "cr");
     auto& mem = vm->mem();
     auto& disk = vm->hub().disk();
     if (checkpoint.pages.size() != mem.num_pages() ||

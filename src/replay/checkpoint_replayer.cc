@@ -1,6 +1,7 @@
 #include "replay/checkpoint_replayer.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace rsafe::replay {
 
@@ -44,12 +45,15 @@ CheckpointReplayer::maybe_checkpoint()
         cr_options_.checkpoint_interval) {
         return;
     }
+    obs::ScopedSpan span("cr.checkpoint", "cr");
     const auto ck = store_.take(*vm_, *this, log_pos());
     const Cycles cost = Costs::kPageCopy * ck->copies;
     cpu.add_cycles(cost);
     overhead_.chk += cost;
     last_checkpoint_cycles_ = cpu.cycles();
     ++checkpoints_taken_;
+    obs::Tracer::instance().instant("cr.checkpoint.taken", "cr", "copies",
+                                    ck->copies);
 }
 
 void
@@ -77,6 +81,8 @@ CheckpointReplayer::hook_positional_record(const rnr::LogRecord& record)
             it->second.back() == record.alarm.actual) {
             it->second.pop_back();
             ++underflows_resolved_;
+            obs::Tracer::instance().instant("cr.underflow_resolved", "cr",
+                                            "icount", record.icount);
             return true;
         }
     }
@@ -87,6 +93,18 @@ CheckpointReplayer::hook_positional_record(const rnr::LogRecord& record)
     pending.log_index = log_pos() - 1;  // hook runs just after the cursor
     pending.record = record;
     pending.checkpoint = store_.latest();
+
+    // Flow tail: the arrow from here to the AR worker that classifies
+    // this alarm, keyed by its log index. The enclosing mini-span gives
+    // Perfetto a slice to bind the flow event to.
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+        obs::ScopedSpan span("cr.alarm_pending", "alarm");
+        tracer.flow_start("alarm", "alarm", pending.log_index);
+        tracer.instant("cr.alarm", "alarm", "log_index",
+                       pending.log_index);
+    }
+
     pending_.push_back(std::move(pending));
     return true;
 }

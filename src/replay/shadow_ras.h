@@ -74,6 +74,12 @@ class ShadowRas {
     /** @return current depth of thread @p tid's stack. */
     std::size_t depth(ThreadId tid) const;
 
+    /**
+     * @return how many threads have shadow state, whether seeded from a
+     * checkpoint BackRAS or observed making calls during replay.
+     */
+    std::size_t num_threads() const { return stacks_.size(); }
+
   private:
     std::unordered_set<Addr> ret_whitelist_;
     std::unordered_set<Addr> tar_whitelist_;

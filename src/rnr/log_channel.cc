@@ -1,6 +1,7 @@
 #include "rnr/log_channel.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace rsafe::rnr {
 
@@ -37,6 +38,8 @@ LogChannel::publish_chunk()
     while (!abandoned_ &&
            queued_records_ + chunk.size() > options_.capacity_records) {
         ++stats_.producer_waits;
+        obs::Tracer::instance().instant("channel.backpressure", "channel",
+                                        "queued", queued_records_);
         can_publish_.wait(lock);
     }
     stats_.records_pushed += chunk.size();
@@ -50,6 +53,8 @@ LogChannel::publish_chunk()
         stats_.max_queued_records = queued_records_;
     ++stats_.chunks_published;
     queue_.push_back(std::move(chunk));
+    obs::Tracer::instance().counter("channel.queued", "channel",
+                                    queued_records_);
     can_pop_.notify_one();
 }
 
@@ -89,12 +94,16 @@ LogChannel::pop(std::vector<LogRecord>* out)
             *out = std::move(queue_.front());
             queue_.pop_front();
             queued_records_ -= out->size();
+            obs::Tracer::instance().counter("channel.queued", "channel",
+                                            queued_records_);
             can_publish_.notify_one();
             return PopResult::kData;
         }
         if (closed_)
             return PopResult::kClosed;
         ++stats_.consumer_waits;
+        obs::Tracer::instance().instant("channel.starved", "channel",
+                                        "queued", queued_records_);
         can_pop_.wait(lock);
     }
 }

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace rsafe::rnr {
 
@@ -131,6 +132,7 @@ wire::LoadReport
 InputLog::deserialize_tolerant(const std::vector<std::uint8_t>& bytes,
                                InputLog* out)
 {
+    obs::ScopedSpan span("wire.load", "wire");
     out->records_.clear();
     out->total_bytes_ = 0;
 
@@ -140,11 +142,18 @@ InputLog::deserialize_tolerant(const std::vector<std::uint8_t>& bytes,
         std::uint64_t magic = 0;
         for (int i = 0; i < 8; ++i)
             magic |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
-        if (magic == kLogMagicV1)
-            return parse_legacy_v1(bytes, out);
+        if (magic == kLogMagicV1) {
+            auto report = parse_legacy_v1(bytes, out);
+            if (!report.intact()) {
+                obs::Tracer::instance().instant(
+                    "wire.integrity_failure", "wire", "recovered",
+                    report.frames_recovered);
+            }
+            return report;
+        }
     }
 
-    return wire::read_frames(
+    auto report = wire::read_frames(
         bytes, wire::PayloadKind::kInputLog,
         [&](std::uint64_t seq, std::size_t offset, std::size_t length) {
             std::size_t pos = offset;
@@ -165,6 +174,12 @@ InputLog::deserialize_tolerant(const std::vector<std::uint8_t>& bytes,
             out->append(std::move(record));
             return Status();
         });
+    if (!report.intact()) {
+        obs::Tracer::instance().instant("wire.integrity_failure", "wire",
+                                        "recovered",
+                                        report.frames_recovered);
+    }
+    return report;
 }
 
 Status

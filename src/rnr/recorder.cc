@@ -1,5 +1,7 @@
 #include "rnr/recorder.h"
 
+#include "obs/trace.h"
+
 namespace rsafe::rnr {
 
 using cpu::Costs;
@@ -115,6 +117,8 @@ Recorder::hook_ras_alarm(const cpu::RasAlarm& alarm)
     record.alarm.actual = alarm.actual;
     record.alarm.sp_after = alarm.sp_after;
     record.alarm.kernel_mode = alarm.mode == cpu::Mode::kKernel;
+    obs::Tracer::instance().instant("record.ras_alarm", "record", "icount",
+                                    record.icount);
     overhead_.ras += Costs::kVmTransition + charge_log_write(record);
     if (rec_options_.stop_on_alarm) {
         alarm_stop_ = true;
@@ -134,6 +138,8 @@ Recorder::hook_ras_evict(Addr evicted)
     record.icount = vm_->cpu().icount();
     record.addr = evicted;
     record.tid = have_current_tid() ? current_tid() : 0;
+    obs::Tracer::instance().instant("record.ras_evict", "record", "icount",
+                                    record.icount);
     overhead_.ras += Costs::kVmTransition + charge_log_write(record);
 }
 
@@ -143,6 +149,8 @@ Recorder::hook_halt()
     LogRecord record;
     record.type = RecordType::kHalt;
     record.icount = vm_->cpu().icount();
+    obs::Tracer::instance().instant("record.halt", "record", "icount",
+                                    record.icount);
     charge_log_write(record);
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "dev/device_hub.h"
+#include "obs/trace.h"
 
 namespace rsafe::rnr {
 
@@ -74,10 +75,11 @@ Replayer::sample_lag()
     const InstrCount produced = source_->producer_icount();
     const InstrCount here = vm_->cpu().icount();
     const InstrCount lag = produced > here ? produced - here : 0;
-    if (lag > lag_.max_lag)
-        lag_.max_lag = lag;
-    lag_.sum_lag += lag;
-    ++lag_.samples;
+    lag_.record(here, lag);
+    // Decimated counter track: one trace event per 16 samples keeps the
+    // hot path cheap while still drawing the lag curve in the viewer.
+    if ((lag_.samples & 0xf) == 1)
+        obs::Tracer::instance().counter("replay_lag", "replay", lag);
 }
 
 void

@@ -2,6 +2,7 @@
 #define RSAFE_RNR_REPLAYER_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "hv/hypervisor.h"
@@ -69,6 +70,15 @@ enum class ReplayOutcome {
  * lag is simply the distance to the end of the recording.
  */
 struct ReplayLag {
+    /** One retained lag observation. */
+    struct Sample {
+        InstrCount icount = 0;  ///< replayer's icount when sampled
+        InstrCount lag = 0;     ///< instructions behind the producer
+    };
+
+    /** Ring bound: the series keeps the newest kRingCapacity samples. */
+    static constexpr std::size_t kRingCapacity = 256;
+
     InstrCount max_lag = 0;
     std::uint64_t sum_lag = 0;
     std::uint64_t samples = 0;
@@ -79,6 +89,39 @@ struct ReplayLag {
             return 0.0;
         return static_cast<double>(sum_lag) / static_cast<double>(samples);
     }
+
+    /** Fold one observation into max/mean and the bounded ring. */
+    void record(InstrCount icount, InstrCount lag)
+    {
+        if (lag > max_lag)
+            max_lag = lag;
+        sum_lag += lag;
+        ++samples;
+        if (ring_.size() < kRingCapacity) {
+            ring_.push_back(Sample{icount, lag});
+        } else {
+            ring_[ring_next_] = Sample{icount, lag};
+            ring_next_ = (ring_next_ + 1) % kRingCapacity;
+            ring_wrapped_ = true;
+        }
+    }
+
+    /** @return the retained samples, oldest first. */
+    std::vector<Sample> series() const
+    {
+        if (!ring_wrapped_)
+            return ring_;
+        std::vector<Sample> out;
+        out.reserve(ring_.size());
+        for (std::size_t i = 0; i < ring_.size(); ++i)
+            out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+        return out;
+    }
+
+  private:
+    std::vector<Sample> ring_;
+    std::size_t ring_next_ = 0;
+    bool ring_wrapped_ = false;
 };
 
 /** Per-category replay cycle attribution (feeds Figure 7b). */

@@ -73,6 +73,7 @@ inline constexpr std::uint32_t kMaxFrameLength = 1u << 26;
 enum class PayloadKind : std::uint16_t {
     kInputLog = 1,
     kCheckpointDigest = 2,
+    kForensicReport = 3,
 };
 
 /** Decoded wire header. */

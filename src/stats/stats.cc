@@ -1,5 +1,8 @@
 #include "stats/stats.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/log.h"
 
 namespace rsafe::stats {
@@ -45,6 +48,49 @@ Histogram::bucket(std::size_t i) const
     return counts_[i];
 }
 
+std::uint64_t
+Histogram::bucket_bound(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::bucket_bound: index out of range");
+    if (i == counts_.size() - 1)
+        return ~static_cast<std::uint64_t>(0);  // overflow: unbounded
+    return bucket_width_ * (i + 1);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The rank of the sample we want, 1-based, ceil(q * count).
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0)
+        return 0;  // q == 0: the distribution's floor, never a sample
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (seen + counts_[i] >= rank) {
+            if (i == counts_.size() - 1) {
+                // Overflow bucket: no upper bound, clamp to the max.
+                return max_sample_;
+            }
+            // Linear interpolation within [lo, lo + width).
+            const std::uint64_t lo = bucket_width_ * i;
+            const double frac = static_cast<double>(rank - seen) /
+                                static_cast<double>(counts_[i]);
+            const auto off = static_cast<std::uint64_t>(
+                frac * static_cast<double>(bucket_width_));
+            return std::min(lo + off, max_sample_);
+        }
+        seen += counts_[i];
+    }
+    return max_sample_;
+}
+
 void
 Histogram::reset()
 {
@@ -55,12 +101,17 @@ Histogram::reset()
     max_sample_ = 0;
 }
 
-void
+Status
 Histogram::merge(const Histogram& other)
 {
     if (other.bucket_width_ != bucket_width_ ||
         other.counts_.size() != counts_.size()) {
-        fatal("Histogram::merge: bucket geometry mismatch");
+        return Status(
+            StatusCode::kInvalidArgument,
+            strcat_args("Histogram::merge: geometry mismatch (width ",
+                        bucket_width_, "x", counts_.size(), " vs ",
+                        other.bucket_width_, "x", other.counts_.size(),
+                        ")"));
     }
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
@@ -68,12 +119,111 @@ Histogram::merge(const Histogram& other)
     sum_ += other.sum_;
     if (other.max_sample_ > max_sample_)
         max_sample_ = other.max_sample_;
+    return Status();
+}
+
+Gauge::Gauge(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    ring_.reserve(capacity_);
+}
+
+void
+Gauge::set(std::uint64_t t, std::uint64_t value)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(Sample{t, value});
+    } else {
+        ring_[next_] = Sample{t, value};
+        next_ = (next_ + 1) % capacity_;
+        wrapped_ = true;
+    }
+    ++observations_;
+    if (observations_ == 1 || t >= last_t_) {
+        last_t_ = t;
+        last_ = value;
+    }
+}
+
+std::vector<Gauge::Sample>
+Gauge::series() const
+{
+    std::vector<Sample> out;
+    out.reserve(ring_.size());
+    if (wrapped_) {
+        // Oldest retained sample sits at next_; unroll the ring.
+        for (std::size_t i = 0; i < ring_.size(); ++i)
+            out.push_back(ring_[(next_ + i) % ring_.size()]);
+    } else {
+        out = ring_;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Sample& a, const Sample& b) {
+                         return a.t < b.t;
+                     });
+    return out;
+}
+
+void
+Gauge::reset()
+{
+    ring_.clear();
+    next_ = 0;
+    wrapped_ = false;
+    last_ = 0;
+    last_t_ = 0;
+    observations_ = 0;
+}
+
+void
+Gauge::merge(const Gauge& other)
+{
+    if (other.observations_ == 0)
+        return;
+    std::vector<Sample> merged = series();
+    const std::vector<Sample> theirs = other.series();
+    merged.insert(merged.end(), theirs.begin(), theirs.end());
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Sample& a, const Sample& b) {
+                         return a.t < b.t;
+                     });
+    // Keep the newest capacity() samples of the union.
+    if (merged.size() > capacity_)
+        merged.erase(merged.begin(),
+                     merged.end() - static_cast<std::ptrdiff_t>(capacity_));
+    const std::uint64_t total = observations_ + other.observations_;
+    const bool theirs_last =
+        observations_ == 0 || other.last_t_ >= last_t_;
+    ring_ = std::move(merged);
+    next_ = 0;
+    wrapped_ = false;
+    observations_ = total;
+    if (theirs_last) {
+        last_ = other.last_;
+        last_t_ = other.last_t_;
+    }
 }
 
 Counter&
 StatRegistry::counter(const std::string& name)
 {
     return counters_[name];
+}
+
+Histogram&
+StatRegistry::histogram(const std::string& name, std::uint64_t max,
+                        std::size_t buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(max, buckets)).first;
+    return it->second;
+}
+
+Gauge&
+StatRegistry::gauge(const std::string& name)
+{
+    return gauges_[name];
 }
 
 std::uint64_t
@@ -98,13 +248,34 @@ StatRegistry::reset()
 {
     for (auto& [name, counter] : counters_)
         counter.reset();
+    for (auto& [name, histogram] : histograms_)
+        histogram.reset();
+    for (auto& [name, gauge] : gauges_)
+        gauge.reset();
 }
 
-void
+Status
 StatRegistry::merge(const StatRegistry& other)
 {
+    Status result;
     for (const auto& [name, counter] : other.counters_)
         counters_[name].merge(counter);
+    for (const auto& [name, histogram] : other.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            histograms_.emplace(name, histogram);
+            continue;
+        }
+        const Status merged = it->second.merge(histogram);
+        if (!merged.ok() && result.ok()) {
+            result = Status(merged.code(),
+                            strcat_args("histogram '", name,
+                                        "': ", merged.message()));
+        }
+    }
+    for (const auto& [name, gauge] : other.gauges_)
+        gauges_[name].merge(gauge);
+    return result;
 }
 
 }  // namespace rsafe::stats

@@ -6,15 +6,24 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 /**
  * @file
  * A small statistics package in the spirit of gem5's Stats.
  *
- * Components register named scalar counters and histograms with a
- * StatRegistry; benches and tests read them back by name. Everything is
- * plain 64-bit integer or double state — no global registries, so multiple
- * simulated machines (recorder, checkpointing replayer, alarm replayer) can
- * coexist with independent statistics.
+ * Components register named scalar counters, histograms and time-series
+ * gauges with a StatRegistry; benches, tests and the metrics exporter read
+ * them back by name. Everything is plain 64-bit integer or double state —
+ * no global registries, so multiple simulated machines (recorder,
+ * checkpointing replayer, alarm replayer) can coexist with independent
+ * statistics.
+ *
+ * Concurrency contract: each thread mutates only its own registry on the
+ * hot path, and the coordinator merges the per-thread instances after
+ * join. Counter sums and histogram bucket sums are commutative, so any
+ * merge order gives identical totals; gauge merges interleave samples by
+ * timestamp.
  */
 
 namespace rsafe::stats {
@@ -71,11 +80,32 @@ class Histogram {
     /** @return number of buckets, including the overflow bucket. */
     std::size_t num_buckets() const { return counts_.size(); }
 
+    /** @return the width of each regular bucket in sample units. */
+    std::uint64_t bucket_width() const { return bucket_width_; }
+
+    /** @return the exclusive upper bound of bucket @p i (overflow: max). */
+    std::uint64_t bucket_bound(std::size_t i) const;
+
+    /**
+     * @return the value at quantile @p q in [0, 1], estimated by linear
+     * interpolation within the containing bucket. Overflow-bucket hits
+     * are clamped to the recorded maximum sample. Returns 0 if empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Convenience percentile shorthands. */
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
+
     /** Reset all buckets. */
     void reset();
 
-    /** Fold @p other into this histogram; fatal on geometry mismatch. */
-    void merge(const Histogram& other);
+    /**
+     * Fold @p other into this histogram. Bucket geometries must match;
+     * on mismatch nothing is merged and kInvalidArgument is returned.
+     */
+    [[nodiscard]] Status merge(const Histogram& other);
 
   private:
     std::uint64_t bucket_width_;
@@ -85,32 +115,106 @@ class Histogram {
     std::uint64_t max_sample_ = 0;
 };
 
-/** A by-name registry of counters owned by one simulated machine. */
+/**
+ * A bounded time-series gauge: the last observed value plus a fixed-size
+ * ring of (timestamp, value) samples for trend inspection. Timestamps are
+ * caller-defined (the pipeline uses producer icount); the ring keeps the
+ * most recent kDefaultCapacity samples and counts what it sheds.
+ */
+class Gauge {
+  public:
+    /** One observation. */
+    struct Sample {
+        std::uint64_t t = 0;      ///< caller-defined timestamp
+        std::uint64_t value = 0;  ///< observed value at @c t
+    };
+
+    static constexpr std::size_t kDefaultCapacity = 256;
+
+    explicit Gauge(std::size_t capacity = kDefaultCapacity);
+
+    /** Record that the gauge read @p value at time @p t. */
+    void set(std::uint64_t t, std::uint64_t value);
+
+    /** @return the most recently set value (0 if never set). */
+    std::uint64_t last() const { return last_; }
+
+    /** @return total observations, including those shed from the ring. */
+    std::uint64_t observations() const { return observations_; }
+
+    /** @return the retained samples in timestamp order. */
+    std::vector<Sample> series() const;
+
+    /** @return the ring capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Reset to the never-set state. */
+    void reset();
+
+    /**
+     * Interleave @p other's retained samples with this gauge's by
+     * timestamp, keeping the newest @c capacity() of the union. The
+     * last-value becomes the value with the latest timestamp.
+     */
+    void merge(const Gauge& other);
+
+  private:
+    std::size_t capacity_;
+    std::vector<Sample> ring_;   ///< insertion ring, wraps at capacity_
+    std::size_t next_ = 0;       ///< next ring slot to overwrite
+    bool wrapped_ = false;
+    std::uint64_t last_ = 0;
+    std::uint64_t last_t_ = 0;
+    std::uint64_t observations_ = 0;
+};
+
+/** A by-name registry of counters/histograms/gauges owned by one machine. */
 class StatRegistry {
   public:
     /** Get (creating if needed) the counter named @p name. */
     Counter& counter(const std::string& name);
 
+    /**
+     * Get (creating if needed) the histogram named @p name. The geometry
+     * arguments apply only on first creation; later lookups return the
+     * existing histogram unchanged.
+     */
+    Histogram& histogram(const std::string& name, std::uint64_t max = 1024,
+                         std::size_t buckets = 16);
+
+    /** Get (creating if needed) the gauge named @p name. */
+    Gauge& gauge(const std::string& name);
+
     /** @return the counter value, or 0 if the name was never created. */
     std::uint64_t value(const std::string& name) const;
 
-    /** @return all (name, value) pairs sorted by name. */
+    /** @return all (name, value) pairs sorted by name (counters only). */
     std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
 
-    /** Reset every registered counter. */
+    /** @return the registered histograms by name (exporter access). */
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return histograms_;
+    }
+
+    /** @return the registered gauges by name (exporter access). */
+    const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
+    /** Reset every registered counter, histogram and gauge. */
     void reset();
 
     /**
-     * Fold every counter of @p other into this registry, creating names
-     * as needed. This is the concurrency contract of the stats package:
-     * each thread mutates only its own registry on the hot path, and the
-     * coordinator merges the per-thread instances after join — counter
-     * sums are commutative, so any merge order gives identical totals.
+     * Fold every stat of @p other into this registry, creating names as
+     * needed. Histogram geometry mismatches skip that histogram and are
+     * reported in the returned status (kInvalidArgument names the first
+     * offender); everything else still merges.
      */
-    void merge(const StatRegistry& other);
+    Status merge(const StatRegistry& other);
 
   private:
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, Gauge> gauges_;
 };
 
 }  // namespace rsafe::stats

@@ -1,0 +1,46 @@
+#include "workloads/attack_mix.h"
+
+#include <vector>
+
+#include "attack/attack_mounter.h"
+#include "kernel/kernel_builder.h"
+#include "kernel/layout.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
+
+namespace rsafe::workloads {
+
+namespace k = rsafe::kernel;
+
+AttackMix
+attack_mix(const AttackMixOptions& options)
+{
+    AttackMix mix;
+    mix.profile = benchmark_profile("mysql");
+    mix.profile.name = "attack-mix";
+    mix.profile.iterations_per_task = options.iterations_per_task;
+    mix.profile.num_tasks = 2;
+
+    // The kernel build is deterministic, so scanning it here yields the
+    // same gadgets the recorded VM's kernel carries.
+    const auto kernel = k::build_kernel();
+    mix.vulnerable_ret = kernel.vulnerable_ret;
+    // Task slots: kernel idle is 0, benign tasks fill 1..num_tasks, the
+    // first attacker takes the next one.
+    mix.attacker_tid = static_cast<ThreadId>(mix.profile.num_tasks + 1);
+
+    std::vector<isa::Image> images;
+    std::vector<Addr> entries;
+    for (std::size_t i = 0; i < options.attackers; ++i) {
+        const auto program = attack::build_attacker_program(
+            kernel, k::kUserCodeBase + 0x40000 + i * 0x8000,
+            k::kUserDataBase + (15 + i) * 0x10000,
+            options.delay_iters + i * options.delay_step);
+        images.push_back(program.image);
+        entries.push_back(program.entry);
+    }
+    mix.factory = vm_factory(mix.profile, images, entries);
+    return mix;
+}
+
+}  // namespace rsafe::workloads

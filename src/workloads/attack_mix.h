@@ -1,0 +1,67 @@
+#ifndef RSAFE_WORKLOADS_ATTACK_MIX_H_
+#define RSAFE_WORKLOADS_ATTACK_MIX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "hv/vm.h"
+#include "workloads/profile.h"
+
+/**
+ * @file
+ * The shared attack-mix workload.
+ *
+ * One canonical construction of "benign mysql tasks plus N attacker
+ * tasks, each mounting the Figure 10 kernel ROP from its own code and
+ * staging area at a staggered delay", used identically by the pipeline
+ * bench, the end-to-end tests, the golden wire corpus, and the
+ * rsafe-report CLI. Keeping the construction in one place means the
+ * golden attack.rnrlog, the forensic assertions (faulting function,
+ * attacker thread, hijacked return) and the benchmarks all describe the
+ * same machine.
+ */
+
+namespace rsafe::workloads {
+
+/** Knobs of the attack mix; the defaults are the test-sized mix. */
+struct AttackMixOptions {
+    /** Attacker tasks; each mounts its own ROP (one alarm replay each). */
+    std::size_t attackers = 1;
+
+    /** Benign iterations per task (scales run length, not behaviour). */
+    std::uint64_t iterations_per_task = 150;
+
+    /** Busy-loop delay before the first attacker strikes. */
+    std::uint64_t delay_iters = 200;
+
+    /** Extra delay per additional attacker (staggers the alarms). */
+    std::uint64_t delay_step = 350;
+};
+
+/** The built mix: profile, VM factory, and ground truth for assertions. */
+struct AttackMix {
+    WorkloadProfile profile;
+    std::function<std::unique_ptr<hv::Vm>()> factory;
+
+    /** The hijacked return site inside k_vulnerable. @{ */
+    Addr vulnerable_ret = 0;
+    /** @} */
+
+    /** Task slot of the first attacker (benign tasks come first). */
+    ThreadId attacker_tid = 0;
+};
+
+/**
+ * Build the attack mix for @p options.
+ *
+ * The benign side is the mysql profile (two tasks); attacker @c i loads
+ * at kUserCodeBase + 0x40000 + i*0x8000, stages its payload at
+ * kUserDataBase + (15+i)*0x10000, and strikes after
+ * delay_iters + i*delay_step warm-up iterations.
+ */
+AttackMix attack_mix(const AttackMixOptions& options = {});
+
+}  // namespace rsafe::workloads
+
+#endif  // RSAFE_WORKLOADS_ATTACK_MIX_H_

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "attack/attack_mounter.h"
 #include "core/framework.h"
 #include "core/rop_detector.h"
@@ -228,6 +230,31 @@ TEST(ConcurrentPipeline, TracksReplayLagAndChannelTraffic)
               result.recorder->log().size());
     EXPECT_GT(result.channel_stats.chunks_published, 0u);
     EXPECT_EQ(result.channel_stats.records_dropped, 0u);
+}
+
+TEST(ConcurrentPipeline, LagSeries)
+{
+    auto result = run_pipeline_mode(core::PipelineMode::kConcurrent, 2);
+    // The bounded ring retained a lag time series: non-empty, bounded by
+    // its capacity, in icount order, and consistent with the aggregates.
+    const auto series = result.replay_lag.series();
+    ASSERT_FALSE(series.empty());
+    EXPECT_LE(series.size(), rnr::ReplayLag::kRingCapacity);
+    EXPECT_LE(series.size(), result.replay_lag.samples);
+    std::uint64_t series_max = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i > 0) {
+            EXPECT_LE(series[i - 1].icount, series[i].icount);
+        }
+        EXPECT_LE(series[i].lag, result.replay_lag.max_lag);
+        series_max = std::max<std::uint64_t>(series_max, series[i].lag);
+    }
+    EXPECT_GT(series_max, 0u);
+    // finalize() mirrors the series into the (snapshot-excluded)
+    // pipeline gauge for the metrics exporter.
+    const auto& gauges = result.pipeline_stats.gauges();
+    ASSERT_NE(gauges.count("cr.replay_lag"), 0u);
+    EXPECT_EQ(gauges.at("cr.replay_lag").observations(), series.size());
 }
 
 TEST(ConcurrentPipeline, WorkerCountDoesNotChangeResults)

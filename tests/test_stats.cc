@@ -158,7 +158,7 @@ TEST(Histogram, MergeCombinesBucketsAndMoments)
     a.sample(90);
     b.sample(10);
     b.sample(500);  // overflow bucket
-    a.merge(b);
+    EXPECT_TRUE(a.merge(b).ok());
     EXPECT_EQ(a.count(), 4u);
     EXPECT_EQ(a.sum(), 610u);
     EXPECT_EQ(a.max_sample(), 500u);
@@ -166,12 +166,87 @@ TEST(Histogram, MergeCombinesBucketsAndMoments)
     EXPECT_EQ(a.bucket(a.num_buckets() - 1), 1u);
 }
 
-TEST(Histogram, MergeRejectsGeometryMismatch)
+TEST(Histogram, MergeRejectsGeometryMismatchWithStatus)
 {
+    // Geometry mismatches are a reportable condition, not a crash: the
+    // merge returns kInvalidArgument and leaves the target untouched.
     Histogram a(100, 4), b(100, 8);
-    EXPECT_THROW(a.merge(b), FatalError);
+    a.sample(10);
+    b.sample(20);
+    const Status bucket_mismatch = a.merge(b);
+    EXPECT_EQ(bucket_mismatch.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(a.count(), 1u);  // nothing merged
+    EXPECT_EQ(a.sum(), 10u);
+
     Histogram c(200, 4);
-    EXPECT_THROW(a.merge(c), FatalError);
+    c.sample(30);
+    const Status range_mismatch = a.merge(c);
+    EXPECT_EQ(range_mismatch.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(range_mismatch.message().empty());
+    EXPECT_EQ(a.count(), 1u);
+
+    Histogram d(100, 4);
+    d.sample(40);
+    EXPECT_TRUE(a.merge(d).ok());
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, PercentilesInterpolate)
+{
+    Histogram h(100, 10);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    // A uniform population: percentiles track the value range.
+    EXPECT_NEAR(static_cast<double>(h.p50()), 50.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(h.p95()), 95.0, 10.0);
+    EXPECT_GE(h.p99(), h.p95());
+    EXPECT_GE(h.p95(), h.p50());
+    EXPECT_LE(h.p99(), h.max_sample());
+}
+
+TEST(Histogram, PercentileOfOverflowClampsToMax)
+{
+    Histogram h(10, 2);
+    h.sample(5000);
+    h.sample(7000);
+    EXPECT_EQ(h.p99(), 7000u);  // never invents values past the max seen
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    Histogram empty(10, 2);
+    EXPECT_EQ(empty.p50(), 0u);
+}
+
+TEST(Gauge, KeepsLastValueAndBoundedSeries)
+{
+    Gauge g(4);
+    EXPECT_EQ(g.last(), 0u);
+    for (std::uint64_t t = 1; t <= 10; ++t)
+        g.set(t * 100, t);
+    EXPECT_EQ(g.last(), 10u);
+    EXPECT_EQ(g.observations(), 10u);
+    const auto series = g.series();
+    ASSERT_EQ(series.size(), 4u);  // ring kept only the newest capacity
+    EXPECT_EQ(series.front().t, 700u);
+    EXPECT_EQ(series.back().t, 1000u);
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_LE(series[i - 1].t, series[i].t);
+}
+
+TEST(Gauge, MergeInterleavesByTimestamp)
+{
+    Gauge a(8), b(8);
+    a.set(10, 1);
+    a.set(30, 3);
+    b.set(20, 2);
+    b.set(40, 4);
+    a.merge(b);
+    const auto series = a.series();
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_EQ(series[0].t, 10u);
+    EXPECT_EQ(series[1].t, 20u);
+    EXPECT_EQ(series[2].t, 30u);
+    EXPECT_EQ(series[3].t, 40u);
+    EXPECT_EQ(a.last(), 4u);  // the latest timestamp wins
+    EXPECT_EQ(a.observations(), 4u);
 }
 
 TEST(StatRegistry, MergeFoldsByNameAndOrderIsIrrelevant)
@@ -192,6 +267,38 @@ TEST(StatRegistry, MergeFoldsByNameAndOrderIsIrrelevant)
     EXPECT_EQ(order_a.value("ar.deep_reruns"), 4u);
     // Counter sums are commutative: any join order, identical snapshot.
     EXPECT_EQ(order_a.snapshot(), order_b.snapshot());
+}
+
+TEST(StatRegistry, MergeCarriesHistogramsAndGauges)
+{
+    StatRegistry worker, total;
+    worker.histogram("ar.lat", 100, 4).sample(10);
+    worker.gauge("lag").set(5, 50);
+    EXPECT_TRUE(total.merge(worker).ok());
+    EXPECT_EQ(total.histograms().at("ar.lat").count(), 1u);
+    EXPECT_EQ(total.gauges().at("lag").last(), 50u);
+
+    // A second worker with mismatched histogram geometry: the offender
+    // is skipped and named, everything else still folds in.
+    StatRegistry bad;
+    bad.histogram("ar.lat", 100, 8).sample(20);
+    bad.counter("ar.replays").inc(2);
+    const Status status = total.merge(bad);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("ar.lat"), std::string::npos);
+    EXPECT_EQ(total.histograms().at("ar.lat").count(), 1u);
+    EXPECT_EQ(total.value("ar.replays"), 2u);
+}
+
+TEST(StatRegistry, SnapshotExcludesHistogramsAndGauges)
+{
+    // The concurrent pipeline's A/B determinism gate compares
+    // snapshot(); scheduling-dependent series must never leak into it.
+    StatRegistry reg;
+    reg.counter("a").inc();
+    reg.histogram("h").sample(1);
+    reg.gauge("g").set(1, 1);
+    EXPECT_EQ(reg.snapshot().size(), 1u);
 }
 
 }  // namespace

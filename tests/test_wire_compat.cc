@@ -18,6 +18,7 @@
 
 #include "rnr/log_io.h"
 #include "rnr/replayer.h"
+#include "workloads/attack_mix.h"
 #include "workloads/benchmarks.h"
 #include "workloads/generator.h"
 
@@ -107,9 +108,14 @@ TEST_P(GoldenCorpus, CheckedInBytesStillReplayToTheirDigest)
     ASSERT_EQ(log.size(), entry.records);
 
     // Replaying them on a VM built by today's tree must land exactly on
-    // the digest recorded when the corpus was generated.
-    const auto profile = workloads::golden_profile(benchmark_of(entry.name));
-    auto factory = workloads::vm_factory(profile);
+    // the digest recorded when the corpus was generated. The "attack"
+    // row replays on the shared attack-mix VM; everything else on its
+    // golden Table 3 profile.
+    const std::string benchmark = benchmark_of(entry.name);
+    auto factory =
+        benchmark == "attack"
+            ? workloads::attack_mix().factory
+            : workloads::vm_factory(workloads::golden_profile(benchmark));
     auto vm = factory();
     rnr::Replayer replayer(vm.get(), &log, 0, rnr::ReplayOptions{});
     ASSERT_EQ(replayer.run(), rnr::ReplayOutcome::kFinished);
@@ -140,10 +146,15 @@ TEST(GoldenCorpusManifest, CoversEveryBenchmarkPlusALegacyImage)
         EXPECT_TRUE(found) << "no golden log for " << name;
     }
     bool legacy = false;
-    for (const auto& entry : entries)
+    bool attack = false;
+    for (const auto& entry : entries) {
         if (entry.name.find("-v1") != std::string::npos)
             legacy = true;
+        if (entry.name == "attack")
+            attack = true;
+    }
     EXPECT_TRUE(legacy) << "no legacy v1 image in the golden corpus";
+    EXPECT_TRUE(attack) << "no golden attack recording in the corpus";
 }
 
 }  // namespace

@@ -11,6 +11,10 @@
 #   tools/check.sh fuzz       # libFuzzer smoke over tests/corpus (clang);
 #                             # falls back to corpus replay under gcc.
 #                             # RSAFE_FUZZ_RUNS bounds the run (default 50000).
+#   tools/check.sh trace      # observability smoke: run rsafe-report over
+#                             # the attack mix + golden log, validate the
+#                             # Chrome trace schema, and write the trace,
+#                             # metrics and Prometheus artifacts.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,19 +66,39 @@ run_fuzz() {
     done
 }
 
+run_trace() {
+    # The observability gate: the attack-mix pipeline must produce a
+    # schema-valid Perfetto-loadable trace (flow arrows included),
+    # metrics in both formats, and forensic reports — live and over the
+    # checked-in golden attack recording.
+    cmake -B build -S .
+    cmake --build build -j "$(nproc)" --target rsafe-report
+    ./build/tools/rsafe-report --attack-mix --check-trace \
+        --trace trace_attack_mix.json \
+        --metrics metrics_attack_mix.json \
+        --prom metrics_attack_mix.prom > forensics_attack_mix.txt
+    ./build/tools/rsafe-report --log tests/corpus/golden/attack.rnrlog \
+        --attack-mix --check-trace \
+        --trace trace_golden_attack.json --json > forensics_golden.json
+    grep -q k_vulnerable forensics_attack_mix.txt
+    grep -q k_vulnerable forensics_golden.json
+    echo "check.sh: trace schema + forensic artifacts ok"
+}
+
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
   tsan)     run_config build-tsan -DRSAFE_SANITIZE=thread ;;
   tidy)     run_tidy ;;
   fuzz)     run_fuzz ;;
+  trace)    run_trace ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
     run_config build-tsan -DRSAFE_SANITIZE=thread
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|all]" >&2
     exit 2
     ;;
 esac

@@ -11,6 +11,7 @@
 #include "replay/checkpoint.h"
 #include "rnr/log_io.h"
 #include "rnr/recorder.h"
+#include "workloads/attack_mix.h"
 #include "workloads/benchmarks.h"
 #include "workloads/generator.h"
 
@@ -196,6 +197,27 @@ main(int argc, char** argv)
                      << " " << hex64(vm->state_hash()) << "\n";
         }
     }
+    // The golden attack recording: the shared attack mix (one attacker,
+    // test-sized). rsafe-report and test_obs replay these bytes and must
+    // recover the same forensics (k_vulnerable, attacker tid, hijacked
+    // return) forever.
+    {
+        const auto mix = workloads::attack_mix();
+        auto vm = mix.factory();
+        rnr::Recorder recorder(vm.get(), rnr::RecorderOptions{});
+        const auto result = recorder.run(~static_cast<InstrCount>(0));
+        if (result != hv::RunResult::kHalted) {
+            std::fprintf(stderr,
+                         "rsafe-corpus: golden attack run did not halt\n");
+            return 1;
+        }
+        write_file(root / "golden" / "attack.rnrlog",
+                   recorder.log().serialize());
+        manifest << "attack attack.rnrlog " << recorder.log().size() << " "
+                 << vm->cpu().icount() << " " << hex64(vm->state_hash())
+                 << "\n";
+    }
+
     const std::string text = manifest.str();
     write_file(root / "golden" / "manifest.txt",
                std::vector<std::uint8_t>(text.begin(), text.end()));

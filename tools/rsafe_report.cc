@@ -1,0 +1,250 @@
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workloads/attack_mix.h"
+#include "workloads/benchmarks.h"
+#include "workloads/generator.h"
+
+/**
+ * @file
+ * rsafe-report: observability driver for the Figure 1 pipeline.
+ *
+ * Runs the replay half of the pipeline over a shipped .rnrlog (or runs
+ * the full record+replay pipeline live) with tracing enabled, and
+ * renders what the run produced:
+ *
+ *  - a Chrome/Perfetto trace_event JSON file (--trace) whose flow
+ *    arrows link each alarm raised by the CR to the AR span that
+ *    classified it — load it in chrome://tracing or ui.perfetto.dev;
+ *  - pipeline metrics (--metrics JSON, --prom Prometheus text):
+ *    counters, latency histograms with p50/p95/p99, and the replay-lag
+ *    time series;
+ *  - per-alarm forensic reports (default text, --json for JSON):
+ *    where the hijack happened, who mounted it, what was staged.
+ *
+ * The replayed VM must match the recorded one, so the workload that
+ * produced the log is named on the command line: --attack-mix for the
+ * shared attack mix (the golden attack.rnrlog), --workload <name> for a
+ * golden Table 3 recording.
+ */
+
+namespace {
+
+void
+usage(std::ostream& os)
+{
+    os << "usage: rsafe-report [options]\n"
+          "\n"
+          "Replay a recorded log (or run the attack-mix pipeline live)\n"
+          "and render its trace, metrics, and forensic alarm reports.\n"
+          "\n"
+          "input (pick the workload the log was recorded from):\n"
+          "  --log <file.rnrlog>    replay this shipped log\n"
+          "  --attack-mix           the shared attack-mix VM (default;\n"
+          "                         without --log, records it live first)\n"
+          "  --workload <name>      golden Table 3 VM (apache, fileio,\n"
+          "                         make, mysql, radiosity)\n"
+          "\n"
+          "pipeline:\n"
+          "  --serial               serial stage scheduling\n"
+          "  --workers <n>          AR worker pool size (default 2)\n"
+          "\n"
+          "output:\n"
+          "  --trace <file>         write the Chrome/Perfetto trace JSON\n"
+          "  --check-trace          validate the trace document and exit\n"
+          "                         non-zero if it is malformed\n"
+          "  --metrics <file>       write pipeline metrics as JSON\n"
+          "  --prom <file>          write metrics in Prometheus format\n"
+          "  --json                 render forensic reports as JSON\n"
+          "  --no-forensics         skip the forensic report dump\n"
+          "  -h, --help             show this message\n";
+}
+
+bool
+read_file(const std::string& path, std::vector<std::uint8_t>* bytes)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    bytes->resize(size);
+    in.read(reinterpret_cast<char*>(bytes->data()),
+            static_cast<std::streamsize>(size));
+    return static_cast<bool>(in);
+}
+
+bool
+write_text(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << text;
+    return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace rsafe;
+
+    std::string log_path;
+    std::string workload;
+    std::string trace_path;
+    std::string metrics_path;
+    std::string prom_path;
+    bool check_trace = false;
+    bool json = false;
+    bool forensics = true;
+    bool serial = false;
+    std::size_t workers = 2;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--log" && i + 1 < argc) {
+            log_path = argv[++i];
+        } else if (arg == "--attack-mix") {
+            workload.clear();
+        } else if (arg == "--workload" && i + 1 < argc) {
+            workload = argv[++i];
+        } else if (arg == "--serial") {
+            serial = true;
+        } else if (arg == "--workers" && i + 1 < argc) {
+            workers = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--check-trace") {
+            check_trace = true;
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (arg == "--prom" && i + 1 < argc) {
+            prom_path = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--no-forensics") {
+            forensics = false;
+        } else if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "rsafe-report: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    try {
+        core::VmFactory factory;
+        if (workload.empty()) {
+            factory = workloads::attack_mix().factory;
+        } else {
+            factory = workloads::vm_factory(
+                workloads::golden_profile(workload));
+        }
+
+        core::FrameworkConfig config;
+        config.pipeline = serial ? core::PipelineMode::kSerial
+                                 : core::PipelineMode::kConcurrent;
+        config.ar_workers = workers;
+        core::RnrSafeFramework framework(factory, config);
+
+        auto& tracer = obs::Tracer::instance();
+        tracer.set_enabled(true);  // RSAFE_NO_TRACE still wins
+        tracer.begin_session();
+
+        core::FrameworkResult result;
+        if (!log_path.empty()) {
+            std::vector<std::uint8_t> bytes;
+            if (!read_file(log_path, &bytes)) {
+                std::cerr << "rsafe-report: cannot read " << log_path
+                          << "\n";
+                return 1;
+            }
+            result = framework.replay_wire(bytes);
+            if (!result.log_integrity.intact()) {
+                std::cerr << "rsafe-report: log integrity: "
+                          << result.log_integrity.status.to_string()
+                          << " (replayed the recovered prefix)\n";
+            }
+        } else {
+            result = framework.run();
+        }
+        tracer.set_enabled(false);
+
+        // ---- trace --------------------------------------------------
+        const std::string trace_json = tracer.export_chrome_json();
+        if (check_trace) {
+            std::string error;
+            if (!obs::validate_trace_json(trace_json, &error)) {
+                std::cerr << "rsafe-report: trace schema violation: "
+                          << error << "\n";
+                return 1;
+            }
+        }
+        if (!trace_path.empty()) {
+            if (!write_text(trace_path, trace_json)) {
+                std::cerr << "rsafe-report: cannot write " << trace_path
+                          << "\n";
+                return 1;
+            }
+            std::cerr << "rsafe-report: wrote " << trace_path << " ("
+                      << tracer.event_count() << " events, "
+                      << tracer.dropped() << " dropped)\n";
+        }
+
+        // ---- metrics ------------------------------------------------
+        const obs::MetricsExporter exporter(result.pipeline_stats);
+        if (!metrics_path.empty() &&
+            !write_text(metrics_path, exporter.to_json())) {
+            std::cerr << "rsafe-report: cannot write " << metrics_path
+                      << "\n";
+            return 1;
+        }
+        if (!prom_path.empty() &&
+            !write_text(prom_path, exporter.to_prometheus())) {
+            std::cerr << "rsafe-report: cannot write " << prom_path
+                      << "\n";
+            return 1;
+        }
+
+        // ---- forensics ----------------------------------------------
+        if (forensics) {
+            if (json) {
+                std::cout << "[";
+                for (std::size_t i = 0; i < result.ar_results.size(); ++i)
+                    std::cout << (i ? "," : "") << "\n"
+                              << result.ar_results[i]
+                                     .analysis.forensic.to_json();
+                std::cout << (result.ar_results.empty() ? "" : "\n")
+                          << "]\n";
+            } else {
+                if (result.ar_results.empty())
+                    std::cout << "no alarms required replay analysis\n";
+                for (const auto& ar : result.ar_results)
+                    std::cout << ar.analysis.forensic.to_string() << "\n";
+            }
+        }
+
+        // The exit status answers "was an attack found": 0 either way
+        // unless a rendering/validation step failed above.
+        std::cerr << "rsafe-report: " << result.alarms_logged
+                  << " alarms logged, " << result.underflows_resolved
+                  << " auto-resolved, " << result.ar_results.size()
+                  << " replayed, attack="
+                  << (result.alarms.attack_detected() ? "yes" : "no")
+                  << "\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "rsafe-report: " << e.what() << "\n";
+        return 1;
+    }
+}
