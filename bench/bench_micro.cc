@@ -1,20 +1,33 @@
 /**
  * @file
  * Micro-benchmarks (google-benchmark) of the substrate's hot paths:
- * interpreter throughput, RAS operations, log serialization, and
- * checkpoint page copying.
+ * interpreter and translation-block engine throughput, RAS operations,
+ * log serialization, and checkpoint page copying.
  *
  * Besides the google-benchmark suite, the binary always finishes by
- * writing machine-readable results to BENCH_micro.json (interpreter
- * instructions/sec and ns/instr with the decode cache on and off,
- * plus full/incremental checkpoint costs). Pass --json-only to skip
- * the google-benchmark suite and emit just the JSON.
+ * writing machine-readable results to BENCH_micro.json (instructions/sec
+ * and ns/instr for the TB engine, the predecoded interpreter, and the
+ * raw-decode interpreter, plus full/incremental checkpoint costs and
+ * machine-independent speedup ratios). Pass --json-only to skip the
+ * google-benchmark suite and emit just the JSON.
+ *
+ * Pass --gate <baseline.json> to run as a CI perf gate: the fresh
+ * speedup ratios are compared against the checked-in baseline and the
+ * process exits non-zero on a regression beyond the tolerance
+ * (RSAFE_BENCH_GATE_TOLERANCE, percent, default 10). Ratios — not
+ * absolute throughput — are gated so the check is meaningful across
+ * machines of different speeds. The TB-over-interpreter ALU speedup
+ * additionally has an absolute floor of 2.5x.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "cpu/cpu.h"
@@ -72,6 +85,35 @@ BM_InterpreterAluLoop(benchmark::State& state)
     state.SetItemsProcessed(static_cast<std::int64_t>(cpu.icount()));
 }
 BENCHMARK(BM_InterpreterAluLoop);
+
+void
+BM_InterpreterAluLoopNoTb(benchmark::State& state)
+{
+    isa::Assembler a(0x1000);
+    a.ldi(isa::R1, 1);
+    a.label("loop");
+    a.add(isa::R2, isa::R2, isa::R1);
+    a.xori(isa::R2, isa::R2, 0x55);
+    a.shli(isa::R3, isa::R2, 3);
+    a.jmp("loop");
+    auto image = a.link();
+
+    mem::PhysMem mem(1 << 20);
+    mem.load_image(image);
+    mem.set_perms(0x1000, image.size(), mem::kPermRX);
+    cpu::Cpu cpu(&mem);
+    NullEnv env;
+    cpu.set_env(&env);
+    cpu.set_tb_enabled(false);
+    cpu.state().pc = 0x1000;
+    cpu.state().sp = 0x80000;
+
+    for (auto _ : state) {
+        cpu.run(~static_cast<Cycles>(0), cpu.icount() + 100000);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cpu.icount()));
+}
+BENCHMARK(BM_InterpreterAluLoopNoTb);
 
 void
 BM_InterpreterCallRet(benchmark::State& state)
@@ -177,7 +219,7 @@ struct InterpResult {
 
 /** Run @p instrs guest instructions of a loop program and time them. */
 InterpResult
-measure_interpreter(const isa::Image& image, bool decode_cache,
+measure_interpreter(const isa::Image& image, bool tb, bool decode_cache,
                     InstrCount instrs)
 {
     mem::PhysMem mem(1 << 20);
@@ -186,6 +228,7 @@ measure_interpreter(const isa::Image& image, bool decode_cache,
     cpu::Cpu cpu(&mem);
     NullEnv env;
     cpu.set_env(&env);
+    cpu.set_tb_enabled(tb);
     cpu.set_decode_cache_enabled(decode_cache);
     cpu.state().pc = image.base();
     cpu.state().sp = 0x80000;
@@ -279,52 +322,150 @@ measure_checkpoint()
     return out;
 }
 
-void
-write_bench_json(const char* path)
-{
-    const auto alu = measure_interpreter(alu_loop_image(), true, 20000000);
-    const auto alu_nocache =
-        measure_interpreter(alu_loop_image(), false, 2000000);
-    const auto callret =
-        measure_interpreter(call_ret_image(), true, 10000000);
-    const auto ck = measure_checkpoint();
+/** Everything that lands in BENCH_micro.json. */
+struct BenchResults {
+    InterpResult tb_alu;
+    InterpResult tb_callret;
+    InterpResult interp_alu;
+    InterpResult interp_alu_nocache;
+    InterpResult interp_callret;
+    CheckpointResult ck;
 
+    double tb_speedup_alu() const
+    {
+        return tb_alu.instr_per_sec / interp_alu.instr_per_sec;
+    }
+    double tb_speedup_call_ret() const
+    {
+        return tb_callret.instr_per_sec / interp_callret.instr_per_sec;
+    }
+    double decode_cache_speedup_alu() const
+    {
+        return interp_alu.instr_per_sec /
+               interp_alu_nocache.instr_per_sec;
+    }
+};
+
+BenchResults
+measure_all()
+{
+    BenchResults r;
+    r.tb_alu = measure_interpreter(alu_loop_image(), true, true, 50000000);
+    r.interp_alu =
+        measure_interpreter(alu_loop_image(), false, true, 20000000);
+    r.interp_alu_nocache =
+        measure_interpreter(alu_loop_image(), false, false, 2000000);
+    r.tb_callret =
+        measure_interpreter(call_ret_image(), true, true, 10000000);
+    r.interp_callret =
+        measure_interpreter(call_ret_image(), false, true, 10000000);
+    r.ck = measure_checkpoint();
+    return r;
+}
+
+void
+write_bench_json(const BenchResults& r, const char* path)
+{
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", path);
         return;
     }
+    const auto metric = [f](const char* name, const InterpResult& m,
+                            const char* sep) {
+        std::fprintf(f,
+                     "    \"%s\": {\"instr_per_sec\": %.0f, "
+                     "\"ns_per_instr\": %.3f}%s\n",
+                     name, m.instr_per_sec, m.ns_per_instr, sep);
+    };
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"rsafe-bench-micro-v1\",\n");
+    std::fprintf(f, "  \"schema\": \"rsafe-bench-micro-v2\",\n");
+    std::fprintf(f, "  \"tb\": {\n");
+    metric("alu_loop", r.tb_alu, ",");
+    metric("call_ret", r.tb_callret, "");
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"interpreter\": {\n");
-    std::fprintf(f,
-                 "    \"alu_loop\": {\"instr_per_sec\": %.0f, "
-                 "\"ns_per_instr\": %.3f},\n",
-                 alu.instr_per_sec, alu.ns_per_instr);
-    std::fprintf(f,
-                 "    \"alu_loop_no_decode_cache\": {\"instr_per_sec\": "
-                 "%.0f, \"ns_per_instr\": %.3f},\n",
-                 alu_nocache.instr_per_sec, alu_nocache.ns_per_instr);
-    std::fprintf(f,
-                 "    \"call_ret\": {\"instr_per_sec\": %.0f, "
-                 "\"ns_per_instr\": %.3f}\n",
-                 callret.instr_per_sec, callret.ns_per_instr);
+    metric("alu_loop", r.interp_alu, ",");
+    metric("alu_loop_no_decode_cache", r.interp_alu_nocache, ",");
+    metric("call_ret", r.interp_callret, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"ratios\": {\n");
+    std::fprintf(f, "    \"tb_speedup_alu\": %.3f,\n", r.tb_speedup_alu());
+    std::fprintf(f, "    \"tb_speedup_call_ret\": %.3f,\n",
+                 r.tb_speedup_call_ret());
+    std::fprintf(f, "    \"decode_cache_speedup_alu\": %.3f\n",
+                 r.decode_cache_speedup_alu());
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"checkpoint\": {\n");
-    std::fprintf(f, "    \"full_take_ns\": %.0f,\n", ck.full_take_ns);
-    std::fprintf(f, "    \"full_pages_copied\": %zu,\n", ck.full_pages);
+    std::fprintf(f, "    \"full_take_ns\": %.0f,\n", r.ck.full_take_ns);
+    std::fprintf(f, "    \"full_pages_copied\": %zu,\n", r.ck.full_pages);
     std::fprintf(f, "    \"incremental_take_ns\": %.0f,\n",
-                 ck.incremental_take_ns);
+                 r.ck.incremental_take_ns);
     std::fprintf(f, "    \"incremental_dirty_pages\": %zu,\n",
-                 ck.dirty_pages);
+                 r.ck.dirty_pages);
     std::fprintf(f, "    \"rollback_restore_ns\": %.0f\n",
-                 ck.rollback_restore_ns);
+                 r.ck.rollback_restore_ns);
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
-    std::printf("wrote %s (alu %.1f Minstr/s cache-on, %.1f cache-off)\n",
-                path, alu.instr_per_sec / 1e6,
-                alu_nocache.instr_per_sec / 1e6);
+    std::printf(
+        "wrote %s (tb %.1f Minstr/s, interp %.1f, tb speedup %.2fx)\n",
+        path, r.tb_alu.instr_per_sec / 1e6,
+        r.interp_alu.instr_per_sec / 1e6, r.tb_speedup_alu());
+}
+
+/** Pull "key": <number> out of @p text; NaN when the key is absent. */
+double
+json_number(const std::string& text, const char* key)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const auto pos = text.find(needle);
+    if (pos == std::string::npos)
+        return std::nan("");
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+/**
+ * CI perf gate: compare the fresh speedup ratios against the checked-in
+ * baseline. @return the process exit code (0 = pass).
+ */
+int
+run_gate(const BenchResults& r, const char* baseline_path)
+{
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::fprintf(stderr, "gate: cannot read baseline %s\n",
+                     baseline_path);
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string base = buf.str();
+
+    double tol_pct = 10.0;
+    if (const char* env = std::getenv("RSAFE_BENCH_GATE_TOLERANCE");
+        env != nullptr && env[0] != '\0') {
+        tol_pct = std::strtod(env, nullptr);
+    }
+    const double floor = 1.0 - tol_pct / 100.0;
+
+    bool ok = true;
+    const auto check = [&](const char* name, double fresh,
+                           double hard_floor) {
+        const double ref = json_number(base, name);
+        const double need =
+            std::isnan(ref) ? hard_floor : std::max(ref * floor, hard_floor);
+        const bool pass = fresh >= need;
+        std::printf("gate: %-26s %6.2fx (baseline %6.2fx, need >= %.2fx) %s\n",
+                    name, fresh, std::isnan(ref) ? 0.0 : ref, need,
+                    pass ? "ok" : "REGRESSION");
+        ok = ok && pass;
+    };
+    // The TB ALU speedup carries an absolute floor of 2.5x on top of the
+    // relative check; the others only guard against relative regressions.
+    check("tb_speedup_alu", r.tb_speedup_alu(), 2.5);
+    check("decode_cache_speedup_alu", r.decode_cache_speedup_alu(), 0.0);
+    return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -333,19 +474,32 @@ int
 main(int argc, char** argv)
 {
     bool json_only = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json-only") {
+    const char* gate_baseline = nullptr;
+    for (int i = 1; i < argc;) {
+        const std::string arg = argv[i];
+        int consumed = 0;
+        if (arg == "--json-only") {
             json_only = true;
-            for (int j = i; j + 1 < argc; ++j)
-                argv[j] = argv[j + 1];
-            --argc;
-            break;
+            consumed = 1;
+        } else if (arg == "--gate" && i + 1 < argc) {
+            gate_baseline = argv[i + 1];
+            consumed = 2;
         }
+        if (consumed == 0) {
+            ++i;
+            continue;
+        }
+        for (int j = i; j + consumed < argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
     }
-    if (!json_only) {
+    if (!json_only && gate_baseline == nullptr) {
         benchmark::Initialize(&argc, argv);
         benchmark::RunSpecifiedBenchmarks();
     }
-    write_bench_json("BENCH_micro.json");
+    const BenchResults results = measure_all();
+    write_bench_json(results, "BENCH_micro.json");
+    if (gate_baseline != nullptr)
+        return run_gate(results, gate_baseline);
     return 0;
 }

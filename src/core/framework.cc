@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "cpu/tb_engine.h"
 #include "obs/trace.h"
 #include "rnr/log_source.h"
 
@@ -183,6 +184,29 @@ RnrSafeFramework::finalize(FrameworkResult* result,
     auto& lag_gauge = stats.gauge("cr.replay_lag");
     for (const auto& sample : result->replay_lag.series())
         lag_gauge.set(sample.icount, sample.lag);
+
+    // Translation-block engine telemetry, per pipeline stage. These also
+    // ride in gauges/histograms: an RSAFE_NO_TB A/B run must produce an
+    // identical counter snapshot, and TB event counts are zero with the
+    // engine disabled.
+    const auto export_tb = [&stats](const std::string& prefix,
+                                    const cpu::Cpu& cpu) {
+        const cpu::TbEngine& tb = cpu.tb_engine();
+        const cpu::TbEngineStats& s = tb.stats();
+        stats.gauge(prefix + ".translated").set(0, s.translated);
+        stats.gauge(prefix + ".chain_hits").set(0, s.chain_hits);
+        stats.gauge(prefix + ".chain_misses").set(0, s.chain_misses);
+        stats.gauge(prefix + ".invalidations").set(0, s.invalidations);
+        stats.gauge(prefix + ".flushes").set(0, s.flushes);
+        stats.gauge(prefix + ".exec_blocks").set(0, s.exec_blocks);
+        auto& hist = stats.histogram(prefix + ".block_len",
+                                     cpu::TbEngine::kMaxBlockInstrs, 16);
+        if (const Status st = hist.merge(tb.block_length_hist()); !st.ok())
+            fatal("tb block-length histogram geometry mismatch");
+    };
+    if (result->recorded_vm)
+        export_tb("record.tb", result->recorded_vm->cpu());
+    export_tb("cr.tb", result->cr_vm->cpu());
 }
 
 FrameworkResult

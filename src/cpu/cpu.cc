@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "cpu/tb_engine.h"
 #include "dev/device_hub.h"
 
 namespace rsafe::cpu {
@@ -19,7 +20,14 @@ Cpu::Cpu(mem::PhysMem* mem, std::size_t ras_depth)
         env != nullptr && env[0] != '\0' && env[0] != '0') {
         decode_cache_enabled_ = false;
     }
+    tb_ = std::make_unique<TbEngine>(mem_);
+    if (const char* env = std::getenv("RSAFE_NO_TB");
+        env != nullptr && env[0] != '\0' && env[0] != '0') {
+        tb_enabled_ = false;
+    }
 }
+
+Cpu::~Cpu() = default;
 
 Cpu::DecodedPage*
 Cpu::predecode_page(Addr page)
@@ -807,22 +815,32 @@ Cpu::run(Cycles stop_cycles, InstrCount stop_icount)
         }
 
         StepResult result;
-        if (vmcs_.breakpoints.empty() && !vmcs_.pending_irq &&
-            !vmcs_.controls.trap_indirect_branch) [[likely]] {
-            // Batched hot loop. With no breakpoints armed, no interrupt
-            // awaiting delivery, and the (cycle-free) indirect-branch
-            // trap off, nothing can demand attention between
-            // instructions except a VM exit — and every VM exit charges
-            // extra cycles, so "cycles advanced by exactly 1" proves the
-            // instruction was pure and the stop conditions are
-            // untouched. Execute up to the nearest limit and let the
-            // outer loop re-check the world after any exit.
+        if (!vmcs_.pending_irq && !vmcs_.controls.trap_indirect_branch &&
+            (vmcs_.breakpoints.empty() || tb_enabled_)) [[likely]] {
+            // Batched hot loop. With no interrupt awaiting delivery and
+            // the (cycle-free) indirect-branch trap off, nothing can
+            // demand attention between instructions except a VM exit —
+            // and every VM exit charges extra cycles, so "cycles
+            // advanced by exactly 1" proves the instruction was pure and
+            // the stop conditions are untouched. Execute up to the
+            // nearest limit and let the outer loop re-check the world
+            // after any exit. Armed breakpoints force run_batch out of
+            // this path (it cannot stop at one mid-stream); run_tb cuts
+            // blocks at breakpoints and returns here so the hook above
+            // fires exactly as in single-step mode.
             InstrCount budget =
                 std::min(stop_icount, vmcs_.perf_stop) - icount_;
-            const Cycles cycle_budget = run_stop_cycles_ - cycles_;
+            // The breakpoint hook and IRQ delivery above charge cycles
+            // after the loop-top stop check, so cycles_ may already sit
+            // past the stop here; a raw subtraction would wrap and void
+            // the cycle deadline for the whole batch. Keep a one-
+            // instruction floor so the hooked instruction still retires
+            // (re-entering at the same pc would re-fire the hook).
+            const Cycles cycle_budget =
+                run_stop_cycles_ > cycles_ ? run_stop_cycles_ - cycles_ : 1;
             if (budget > cycle_budget)
                 budget = cycle_budget;  // cycles grow >= 1 per instruction
-            result = run_batch(budget);
+            result = tb_enabled_ ? run_tb(budget) : run_batch(budget);
         } else {
             result = exec_one();
         }

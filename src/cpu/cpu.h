@@ -38,6 +38,8 @@
 
 namespace rsafe::cpu {
 
+class TbEngine;
+
 /** Privilege modes. */
 enum class Mode : std::uint8_t {
     kUser = 0,
@@ -169,6 +171,7 @@ class Cpu {
      * @param ras_depth  hardware RAS depth (Section 7.5 default: 48).
      */
     Cpu(mem::PhysMem* mem, std::size_t ras_depth = Ras::kDefaultDepth);
+    ~Cpu();
 
     /** Bind the VM-exit handler (must outlive the CPU). */
     void set_env(CpuEnv* env) { env_ = env; }
@@ -249,6 +252,18 @@ class Cpu {
     }
     bool decode_cache_enabled() const { return decode_cache_enabled_; }
 
+    /**
+     * Toggle the translation-block engine (on by default unless the
+     * RSAFE_NO_TB environment variable is set). Execution is
+     * bit-identical either way; the toggle exists for A/B testing.
+     */
+    void set_tb_enabled(bool enabled) { tb_enabled_ = enabled; }
+    bool tb_enabled() const { return tb_enabled_; }
+
+    /** The translation-block engine (metrics export, tests). */
+    TbEngine& tb_engine() { return *tb_; }
+    const TbEngine& tb_engine() const { return *tb_; }
+
   private:
     enum class StepResult { kOk, kHalt, kFault, kBadInstr };
 
@@ -264,6 +279,7 @@ class Cpu {
 
     StepResult exec_one();
     StepResult run_batch(InstrCount budget);
+    StepResult run_tb(InstrCount budget);  // defined in tb_engine.cc
     const isa::Instr* cached_instr(Addr pc);
     const DecodedPage* cached_page(Addr page);
     DecodedPage* predecode_page(Addr page);
@@ -290,6 +306,8 @@ class Cpu {
     std::string fault_reason_;
     std::vector<std::unique_ptr<DecodedPage>> decode_cache_;
     bool decode_cache_enabled_ = true;
+    std::unique_ptr<TbEngine> tb_;
+    bool tb_enabled_ = true;
     // One-entry fetch cache: consecutive instructions almost always sit
     // on the same page, so remember the last predecoded page and its
     // generation-counter location for a two-compare fast path.

@@ -49,8 +49,22 @@ PhysMem::set_perms(Addr addr, std::size_t len, std::uint8_t perms)
     for (Addr p = first; p <= last; ++p) {
         perms_[p] = perms;
         // Fetchability changed: any predecoded copy of the page is stale.
-        ++gen_[p];
+        bump_code_gen(p);
     }
+}
+
+void
+PhysMem::add_code_listener(CodeWriteListener* listener)
+{
+    if (listener == nullptr)
+        fatal("PhysMem::add_code_listener: null listener");
+    code_listeners_.push_back(listener);
+}
+
+void
+PhysMem::remove_code_listener(CodeWriteListener* listener)
+{
+    std::erase(code_listeners_, listener);
 }
 
 std::uint8_t
@@ -112,7 +126,7 @@ PhysMem::write(Addr addr, std::size_t len, Word value)
         }
         mark_dirty_page(page);
         if (perms & kPermExec) [[unlikely]]
-            ++gen_[page];
+            bump_code_gen(page);
         return MemResult::kOk;
     }
     // Page-straddling slow path.
@@ -203,7 +217,7 @@ PhysMem::restore_page(Addr page, const std::uint8_t* data)
         panic("PhysMem::restore_page out of range");
     std::memcpy(bytes_.data() + page * kPageSize, data, kPageSize);
     mark_dirty_page(page);
-    ++gen_[page];
+    bump_code_gen(page);
 }
 
 bool
@@ -268,7 +282,7 @@ PhysMem::touch_code_range(Addr addr, std::size_t len)
     const Addr first = page_of(addr);
     const Addr last = page_of(addr + (len == 0 ? 0 : len - 1));
     for (Addr p = first; p <= last; ++p)
-        ++gen_[p];
+        bump_code_gen(p);
 }
 
 }  // namespace rsafe::mem

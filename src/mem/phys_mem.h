@@ -48,6 +48,24 @@ enum class MemResult {
     kNoPerm,       ///< permission violation (e.g., store to an X page)
 };
 
+/**
+ * Observer of code-page modifications.
+ *
+ * Invoked synchronously whenever a page's generation counter is bumped,
+ * i.e., whenever the bytes or fetchability of a page that is (or could
+ * become) executable may have changed. The translation-block engine
+ * registers one of these to eagerly invalidate and unchain translated
+ * blocks (the decode cache instead validates generations lazily on
+ * fetch). Callbacks run on the owning VM's execution thread and must not
+ * re-enter PhysMem.
+ */
+class CodeWriteListener {
+  public:
+    virtual ~CodeWriteListener() = default;
+    /** Page @p page's generation was bumped (its code may have changed). */
+    virtual void on_code_page_touched(Addr page) = 0;
+};
+
 /** Flat guest RAM with page permissions and dirty-page tracking. */
 class PhysMem {
   public:
@@ -127,6 +145,16 @@ class PhysMem {
     }
 
     /**
+     * Register/unregister a code-write listener (see CodeWriteListener).
+     * Multiple listeners may coexist (several CPUs can share one memory);
+     * each is notified once per generation bump.
+     * @{
+     */
+    void add_code_listener(CodeWriteListener* listener);
+    void remove_code_listener(CodeWriteListener* listener);
+    /** @} */
+
+    /**
      * Delta-restore machinery (O(differing pages) checkpoint restore).
      * id() uniquely identifies this PhysMem instance; epoch() counts
      * clear_dirty() calls; page_epoch() is the last epoch the page was
@@ -159,6 +187,15 @@ class PhysMem {
     }
     void mark_dirty_range(Addr addr, std::size_t len);
     void touch_code_range(Addr addr, std::size_t len);
+    /** Bump @p page's generation and notify code-write listeners. */
+    void bump_code_gen(Addr page)
+    {
+        ++gen_[page];
+        if (!code_listeners_.empty()) [[unlikely]] {
+            for (CodeWriteListener* listener : code_listeners_)
+                listener->on_code_page_touched(page);
+        }
+    }
 
     std::vector<std::uint8_t> bytes_;
     std::vector<std::uint8_t> perms_;
@@ -166,6 +203,7 @@ class PhysMem {
     std::size_t dirty_count_ = 0;
     std::vector<std::uint64_t> gen_;          ///< decode-cache generations
     std::vector<std::uint64_t> page_epoch_;   ///< last dirtying epoch
+    std::vector<CodeWriteListener*> code_listeners_;
     std::uint64_t epoch_ = 1;
     std::uint64_t id_;
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cpu/cpu.h"
+#include "cpu/tb_engine.h"
 #include "isa/assembler.h"
 #include "mem/phys_mem.h"
 #include "replay/checkpoint.h"
@@ -181,6 +182,106 @@ TEST(ExecCache, SetPermsFlipRwToRxPicksUpRewrittenCode)
         cpu.state().pc = kCode;
         ASSERT_EQ(cpu.run(~static_cast<Cycles>(0), 200), StopReason::kHalt);
         EXPECT_EQ(cpu.reg(R3), 2u) << "cache=" << cache;
+    }
+}
+
+/** run_machine plus independent TB-engine toggle and its event counters. */
+struct SmcResult {
+    Outcome out;
+    std::uint64_t tb_invalidations = 0;
+};
+
+SmcResult
+run_smc(const isa::Image& image, bool tb, bool cache)
+{
+    mem::PhysMem mem(1 << 20);
+    Cpu cpu(&mem);
+    NullEnv env;
+    cpu.set_env(&env);
+    cpu.set_tb_enabled(tb);
+    cpu.set_decode_cache_enabled(cache);
+    mem.load_image(image);
+    mem.set_perms(image.base(), image.size(), mem::kPermRWX);
+    cpu.state().pc = image.base();
+    cpu.state().sp = kStackTop;
+
+    SmcResult r;
+    r.out.stop = cpu.run(~static_cast<Cycles>(0), 100000);
+    r.out.r3 = cpu.reg(R3);
+    r.out.icount = cpu.icount();
+    r.out.cycles = cpu.cycles();
+    r.out.mem_hash = mem.content_hash();
+    r.tb_invalidations = cpu.tb_engine().stats().invalidations;
+    return r;
+}
+
+TEST(ExecCache, MidInstructionByteWriteInvalidatesCachedPage)
+{
+    // A one-byte store landing *inside* an instruction slot (offset 4 of
+    // the 8-byte encoding holds the immediate's low byte) on the
+    // currently executing -- predecoded and translated -- page. Neither
+    // cache may serve the stale decode: the very next fetch of `patchme`
+    // must see the patched immediate, in all four engine combinations.
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi_label(R1, "patchme");
+        a.ldi(R2, 222);
+        a.stb(R1, 4, R2);  // overwrite imm LSB of the ldi below
+        a.label("patchme");
+        a.ldi(R3, 111);
+        a.halt();
+    });
+
+    const SmcResult ref = run_smc(image, true, true);
+    EXPECT_EQ(ref.out.stop, StopReason::kHalt);
+    EXPECT_EQ(ref.out.r3, 222u);
+    EXPECT_GT(ref.tb_invalidations, 0u)
+        << "mid-instruction store must invalidate the translation block";
+    for (const bool tb : {true, false}) {
+        for (const bool cache : {true, false}) {
+            EXPECT_EQ(run_smc(image, tb, cache).out, ref.out)
+                << "tb=" << tb << " cache=" << cache;
+        }
+    }
+}
+
+TEST(ExecCache, SmcBlockSpanningPageBoundaryInvalidatesMidFlight)
+{
+    // Self-modifying code whose block spans a page boundary: the block
+    // starts in the last four slots of one page and falls through onto
+    // the next, and its store patches the not-yet-executed instruction
+    // in the *second* page of its own block. The write must invalidate
+    // the spanning block (and the second page's decode) mid-flight, so
+    // execution resumes on the fresh bytes.
+    isa::Instr patch;
+    patch.op = isa::Opcode::kLdi;
+    patch.rd = R3;
+    patch.imm = 222;
+    const Word patch_word = instr_word(patch);
+
+    // ldi_label + ldi/ldiu pair + st = 4 slots before `patchme`.
+    constexpr Addr kSpanBase = 2 * kPageSize - 4 * kInstrBytes;
+    const auto image = assemble(kSpanBase, [&](Assembler& a) {
+        a.ldi_label(R1, "patchme");
+        a.ldi(R2, static_cast<std::int64_t>(patch_word));
+        a.st(R1, 0, R2);
+        a.label("patchme");
+        a.ldi(R3, 111);
+        a.halt();
+    });
+    // The layout must put `patchme` exactly on the page boundary.
+    ASSERT_EQ(image.base() + image.size() - 2 * kInstrBytes,
+              static_cast<Addr>(2 * kPageSize));
+
+    const SmcResult ref = run_smc(image, true, true);
+    EXPECT_EQ(ref.out.stop, StopReason::kHalt);
+    EXPECT_EQ(ref.out.r3, 222u);
+    EXPECT_GT(ref.tb_invalidations, 0u)
+        << "cross-page store must invalidate the spanning block";
+    for (const bool tb : {true, false}) {
+        for (const bool cache : {true, false}) {
+            EXPECT_EQ(run_smc(image, tb, cache).out, ref.out)
+                << "tb=" << tb << " cache=" << cache;
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 #include "core/rop_detector.h"
 #include "kernel/layout.h"
 #include "test_util.h"
+#include "workloads/attack_mix.h"
 #include "workloads/benchmarks.h"
 #include "workloads/generator.h"
 
@@ -195,6 +196,102 @@ TEST(ConcurrentPipeline, MatchesSerialBitForBit)
     // The merged pipeline counters agree entry for entry.
     EXPECT_EQ(conc.pipeline_stats.snapshot(),
               serial.pipeline_stats.snapshot());
+}
+
+/** @p factory with the translation-block engine forced off per VM. */
+std::function<std::unique_ptr<hv::Vm>()>
+interpreter_only(std::function<std::unique_ptr<hv::Vm>()> factory)
+{
+    return [factory = std::move(factory)] {
+        auto vm = factory();
+        vm->cpu().set_tb_enabled(false);
+        return vm;
+    };
+}
+
+/** Everything the RSAFE_NO_TB A/B gate compares between two runs. */
+struct AbDigest {
+    hv::RunResult record_result{};
+    rnr::ReplayOutcome cr_outcome{};
+    std::uint64_t alarms_logged = 0;
+    std::uint64_t underflows_resolved = 0;
+    std::uint64_t alarm_replays = 0;
+    bool attack = false;
+    std::uint64_t rec_hash = 0;
+    std::uint64_t cr_hash = 0;
+    InstrCount cr_icount = 0;
+    Cycles cr_cycles = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    bool operator==(const AbDigest&) const = default;
+};
+
+AbDigest
+run_ab(const std::function<std::unique_ptr<hv::Vm>()>& factory,
+       core::PipelineMode mode, bool tb)
+{
+    core::FrameworkConfig config;
+    config.pipeline = mode;
+    config.ar_workers = mode == core::PipelineMode::kConcurrent ? 3 : 1;
+    core::RnrSafeFramework framework(
+        tb ? factory : interpreter_only(factory), config);
+    auto result = framework.run();
+
+    AbDigest d;
+    d.record_result = result.record_result;
+    d.cr_outcome = result.cr_outcome;
+    d.alarms_logged = result.alarms_logged;
+    d.underflows_resolved = result.underflows_resolved;
+    d.alarm_replays = result.alarm_replays;
+    d.attack = result.alarms.attack_detected();
+    d.rec_hash = result.recorded_vm->state_hash();
+    d.cr_hash = result.cr_vm->state_hash();
+    d.cr_icount = result.cr_vm->cpu().icount();
+    d.cr_cycles = result.cr_vm->cpu().cycles();
+    d.counters = result.pipeline_stats.snapshot();
+    return d;
+}
+
+TEST(Framework, TbEngineABDeterminismAcrossWorkloads)
+{
+    // The RSAFE_NO_TB A/B gate: the translation-block engine must be
+    // architecturally invisible. For each Table 3 workload the full
+    // record→CR pipeline runs with the engine on and off and must agree
+    // on outcomes, digests, clocks, and the counters-only stat snapshot.
+    for (const auto& name :
+         {"apache", "fileio", "make", "mysql", "radiosity"}) {
+        auto profile = workloads::benchmark_profile(name);
+        profile.iterations_per_task = 100;
+        const auto factory = workloads::vm_factory(profile);
+        const auto with_tb =
+            run_ab(factory, core::PipelineMode::kSerial, true);
+        const auto without_tb =
+            run_ab(factory, core::PipelineMode::kSerial, false);
+        EXPECT_EQ(with_tb, without_tb) << name;
+    }
+}
+
+TEST(Framework, TbEngineABDeterminismOnAttackMix)
+{
+    // Same gate on the shared attack mix (alarm replays included), in
+    // both pipeline modes: TB on/off × serial/concurrent all agree.
+    workloads::AttackMixOptions options;
+    options.iterations_per_task = 120;
+    const auto mix = workloads::attack_mix(options);
+
+    const auto serial_tb =
+        run_ab(mix.factory, core::PipelineMode::kSerial, true);
+    EXPECT_TRUE(serial_tb.attack) << "attack mix must still detect";
+    const auto serial_interp =
+        run_ab(mix.factory, core::PipelineMode::kSerial, false);
+    EXPECT_EQ(serial_tb, serial_interp);
+
+    const auto conc_tb =
+        run_ab(mix.factory, core::PipelineMode::kConcurrent, true);
+    EXPECT_EQ(serial_tb, conc_tb);
+    const auto conc_interp =
+        run_ab(mix.factory, core::PipelineMode::kConcurrent, false);
+    EXPECT_EQ(serial_tb, conc_interp);
 }
 
 TEST(ConcurrentPipeline, BenignStreamingRunMatchesSerial)

@@ -146,6 +146,55 @@ TEST(CheckpointReplayer, ResolvesUnderflowAlarmsViaEvictRecords)
     EXPECT_EQ(cr.underflows_resolved(), alarms);
 }
 
+TEST(CheckpointReplayer, TbEngineHonorsInjectionAndCheckpointBoundaries)
+{
+    // The translation-block engine may never overshoot a replay barrier:
+    // a block that would span an interrupt-injection icount or a
+    // checkpoint boundary must split/exit exactly at the boundary.
+    // Replay one recording with the engine on and off; every digest,
+    // clock, and checkpoint count must agree bit-for-bit.
+    auto profile = workloads::benchmark_profile("apache");
+    profile.iterations_per_task = 300;
+    auto factory = workloads::vm_factory(profile);
+
+    auto rec_vm = factory();
+    rnr::Recorder recorder(rec_vm.get(), rnr::RecorderOptions{});
+    ASSERT_EQ(recorder.run(~static_cast<InstrCount>(0)),
+              hv::RunResult::kHalted);
+    // The recording must actually place injection barriers mid-stream,
+    // or the "split at the boundary" property would go unexercised.
+    ASSERT_GT(recorder.log().find_all(rnr::RecordType::kIrqInject).size(),
+              0u)
+        << "apache profile no longer records interrupt injections";
+
+    replay::CrOptions options;
+    options.checkpoint_interval = 150'000;  // boundaries land mid-loop
+
+    struct Digest {
+        std::uint64_t state_hash = 0;
+        InstrCount icount = 0;
+        Cycles cycles = 0;
+        std::uint64_t checkpoints = 0;
+
+        bool operator==(const Digest&) const = default;
+    };
+    Digest by_mode[2];
+    for (const bool tb : {true, false}) {
+        auto vm = factory();
+        vm->cpu().set_tb_enabled(tb);
+        replay::CheckpointReplayer cr(vm.get(), &recorder.log(), options);
+        ASSERT_EQ(cr.run(), rnr::ReplayOutcome::kFinished) << "tb=" << tb;
+        Digest& d = by_mode[tb ? 0 : 1];
+        d.state_hash = vm->state_hash();
+        d.icount = vm->cpu().icount();
+        d.cycles = vm->cpu().cycles();
+        d.checkpoints = cr.checkpoints_taken();
+        EXPECT_GT(d.checkpoints, 2u) << "tb=" << tb;
+    }
+    EXPECT_EQ(by_mode[0], by_mode[1]);
+    EXPECT_EQ(by_mode[0].state_hash, rec_vm->state_hash());
+}
+
 TEST(CheckpointReplayer, BenignWorkloadsProduceNoPendingAlarms)
 {
     for (const auto& name : {"fileio", "make", "mysql", "radiosity"}) {

@@ -1,0 +1,287 @@
+/** @file Tests of the translation-block engine's mechanics.
+ *
+ *  Execution semantics are covered by the A/B gates (test_exec_cache,
+ *  test_framework, test_replay): every run must be bit-identical with
+ *  the engine on and off. This file tests the machinery itself —
+ *  translation shapes (jump folding, pair fusion, block caps), chaining
+ *  and unchaining, write-driven invalidation, breakpoint cuts, and the
+ *  event counters those behaviors feed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "cpu/cpu.h"
+#include "cpu/tb_engine.h"
+#include "isa/assembler.h"
+#include "mem/phys_mem.h"
+
+namespace rsafe::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::R0;
+using isa::R1;
+using isa::R2;
+using isa::R3;
+using isa::R4;
+
+constexpr Addr kCode = 0x2000;
+constexpr Addr kStackTop = 0x20000;
+
+/** Environment that counts breakpoint hook firings. */
+class CountingEnv : public CpuEnv {
+  public:
+    Word on_rdtsc() override { return 0; }
+    Word on_io_in(std::uint16_t) override { return 0; }
+    void on_io_out(std::uint16_t, Word) override {}
+    Word on_mmio_read(Addr) override { return 0; }
+    void on_mmio_write(Addr, Word) override {}
+    void on_breakpoint(Addr pc) override { breakpoint_pcs.push_back(pc); }
+    void on_ras_alarm(const RasAlarm&) override {}
+    void on_ras_evict(Addr) override {}
+    void on_call_ret(const CallRetEvent&) override {}
+
+    std::vector<Addr> breakpoint_pcs;
+};
+
+isa::Image
+assemble(Addr base, const std::function<void(Assembler&)>& body)
+{
+    Assembler a(base);
+    body(a);
+    return a.link();
+}
+
+/** A machine wired for TB execution with everything inspectable. */
+struct Machine {
+    mem::PhysMem mem{1 << 20};
+    Cpu cpu{&mem};
+    CountingEnv env;
+
+    explicit Machine(const isa::Image& image,
+                     std::uint8_t perms = mem::kPermRX)
+    {
+        cpu.set_env(&env);
+        mem.load_image(image);
+        mem.set_perms(image.base(), image.size(), perms);
+        cpu.state().pc = image.base();
+        cpu.state().sp = kStackTop;
+    }
+
+    StopReason run(InstrCount stop_icount = 100000)
+    {
+        return cpu.run(~static_cast<Cycles>(0), stop_icount);
+    }
+
+    TbEngine& eng() { return cpu.tb_engine(); }
+};
+
+TEST(TbEngine, TranslatesExecutesAndCounts)
+{
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, 50);
+        a.ldi(R3, 0);
+        a.label("loop");
+        a.addi(R3, R3, 2);
+        a.addi(R1, R1, -1);
+        a.bne(R1, R0, "loop");
+        a.halt();
+    });
+    Machine m(image);
+    EXPECT_EQ(m.run(), StopReason::kHalt);
+    EXPECT_EQ(m.cpu.reg(R3), 100u);
+
+    const TbEngineStats& s = m.eng().stats();
+    EXPECT_GT(s.translated, 0u);
+    EXPECT_GT(s.exec_blocks, 0u);
+    EXPECT_EQ(s.invalidations, 0u);
+    EXPECT_EQ(s.translated, m.eng().block_length_hist().count());
+}
+
+TEST(TbEngine, LoopBackedgeChainsToItself)
+{
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, 100);
+        a.label("loop");
+        a.addi(R1, R1, -1);
+        a.bne(R1, R0, "loop");
+        a.halt();
+    });
+    Machine m(image);
+    EXPECT_EQ(m.run(), StopReason::kHalt);
+
+    // The loop body is its own block (entered via the taken backedge);
+    // its taken exit must be chained straight back to itself, and the
+    // ~99 chained iterations must all be chain hits.
+    TransBlock* loop = m.eng().lookup(kCode + kInstrBytes);
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->next[kChainTaken], loop);
+    EXPECT_GT(m.eng().stats().chain_hits, 90u);
+}
+
+TEST(TbEngine, AlignedDirectJumpsFoldIntoOneBlock)
+{
+    // ldi; jmp skip; skip: ldi; halt — the jump folds, so one block
+    // covers all three instructions (the jump still retires one).
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, 1);
+        a.jmp("skip");
+        a.label("skip");
+        a.ldi(R2, 2);
+        a.halt();
+    });
+    Machine m(image);
+    EXPECT_EQ(m.run(), StopReason::kHalt);
+
+    TransBlock* tb = m.eng().lookup(kCode);
+    ASSERT_NE(tb, nullptr);
+    EXPECT_EQ(tb->len, 3u);  // ldi + folded jmp + ldi
+    // The halt is untranslatable, so the block ends on a kBail exit.
+    ASSERT_FALSE(tb->uops.empty());
+    EXPECT_EQ(tb->uops.back().kind, UopKind::kBail);
+}
+
+TEST(TbEngine, SelfJumpUnrollsToBlockCap)
+{
+    // A tight self-jump folds until the block cap: one 128-instruction
+    // trace of pure folded jumps, retired in a single dispatch. The run
+    // must still stop exactly at the instruction limit.
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.label("spin");
+        a.jmp("spin");
+    });
+    Machine m(image);
+    EXPECT_EQ(m.run(1000), StopReason::kInstrLimit);
+    EXPECT_EQ(m.cpu.icount(), 1000u);
+
+    TransBlock* tb = m.eng().lookup(kCode);
+    ASSERT_NE(tb, nullptr);
+    EXPECT_EQ(tb->len, TbEngine::kMaxBlockInstrs);
+    ASSERT_FALSE(tb->uops.empty());
+    EXPECT_EQ(tb->uops.back().kind, UopKind::kFall);
+}
+
+TEST(TbEngine, DependentAluPairsFuse)
+{
+    // add r2 = r1+r1; xor r3 = r2^r1: the consumer's rs1 is the
+    // producer's rd, so translation must emit one fused superinstruction
+    // retiring both. (The unrelated ldi in between keeps the first ldi
+    // from greedily pairing with the add instead — ldi is a pair op1.)
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, 5);
+        a.ldi(R4, 0);
+        a.add(R2, R1, R1);
+        a.xor_(R3, R2, R1);
+        a.halt();
+    });
+    Machine m(image);
+    EXPECT_EQ(m.run(), StopReason::kHalt);
+    EXPECT_EQ(m.cpu.reg(R2), 10u);
+    EXPECT_EQ(m.cpu.reg(R3), 15u);
+
+    TransBlock* tb = m.eng().lookup(kCode);
+    ASSERT_NE(tb, nullptr);
+    EXPECT_EQ(tb->len, 4u);
+    bool fused = false;
+    for (const Uop& u : tb->uops) {
+        if (u.kind == UopKind::kP_AddRR_XorRR) {
+            fused = true;
+            EXPECT_EQ(u.count, 2u);
+            EXPECT_EQ(u.alu1.rd, R2);
+            EXPECT_EQ(u.alu2.rs1, R2);
+        }
+    }
+    EXPECT_TRUE(fused) << "dependent add/xor pair was not fused";
+}
+
+TEST(TbEngine, CodeWriteInvalidatesAndUnchains)
+{
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, 100);
+        a.label("loop");
+        a.addi(R1, R1, -1);
+        a.bne(R1, R0, "loop");
+        a.halt();
+    });
+    Machine m(image);
+    EXPECT_EQ(m.run(), StopReason::kHalt);
+
+    TransBlock* loop = m.eng().lookup(kCode + kInstrBytes);
+    ASSERT_NE(loop, nullptr);
+    ASSERT_TRUE(loop->valid);
+    ASSERT_EQ(loop->next[kChainTaken], loop);
+    const std::uint64_t before = m.eng().stats().invalidations;
+
+    // A host-side write to the code page must invalidate every block on
+    // it, sever the chains into the invalidated blocks, and empty the
+    // lookup table slots — same path a guest store takes.
+    m.mem.write_raw(kCode, 8, 0);
+    EXPECT_FALSE(loop->valid);
+    EXPECT_EQ(loop->next[kChainTaken], nullptr) << "chain not severed";
+    EXPECT_EQ(m.eng().lookup(kCode + kInstrBytes), nullptr);
+    EXPECT_EQ(m.eng().lookup(kCode), nullptr);
+    EXPECT_GT(m.eng().stats().invalidations, before);
+}
+
+TEST(TbEngine, BreakpointsCutBlocksAndFireExactly)
+{
+    // Straight-line code with a breakpoint in the middle: the hook must
+    // fire exactly once, at the breakpoint PC, with the TB engine on —
+    // and the translated blocks must be cut so no block starts at or
+    // spans the breakpoint.
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, 1);
+        a.ldi(R2, 2);
+        a.label("bp");
+        a.ldi(R3, 3);
+        a.ldi(R4, 4);
+        a.halt();
+    });
+    const Addr bp = kCode + 2 * kInstrBytes;
+
+    for (const bool tb : {true, false}) {
+        Machine m(image);
+        m.cpu.set_tb_enabled(tb);
+        m.cpu.vmcs().breakpoints.insert(bp);
+        EXPECT_EQ(m.run(), StopReason::kHalt) << "tb=" << tb;
+        EXPECT_EQ(m.cpu.reg(R4), 4u);
+        ASSERT_EQ(m.env.breakpoint_pcs.size(), 1u) << "tb=" << tb;
+        EXPECT_EQ(m.env.breakpoint_pcs[0], bp);
+        if (!tb)
+            continue;
+        // No block may start at the breakpoint...
+        EXPECT_EQ(m.eng().lookup(bp), nullptr);
+        EXPECT_TRUE(m.eng().is_breakpoint(bp));
+        // ...and the entry block must be cut right before it.
+        TransBlock* head = m.eng().lookup(kCode);
+        ASSERT_NE(head, nullptr);
+        EXPECT_EQ(head->len, 2u);
+        EXPECT_EQ(head->uops.back().kind, UopKind::kFall);
+    }
+}
+
+TEST(TbEngine, BreakpointSetChangeFlushesCache)
+{
+    const auto image = assemble(kCode, [](Assembler& a) {
+        a.ldi(R1, 1);
+        a.halt();
+    });
+    Machine m(image);
+    EXPECT_EQ(m.run(), StopReason::kHalt);
+    ASSERT_NE(m.eng().lookup(kCode), nullptr);
+    const std::uint64_t flushes = m.eng().stats().flushes;
+
+    // Arming a breakpoint invalidates every cut decision made so far.
+    m.eng().sync_breakpoints({kCode + kInstrBytes});
+    EXPECT_EQ(m.eng().lookup(kCode), nullptr);
+    EXPECT_EQ(m.eng().stats().flushes, flushes + 1);
+
+    // Same set again: no extra flush.
+    m.eng().sync_breakpoints({kCode + kInstrBytes});
+    EXPECT_EQ(m.eng().stats().flushes, flushes + 1);
+}
+
+}  // namespace
+}  // namespace rsafe::cpu

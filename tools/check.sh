@@ -15,6 +15,10 @@
 #                             # the attack mix + golden log, validate the
 #                             # Chrome trace schema, and write the trace,
 #                             # metrics and Prometheus artifacts.
+#   tools/check.sh bench      # perf gate: bench_micro --gate against the
+#                             # checked-in BENCH_micro.json baseline
+#                             # (machine-independent speedup ratios;
+#                             # RSAFE_BENCH_GATE_TOLERANCE overrides 10%).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -85,6 +89,16 @@ run_trace() {
     echo "check.sh: trace schema + forensic artifacts ok"
 }
 
+run_bench() {
+    # The perf gate compares freshly measured machine-independent
+    # speedup ratios against the committed baseline; a Release build
+    # keeps the measurement honest.
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-rel -j "$(nproc)" --target bench_micro
+    (cd build-rel && ./bench/bench_micro --gate ../BENCH_micro.json)
+    echo "check.sh: bench gate ok (build-rel/BENCH_micro.json measured)"
+}
+
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
@@ -92,13 +106,14 @@ case "$mode" in
   tidy)     run_tidy ;;
   fuzz)     run_fuzz ;;
   trace)    run_trace ;;
+  bench)    run_bench ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
     run_config build-tsan -DRSAFE_SANITIZE=thread
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|bench|all]" >&2
     exit 2
     ;;
 esac
