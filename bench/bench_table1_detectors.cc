@@ -106,8 +106,12 @@ run_jop_row()
     vm.add_user_task(image.symbol("u_main"));
     vm.finalize();
 
-    core::JopDetector jop(
-        {&vm.guest_kernel().image, &image}, /*hardware_slots=*/256);
+    core::JopDetector jop;
+    if (!core::JopDetector::create({&vm.guest_kernel().image, &image},
+                                   /*hardware_slots=*/256, &jop)
+             .ok()) {
+        return "jop detector build failed";
+    }
     JopMonitor monitor(&vm, &jop);
     monitor.run(~static_cast<InstrCount>(0));
     if (monitor.confirmed_ >= 1)
@@ -141,7 +145,12 @@ run_dos_row()
     vm.finalize();
 
     hv::Hypervisor hv(&vm, hv::HvOptions{});
-    core::DosDetector dos(/*window=*/500'000, /*min_switches=*/2);
+    core::DosDetector dos;
+    if (!core::DosDetector::create(/*window=*/500'000, /*min_switches=*/2,
+                                   &dos)
+             .ok()) {
+        return "dos detector build failed";
+    }
     // The hypervisor samples the guest's context-switch counter at a
     // steady cadence (as it would at its own VM exits).
     while (true) {

@@ -106,8 +106,20 @@ main()
     vm.add_user_task(image.symbol("u_main"));
     vm.finalize();
 
-    core::JopDetector jop({&vm.guest_kernel().image, &image}, 256);
-    core::DosDetector dos(/*window=*/500'000, /*min_switches=*/2);
+    core::JopDetector jop;
+    if (!core::JopDetector::create({&vm.guest_kernel().image, &image}, 256,
+                                   &jop)
+             .ok()) {
+        std::fprintf(stderr, "jop detector build failed\n");
+        return 1;
+    }
+    core::DosDetector dos;
+    if (!core::DosDetector::create(/*window=*/500'000, /*min_switches=*/2,
+                                   &dos)
+             .ok()) {
+        std::fprintf(stderr, "dos detector build failed\n");
+        return 1;
+    }
     MonitoredHypervisor hv(&vm, &jop, &dos);
 
     // Drive the machine, sampling the DOS watchdog periodically (as the

@@ -66,6 +66,8 @@ struct Region {
     {
         return begin < other.end && other.begin < end;
     }
+
+    bool operator==(const Region&) const = default;
 };
 
 /** Memory-layout facts the structural lints check the image against. */

@@ -1,0 +1,439 @@
+#include "analysis/policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+#include "kernel/layout.h"
+#include "rnr/wire.h"
+
+namespace rsafe::analysis {
+
+namespace {
+
+using rnr::wire::PayloadKind;
+
+void
+put_u64(std::vector<std::uint8_t>* out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+put_u32(std::vector<std::uint8_t>* out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+put_regions(std::vector<std::uint8_t>* out, const std::vector<Region>& regions)
+{
+    put_u32(out, static_cast<std::uint32_t>(regions.size()));
+    for (const Region& r : regions) {
+        put_u64(out, r.begin);
+        put_u64(out, r.end);
+    }
+}
+
+/** Bounds-checked little-endian reader over one frame. */
+class Cursor {
+  public:
+    Cursor(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    Status
+    u8(std::uint8_t* out)
+    {
+        if (size_ - pos_ < 1)
+            return truncated("u8");
+        *out = data_[pos_++];
+        return Status();
+    }
+
+    Status
+    u32(std::uint32_t* out)
+    {
+        if (size_ - pos_ < 4)
+            return truncated("u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        *out = v;
+        return Status();
+    }
+
+    Status
+    u64(std::uint64_t* out)
+    {
+        if (size_ - pos_ < 8)
+            return truncated("u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        *out = v;
+        return Status();
+    }
+
+    Status
+    addr_list(std::vector<Addr>* out)
+    {
+        std::uint32_t count = 0;
+        Status s;
+        if (!(s = u32(&count)).ok())
+            return s;
+        if (static_cast<std::size_t>(count) * 8 > size_ - pos_) {
+            return Status(StatusCode::kMalformedRecord,
+                          strcat_args("policy frame declares ", count,
+                                      " addresses but only ", size_ - pos_,
+                                      " bytes remain"));
+        }
+        out->resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            if (!(s = u64(&(*out)[i])).ok())
+                return s;
+        }
+        return Status();
+    }
+
+    Status
+    region_list(std::vector<Region>* out)
+    {
+        std::uint32_t count = 0;
+        Status s;
+        if (!(s = u32(&count)).ok())
+            return s;
+        if (static_cast<std::size_t>(count) * 16 > size_ - pos_) {
+            return Status(StatusCode::kMalformedRecord,
+                          strcat_args("policy frame declares ", count,
+                                      " regions but only ", size_ - pos_,
+                                      " bytes remain"));
+        }
+        out->resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            if (!(s = u64(&(*out)[i].begin)).ok())
+                return s;
+            if (!(s = u64(&(*out)[i].end)).ok())
+                return s;
+            if ((*out)[i].end < (*out)[i].begin) {
+                return Status(StatusCode::kMalformedRecord,
+                              strcat_args("policy region ", i,
+                                          " has inverted bounds"));
+            }
+        }
+        return Status();
+    }
+
+    bool exhausted() const { return pos_ == size_; }
+
+  private:
+    Status
+    truncated(const char* what) const
+    {
+        return Status(StatusCode::kTruncated,
+                      strcat_args("policy frame ends mid-", what,
+                                  " at byte ", pos_, " of ", size_));
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kFlagIsCall = 1u << 0;
+constexpr std::uint8_t kFlagResolved = 1u << 1;
+
+std::string
+hex(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value;
+    return os.str();
+}
+
+}  // namespace
+
+const IndirectSite*
+StaticPolicy::find_site(Addr pc) const
+{
+    auto it = std::lower_bound(sites.begin(), sites.end(), pc,
+                               [](const IndirectSite& s, Addr addr) {
+                                   return s.site < addr;
+                               });
+    if (it == sites.end() || it->site != pc)
+        return nullptr;
+    return &*it;
+}
+
+bool
+StaticPolicy::fallback_contains(Addr target) const
+{
+    return std::binary_search(fallback.begin(), fallback.end(), target);
+}
+
+const Region*
+StaticPolicy::jit_region_of(Addr addr) const
+{
+    for (const Region& r : jit) {
+        if (r.contains(addr))
+            return &r;
+    }
+    return nullptr;
+}
+
+std::vector<std::uint8_t>
+StaticPolicy::serialize() const
+{
+    // Frame 0 carries the counts and the set/region tables; frames 1..N
+    // carry one CFI site each, so a damaged site frame loses only that
+    // site's policy.
+    std::vector<std::uint8_t> head;
+    put_u32(&head, static_cast<std::uint32_t>(sites.size()));
+    head.push_back(unbounded_store ? 1 : 0);
+    put_u32(&head, static_cast<std::uint32_t>(fallback.size()));
+    for (Addr addr : fallback)
+        put_u64(&head, addr);
+    put_regions(&head, code);
+    put_regions(&head, written);
+    put_regions(&head, jit);
+
+    std::vector<std::uint8_t> out;
+    rnr::wire::Header header;
+    header.kind = PayloadKind::kPolicyTable;
+    header.frame_count = 1 + sites.size();
+    rnr::wire::encode_header(header, &out);
+    rnr::wire::append_frame(0, head.data(), head.size(), &out);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        const IndirectSite& site = sites[i];
+        std::vector<std::uint8_t> frame;
+        put_u64(&frame, site.site);
+        std::uint8_t flags = 0;
+        if (site.is_call)
+            flags |= kFlagIsCall;
+        if (site.resolved)
+            flags |= kFlagResolved;
+        frame.push_back(flags);
+        put_u32(&frame, static_cast<std::uint32_t>(site.targets.size()));
+        for (Addr target : site.targets)
+            put_u64(&frame, target);
+        rnr::wire::append_frame(static_cast<std::uint32_t>(i + 1),
+                                frame.data(), frame.size(), &out);
+    }
+    return out;
+}
+
+Status
+StaticPolicy::deserialize(const std::vector<std::uint8_t>& bytes,
+                          StaticPolicy* out)
+{
+    *out = StaticPolicy();
+    std::uint32_t declared_sites = 0;
+    Addr last_site = 0;
+    const auto report = rnr::wire::read_frames(
+        bytes, PayloadKind::kPolicyTable,
+        [&](std::uint64_t seq, std::size_t offset,
+            std::size_t length) -> Status {
+            Cursor cursor(bytes.data() + offset, length);
+            Status s;
+            if (seq == 0) {
+                std::uint8_t unbounded = 0;
+                if (!(s = cursor.u32(&declared_sites)).ok())
+                    return s;
+                if (!(s = cursor.u8(&unbounded)).ok())
+                    return s;
+                if (!(s = cursor.addr_list(&out->fallback)).ok())
+                    return s;
+                if (!(s = cursor.region_list(&out->code)).ok())
+                    return s;
+                if (!(s = cursor.region_list(&out->written)).ok())
+                    return s;
+                if (!(s = cursor.region_list(&out->jit)).ok())
+                    return s;
+                if (!std::is_sorted(out->fallback.begin(),
+                                    out->fallback.end())) {
+                    return Status(StatusCode::kMalformedRecord,
+                                  "policy fallback set is not sorted");
+                }
+                out->unbounded_store = unbounded != 0;
+                out->sites.reserve(declared_sites);
+            } else {
+                IndirectSite site;
+                std::uint8_t flags = 0;
+                std::uint32_t count = 0;
+                if (!(s = cursor.u64(&site.site)).ok())
+                    return s;
+                if (!(s = cursor.u8(&flags)).ok())
+                    return s;
+                if ((flags & ~(kFlagIsCall | kFlagResolved)) != 0) {
+                    return Status(StatusCode::kMalformedRecord,
+                                  strcat_args("policy site frame ", seq,
+                                              ": bad flags ", flags));
+                }
+                if (!(s = cursor.u32(&count)).ok())
+                    return s;
+                site.is_call = (flags & kFlagIsCall) != 0;
+                site.resolved = (flags & kFlagResolved) != 0;
+                site.targets.resize(count);
+                for (std::uint32_t i = 0; i < count; ++i) {
+                    if (!(s = cursor.u64(&site.targets[i])).ok())
+                        return s;
+                }
+                if (!site.resolved && !site.targets.empty()) {
+                    return Status(StatusCode::kMalformedRecord,
+                                  strcat_args("policy site frame ", seq,
+                                              ": unresolved site carries "
+                                              "targets"));
+                }
+                if (!std::is_sorted(site.targets.begin(),
+                                    site.targets.end())) {
+                    return Status(StatusCode::kMalformedRecord,
+                                  strcat_args("policy site frame ", seq,
+                                              ": target set not sorted"));
+                }
+                if (!out->sites.empty() && site.site <= last_site) {
+                    return Status(StatusCode::kMalformedRecord,
+                                  strcat_args("policy site frame ", seq,
+                                              ": sites out of order"));
+                }
+                last_site = site.site;
+                out->sites.push_back(std::move(site));
+            }
+            if (!cursor.exhausted()) {
+                return Status(StatusCode::kMalformedRecord,
+                              strcat_args("policy frame ", seq,
+                                          " carries trailing bytes"));
+            }
+            return Status();
+        });
+    if (!report.status.ok())
+        return report.status;
+    if (out->sites.size() != declared_sites) {
+        return Status(StatusCode::kTruncated,
+                      strcat_args("policy declares ", declared_sites,
+                                  " sites but carries ",
+                                  out->sites.size()));
+    }
+    return Status();
+}
+
+std::string
+StaticPolicy::to_string() const
+{
+    std::ostringstream os;
+    std::size_t resolved = 0;
+    for (const IndirectSite& site : sites)
+        resolved += site.resolved ? 1 : 0;
+    os << "static policy: " << sites.size() << " indirect sites ("
+       << resolved << " resolved), fallback set " << fallback.size()
+       << " targets" << (unbounded_store ? ", unbounded stores" : "")
+       << "\n";
+    for (const IndirectSite& site : sites) {
+        os << "  " << (site.is_call ? "callr" : "jmpr ") << " @ "
+           << hex(site.site);
+        if (site.resolved) {
+            os << " -> {";
+            for (std::size_t i = 0; i < site.targets.size(); ++i)
+                os << (i != 0 ? ", " : "") << hex(site.targets[i]);
+            os << "}";
+        } else {
+            os << " -> fallback";
+        }
+        os << "\n";
+    }
+    const auto render = [&os](const char* name,
+                              const std::vector<Region>& regions) {
+        os << "  " << name << ":";
+        for (const Region& r : regions)
+            os << " [" << hex(r.begin) << ", " << hex(r.end) << ")";
+        os << "\n";
+    };
+    render("code", code);
+    render("written", written);
+    render("jit", jit);
+    return os.str();
+}
+
+PolicyConfig
+guest_policy_config()
+{
+    namespace k = rsafe::kernel;
+    PolicyConfig config;
+    config.memory.executable = {{k::kKernelCodeBase, k::kKernelCodeLimit},
+                                {k::kUserCodeBase, k::kUserCodeLimit}};
+    config.memory.writable = {
+        {k::kIvtBase, k::kKernelCodeBase},
+        {k::kKernelDataBase, k::kKernelDataLimit},
+        {k::kTaskStackBase,
+         k::kTaskStackBase + k::kMaxTasks * k::kTaskStackSize},
+        // The JIT tail is writable by design (runtime code generation).
+        {k::kJitRegionBase, k::kJitRegionLimit},
+        {k::kUserDataBase, k::kUserDataLimit},
+        {k::kWorkingSetBase, k::kWorkingSetLimit},
+    };
+    config.stacks = {{k::kTaskStackBase,
+                      k::kTaskStackBase + k::kMaxTasks * k::kTaskStackSize}};
+    config.jit = {{k::kJitRegionBase, k::kJitRegionLimit}};
+    config.tables = {{k::kDispatchTableBase, k::kDispatchTableLimit}};
+    return config;
+}
+
+StaticPolicy
+build_policy(const std::vector<const isa::Image*>& images,
+             const PolicyConfig& config)
+{
+    std::vector<DecodedImage> decoded;
+    decoded.reserve(images.size());
+    for (const isa::Image* image : images) {
+        if (image == nullptr)
+            fatal("build_policy: null image");
+        decoded.emplace_back(*image);
+    }
+    std::vector<Cfg> cfgs;
+    cfgs.reserve(decoded.size());
+    for (const DecodedImage& d : decoded)
+        cfgs.emplace_back(d);
+    std::vector<const Cfg*> cfg_ptrs;
+    cfg_ptrs.reserve(cfgs.size());
+    for (const Cfg& cfg : cfgs)
+        cfg_ptrs.push_back(&cfg);
+
+    ValueSetConfig vs_config;
+    vs_config.memory = config.memory;
+    vs_config.stacks = config.stacks;
+    vs_config.tables = config.tables;
+    ValueSetResult vs = analyze_value_sets(cfg_ptrs, vs_config);
+
+    StaticPolicy policy;
+    policy.sites = std::move(vs.sites);
+    policy.fallback = std::move(vs.fallback);
+    policy.written = std::move(vs.written);
+    policy.unbounded_store = vs.unbounded_store;
+    policy.jit = config.jit;
+
+    std::vector<Region> code;
+    for (const isa::Image* image : images) {
+        if (image->size() == 0)
+            continue;
+        code.push_back(Region{page_base(image->base()),
+                              page_base(image->end() - 1) + kPageSize});
+    }
+    std::sort(code.begin(), code.end(),
+              [](const Region& a, const Region& b) {
+                  return a.begin != b.begin ? a.begin < b.begin
+                                            : a.end < b.end;
+              });
+    for (const Region& r : code) {
+        if (!policy.code.empty() && r.begin <= policy.code.back().end)
+            policy.code.back().end = std::max(policy.code.back().end, r.end);
+        else
+            policy.code.push_back(r);
+    }
+    return policy;
+}
+
+}  // namespace rsafe::analysis

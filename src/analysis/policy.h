@@ -1,0 +1,104 @@
+#ifndef RSAFE_ANALYSIS_POLICY_H_
+#define RSAFE_ANALYSIS_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/value_set.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "isa/program.h"
+
+/**
+ * @file
+ * The static policy table: the ahead-of-time product the online
+ * detectors consume.
+ *
+ * A StaticPolicy packages the value-set pass results for one image group
+ * (the guest kernel plus every trusted user image that will run in the
+ * recorded VM) into a single serializable artifact:
+ *
+ *  - per-indirect-site CFI target sets plus the shared fallback set,
+ *  - the static W^X map (code page regions vs statically writable
+ *    regions), and
+ *  - the declared JIT regions, where runtime code generation is policy
+ *    rather than attack.
+ *
+ * The table rides the hardened CRC32C wire format as its own
+ * PayloadKind (kPolicyTable), so policies can be generated offline by
+ * `rsafe-analyze --emit-policy`, checked in as goldens, and loaded by
+ * the detector framework with the same truncation/corruption discipline
+ * as the input log.
+ */
+
+namespace rsafe::analysis {
+
+/** Shape of the guest address space the policy build analyzes. */
+struct PolicyConfig {
+    /** Declared writable/executable regions. */
+    MemoryMap memory;
+    /** Architectural stack regions. */
+    std::vector<Region> stacks;
+    /** Regions where runtime code generation is sanctioned. */
+    std::vector<Region> jit;
+    /** Write-disciplined function-pointer table regions (see
+     *  ValueSetConfig::tables). */
+    std::vector<Region> tables;
+};
+
+/** The serializable static policy for one image group. */
+struct StaticPolicy {
+    /** Per-site CFI table, sorted by site pc. */
+    std::vector<IndirectSite> sites;
+    /** Conservative any-site target set (see ValueSetResult::fallback). */
+    std::vector<Addr> fallback;
+    /** Page-aligned code regions (image extents). */
+    std::vector<Region> code;
+    /** Page-aligned regions some reachable store can write. */
+    std::vector<Region> written;
+    /** Declared JIT regions; entering one at its base is sanctioned. */
+    std::vector<Region> jit;
+    /** A reachable store escaped the declared writable map. */
+    bool unbounded_store = false;
+
+    /** @return the CFI site record for @p pc, or nullptr. */
+    const IndirectSite* find_site(Addr pc) const;
+
+    /** @return true when @p target is in the shared fallback set. */
+    bool fallback_contains(Addr target) const;
+
+    /** @return the JIT region containing @p addr, or nullptr. */
+    const Region* jit_region_of(Addr addr) const;
+
+    /** Serialize on the wire format (PayloadKind::kPolicyTable). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Strict decode of @p bytes into @p out; never throws. */
+    static Status deserialize(const std::vector<std::uint8_t>& bytes,
+                              StaticPolicy* out);
+
+    /** Multi-line human-readable rendering (CLI output). */
+    std::string to_string() const;
+
+    bool operator==(const StaticPolicy&) const = default;
+};
+
+/**
+ * Build the static policy for @p images under @p config: recover each
+ * image's CFG, run the value-set pass across the group, and derive the
+ * W^X code map from the image extents.
+ */
+StaticPolicy build_policy(const std::vector<const isa::Image*>& images,
+                          const PolicyConfig& config);
+
+/**
+ * The standard guest PolicyConfig from kernel/layout.h: the full
+ * writable map (kernel data, task stacks, user data, working set, JIT
+ * tail), the task-stack region, and the declared JIT region.
+ */
+PolicyConfig guest_policy_config();
+
+}  // namespace rsafe::analysis
+
+#endif  // RSAFE_ANALYSIS_POLICY_H_

@@ -1,14 +1,18 @@
 #include "core/dos_detector.h"
 
-#include "common/log.h"
-
 namespace rsafe::core {
 
-DosDetector::DosDetector(Cycles window_cycles, std::uint64_t min_switches)
-    : window_cycles_(window_cycles), min_switches_(min_switches)
+Status
+DosDetector::create(Cycles window_cycles, std::uint64_t min_switches,
+                    DosDetector* out)
 {
     if (window_cycles == 0)
-        fatal("DosDetector: zero window");
+        return {StatusCode::kInvalidArgument, "DosDetector: zero window"};
+    DosDetector built;
+    built.window_cycles_ = window_cycles;
+    built.min_switches_ = min_switches;
+    *out = built;
+    return {};
 }
 
 void

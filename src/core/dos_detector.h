@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 /**
@@ -29,11 +30,18 @@ struct DosAlarm {
 /** Context-switch-rate watchdog. */
 class DosDetector {
   public:
+    /** An unarmed watchdog (never alarms); configure via create(). */
+    DosDetector() = default;
+
     /**
+     * Build a watchdog into @p out.
      * @param window_cycles  sampling window length.
      * @param min_switches   alarm if a window sees fewer switches.
+     * @return kInvalidArgument when @p window_cycles is zero; @p out is
+     *         untouched on error.
      */
-    DosDetector(Cycles window_cycles, std::uint64_t min_switches);
+    static Status create(Cycles window_cycles, std::uint64_t min_switches,
+                         DosDetector* out);
 
     /**
      * Feed one sample of (current cycle, context-switch counter); call
@@ -45,8 +53,8 @@ class DosDetector {
     const std::vector<DosAlarm>& alarms() const { return alarms_; }
 
   private:
-    Cycles window_cycles_;
-    std::uint64_t min_switches_;
+    Cycles window_cycles_ = 0;
+    std::uint64_t min_switches_ = 0;
     Cycles window_start_ = 0;
     std::uint64_t switches_at_window_start_ = 0;
     bool primed_ = false;

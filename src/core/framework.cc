@@ -1,7 +1,9 @@
 #include "core/framework.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "common/log.h"
@@ -40,6 +42,34 @@ RnrSafeFramework::run()
     panic("RnrSafeFramework: bad pipeline mode");
 }
 
+void
+RnrSafeFramework::install_detectors(FrameworkResult* result,
+                                    hv::Vm* armed_vm)
+{
+    active_detectors_ = nullptr;
+    if (!config_.detectors || config_.detectors->empty())
+        return;
+    if (std::getenv("RSAFE_NO_DETECTORS") != nullptr)
+        return;  // runtime kill-switch: RAS-only baseline
+    result->detectors = config_.detectors;
+    active_detectors_ = config_.detectors.get();
+    if (armed_vm != nullptr) {
+        for (const auto& detector : config_.detectors->all())
+            detector->arm(*armed_vm);
+    }
+    if (result->recorder)
+        result->recorder->set_detectors(active_detectors_);
+}
+
+void
+RnrSafeFramework::disarm_detectors()
+{
+    if (active_detectors_ == nullptr)
+        return;
+    for (const auto& detector : active_detectors_->all())
+        detector->disarm();
+}
+
 AlarmReplayResult
 RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
                                 const rnr::InputLog* log,
@@ -63,6 +93,7 @@ RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
     auto ar_vm = factory_();
     replay::AlarmReplayer ar(ar_vm.get(), log, *pending.checkpoint,
                              ar_options);
+    ar.set_detectors(active_detectors_);
     local_stats->counter("ar.replays").inc();
     out.analysis = ar.analyze(pending.log_index);
 
@@ -75,6 +106,7 @@ RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
         auto deep_vm = factory_();
         replay::AlarmReplayer deep_ar(deep_vm.get(), log,
                                       *pending.checkpoint, ar_options);
+        deep_ar.set_detectors(active_detectors_);
         local_stats->counter("ar.replays").inc();
         local_stats->counter("ar.deep_reruns").inc();
         out.analysis = deep_ar.analyze(pending.log_index);
@@ -82,6 +114,21 @@ RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
     }
     if (out.analysis.is_attack)
         local_stats->counter("ar.attacks").inc();
+    if (pending.record.type == rnr::RecordType::kDetectorAlarm &&
+        active_detectors_ != nullptr) {
+        const Detector* detector = active_detectors_->find(
+            static_cast<DetectorId>(pending.record.value));
+        if (detector != nullptr) {
+            const std::string prefix =
+                std::string("detector.") + detector->name();
+            local_stats->counter(prefix + ".replays").inc();
+            local_stats
+                ->counter(prefix + (out.analysis.is_attack
+                                        ? ".attacks"
+                                        : ".false_positives"))
+                .inc();
+        }
+    }
     local_stats->counter("ar.analysis_cycles")
         .inc(out.analysis.analysis_cycles);
     local_stats->histogram("ar.analysis_cycles_hist", kArLatencyHistMax,
@@ -173,6 +220,27 @@ RnrSafeFramework::finalize(FrameworkResult* result,
             .inc(result->recorder->log().total_bytes());
     }
     stats.counter("record.alarms_logged").inc(result->alarms_logged);
+
+    // Per-detector hardware-alarm counts, scanned from whichever log this
+    // run replayed. Counts are a pure function of the log, so they stay
+    // bit-identical across pipeline modes.
+    const rnr::InputLog* scan_log = nullptr;
+    if (result->recorder)
+        scan_log = &result->recorder->log();
+    else if (result->shipped_log)
+        scan_log = result->shipped_log.get();
+    if (result->detectors && scan_log != nullptr) {
+        for (const std::size_t index :
+             scan_log->find_all(rnr::RecordType::kDetectorAlarm)) {
+            const auto id =
+                static_cast<DetectorId>(scan_log->at(index).value);
+            const Detector* detector = result->detectors->find(id);
+            const char* name = detector != nullptr ? detector->name()
+                                                   : "unknown";
+            stats.counter(std::string("detector.") + name + ".alarms")
+                .inc();
+        }
+    }
     stats.counter("cr.instructions").inc(result->cr_vm->cpu().icount());
     stats.counter("cr.checkpoints").inc(result->cr->checkpoints_taken());
     stats.counter("cr.underflows_resolved").inc(result->underflows_resolved);
@@ -224,7 +292,14 @@ RnrSafeFramework::replay_wire(const std::vector<std::uint8_t>& bytes)
     result.log_integrity =
         rnr::InputLog::deserialize_tolerant(bytes, result.shipped_log.get());
     const rnr::InputLog& log = *result.shipped_log;
-    result.alarms_logged = log.find_all(rnr::RecordType::kRasAlarm).size();
+    result.alarms_logged =
+        log.find_all(rnr::RecordType::kRasAlarm).size() +
+        log.find_all(rnr::RecordType::kDetectorAlarm).size();
+
+    // No recording stage here, so there is nothing to arm — but the
+    // shipped log may carry kDetectorAlarm records, and the configured
+    // detector set supplies their classifiers.
+    install_detectors(&result, /*armed_vm=*/nullptr);
 
     // Checkpointing replay over the recovered prefix. The CR stops at the
     // corruption boundary (the log simply ends there) instead of the
@@ -280,14 +355,17 @@ RnrSafeFramework::run_serial()
     result.recorded_vm = factory_();
     result.recorder = std::make_unique<rnr::Recorder>(
         result.recorded_vm.get(), config_.recorder);
+    install_detectors(&result, result.recorded_vm.get());
     {
         obs::ScopedSpan span("record.run", "record");
         result.record_result = result.recorder->run(config_.max_instructions);
     }
+    disarm_detectors();
 
     const rnr::InputLog& log = result.recorder->log();
     result.alarms_logged =
-        log.find_all(rnr::RecordType::kRasAlarm).size();
+        log.find_all(rnr::RecordType::kRasAlarm).size() +
+        log.find_all(rnr::RecordType::kDetectorAlarm).size();
 
     // 2. Checkpointing replay.
     result.cr_vm = factory_();
@@ -324,6 +402,7 @@ RnrSafeFramework::run_concurrent()
     result.recorded_vm = factory_();
     result.recorder = std::make_unique<rnr::Recorder>(
         result.recorded_vm.get(), config_.recorder);
+    install_detectors(&result, result.recorded_vm.get());
 
     rnr::LogChannel channel(config_.channel);
     result.recorder->attach_stream(&channel);
@@ -369,6 +448,7 @@ RnrSafeFramework::run_concurrent()
     // The channel dies with this frame; the recorder must not keep a
     // pointer to it.
     result.recorder->attach_stream(nullptr);
+    disarm_detectors();
     if (record_error)
         std::rethrow_exception(record_error);
     if (cr_error)
@@ -376,7 +456,8 @@ RnrSafeFramework::run_concurrent()
 
     const rnr::InputLog& log = result.recorder->log();
     result.alarms_logged =
-        log.find_all(rnr::RecordType::kRasAlarm).size();
+        log.find_all(rnr::RecordType::kRasAlarm).size() +
+        log.find_all(rnr::RecordType::kDetectorAlarm).size();
     result.underflows_resolved = result.cr->underflows_resolved();
     result.replay_lag = result.cr->lag();
     result.channel_stats = channel.stats();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/alarm.h"
+#include "core/detector.h"
 #include "hv/vm.h"
 #include "replay/checkpoint_replayer.h"
 #include "rnr/log_channel.h"
@@ -73,6 +74,15 @@ struct FrameworkConfig {
     std::size_t ar_workers = 2;
     /** Recorder->CR streaming channel shape (concurrent pipeline only). */
     rnr::ChannelOptions channel;
+    /**
+     * Pluggable detector complement (see core/detector.h). When set, the
+     * framework arms every detector on the recorded VM before recording
+     * starts and routes the resulting kDetectorAlarm records to the same
+     * detectors' classifiers during alarm replay. Null keeps the
+     * RAS-only baseline. The RSAFE_NO_DETECTORS environment variable is
+     * a runtime kill-switch that ignores this field entirely.
+     */
+    std::shared_ptr<DetectorSet> detectors;
 };
 
 /** Everything one alarm replay produced (satellite of result.alarms). */
@@ -123,6 +133,11 @@ struct FrameworkResult {
     rnr::wire::LoadReport log_integrity;
 
     // The pipeline components, kept alive for inspection by callers.
+    // Destruction order is deliberately irrelevant for the detectors:
+    // the framework disarms every detector (dropping VM listener
+    // registrations) as soon as recording finishes, and the shared_ptr
+    // may anyway outlive this struct via FrameworkConfig.
+    std::shared_ptr<DetectorSet> detectors;
     std::unique_ptr<hv::Vm> recorded_vm;
     std::unique_ptr<rnr::Recorder> recorder;
     std::unique_ptr<hv::Vm> cr_vm;
@@ -173,8 +188,27 @@ class RnrSafeFramework {
     void finalize(FrameworkResult* result,
                   std::vector<AlarmReplayResult> ar_results);
 
+    /**
+     * Resolve the kill-switch and (when @p armed_vm is non-null) arm the
+     * configured detectors on the recorded VM + recorder. Sets
+     * active_detectors_ for the alarm-replay stage.
+     */
+    void install_detectors(FrameworkResult* result, hv::Vm* armed_vm);
+
+    /**
+     * Release every active detector's binding to the recorded VM.
+     * Called as soon as recording finishes: the hardware models are
+     * only live during recording, and the detector set (shared via
+     * config_) can outlive the recorded VM.
+     */
+    void disarm_detectors();
+
     VmFactory factory_;
     FrameworkConfig config_;
+
+    /** The in-effect detector set for the current run (kill-switch
+     *  applied); read-only while the AR worker pool executes. */
+    const DetectorSet* active_detectors_ = nullptr;
 };
 
 }  // namespace rsafe::core

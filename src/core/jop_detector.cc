@@ -1,38 +1,49 @@
 #include "core/jop_detector.h"
 
 #include <algorithm>
-
-#include "common/log.h"
+#include <utility>
 
 namespace rsafe::core {
 
-JopDetector::JopDetector(const std::vector<const isa::Image*>& images,
-                         std::size_t hardware_slots)
+Status
+JopDetector::create(const std::vector<const isa::Image*>& images,
+                    std::size_t hardware_slots, JopDetector* out)
 {
     std::vector<FunctionBounds> functions;
     for (const isa::Image* image : images) {
-        if (image == nullptr)
-            fatal("JopDetector: null image");
+        if (image == nullptr) {
+            return {StatusCode::kInvalidArgument,
+                    "JopDetector: null image"};
+        }
         for (const auto& [name, range] : image->functions())
             functions.push_back(FunctionBounds{range.begin, range.end});
     }
-    build_table(functions, hardware_slots);
+    return create(functions, hardware_slots, out);
 }
 
-JopDetector::JopDetector(const std::vector<FunctionBounds>& functions,
-                         std::size_t hardware_slots)
+Status
+JopDetector::create(const std::vector<FunctionBounds>& functions,
+                    std::size_t hardware_slots, JopDetector* out)
 {
-    build_table(functions, hardware_slots);
+    JopDetector built;
+    if (const Status status = built.build_table(functions, hardware_slots);
+        !status.ok()) {
+        return status;
+    }
+    *out = std::move(built);
+    return {};
 }
 
-void
+Status
 JopDetector::build_table(const std::vector<FunctionBounds>& functions,
                          std::size_t hardware_slots)
 {
     functions_.reserve(functions.size());
     for (const FunctionBounds& fn : functions) {
-        if (fn.begin >= fn.end)
-            fatal("JopDetector: inverted function bounds");
+        if (fn.begin >= fn.end) {
+            return {StatusCode::kInvalidArgument,
+                    "JopDetector: inverted function bounds"};
+        }
         functions_.push_back(Fn{fn.begin, fn.end, false});
     }
     std::sort(functions_.begin(), functions_.end(),
@@ -55,6 +66,7 @@ JopDetector::build_table(const std::vector<FunctionBounds>& functions,
     hardware_count_ = std::min(hardware_slots, functions_.size());
     for (std::size_t i = 0; i < hardware_count_; ++i)
         functions_[order[i]].in_hardware_table = true;
+    return {};
 }
 
 const JopDetector::Fn*

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "isa/program.h"
 
@@ -46,24 +47,29 @@ struct FunctionBounds {
 /** Hardware/replay JOP target checker. */
 class JopDetector {
   public:
+    /** An empty detector (no functions tabled); fill via create(). */
+    JopDetector() = default;
+
     /**
-     * Build from the code image(s).
+     * Build from the code image(s) into @p out.
      * @param images          all executable images (kernel + user).
      * @param hardware_slots  size of the hardware table; the hardware
      *                        check uses only the @p hardware_slots largest
      *                        functions ("most common" proxy), the replay
      *                        check uses all of them.
+     * @return kInvalidArgument on a null image or inverted function
+     *         bounds; @p out is untouched on error.
      */
-    JopDetector(const std::vector<const isa::Image*>& images,
-                std::size_t hardware_slots);
+    static Status create(const std::vector<const isa::Image*>& images,
+                         std::size_t hardware_slots, JopDetector* out);
 
     /**
-     * Analysis-backed constructor: build directly from recovered bounds
+     * Analysis-backed factory: build directly from recovered bounds
      * (e.g., analysis::FunctionTable::jop_bounds()), so the table the
      * hardware trusts is the one the static analyzer verified.
      */
-    JopDetector(const std::vector<FunctionBounds>& functions,
-                std::size_t hardware_slots);
+    static Status create(const std::vector<FunctionBounds>& functions,
+                         std::size_t hardware_slots, JopDetector* out);
 
     /** First-line hardware check (small table). */
     JopVerdict check_hardware(Addr branch_pc, Addr target) const;
@@ -84,8 +90,8 @@ class JopDetector {
         bool in_hardware_table;
     };
 
-    void build_table(const std::vector<FunctionBounds>& functions,
-                     std::size_t hardware_slots);
+    Status build_table(const std::vector<FunctionBounds>& functions,
+                       std::size_t hardware_slots);
     JopVerdict check(Addr branch_pc, Addr target, bool hardware_only) const;
     const Fn* function_containing(Addr addr) const;
 

@@ -264,6 +264,21 @@ Cpu::do_ret()
 Cpu::StepResult
 Cpu::exec_one()
 {
+    if (vmcs_.controls.wx_fetch_exit &&
+        !vmcs_.wx_watch_pages.empty()) [[unlikely]] {
+        // W^X fetch watch: exit before executing the first instruction
+        // fetched from a page written since it was armed. The watch is
+        // consumed here, so the icount recorded by the environment is
+        // the position *before* the fetch — replay stops with the
+        // injected/patched code still unexecuted and inspectable.
+        const auto it = vmcs_.wx_watch_pages.find(page_of(state_.pc));
+        if (it != vmcs_.wx_watch_pages.end()) {
+            vmcs_.wx_watch_pages.erase(it);
+            cycles_ += Costs::kVmTransition;
+            env_->on_wx_fetch(state_.pc);
+        }
+    }
+
     isa::Instr instr;
     const isa::Instr* instr_ptr = cached_instr(state_.pc);
     if (instr_ptr != nullptr) [[likely]] {
@@ -816,6 +831,7 @@ Cpu::run(Cycles stop_cycles, InstrCount stop_icount)
 
         StepResult result;
         if (!vmcs_.pending_irq && !vmcs_.controls.trap_indirect_branch &&
+            !vmcs_.controls.wx_fetch_exit &&
             (vmcs_.breakpoints.empty() || tb_enabled_)) [[likely]] {
             // Batched hot loop. With no interrupt awaiting delivery and
             // the (cycle-free) indirect-branch trap off, nothing can

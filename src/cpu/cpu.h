@@ -117,6 +117,13 @@ class CpuEnv {
      * the hardware JOP filter hooks in here.
      */
     virtual void on_indirect_branch(Addr pc, Addr target, bool is_call) {}
+
+    /**
+     * A fetch hit a W^X-watched page (wx_fetch_exit); the watch on the
+     * page is already consumed and kVmTransition charged. @p pc is the
+     * not-yet-executed fetch target.
+     */
+    virtual void on_wx_fetch(Addr pc) {}
     /** A pending virtual interrupt was delivered to the guest. */
     virtual void on_interrupt_delivered(std::uint8_t vector) {}
 };

@@ -62,6 +62,13 @@ struct ExitControls {
     bool trap_user_call_ret = false;
     /** Notify the environment of indirect branches (JOP detector). */
     bool trap_indirect_branch = false;
+    /**
+     * VM-exit on the first fetch from a watched (written-since-armed)
+     * executable page (W^X detector). Watched pages live in
+     * Vmcs::wx_watch_pages; the exit consumes the watch, so each armed
+     * page fires at most once until re-watched.
+     */
+    bool wx_fetch_exit = false;
 };
 
 /** The per-VM control structure. */
@@ -70,6 +77,13 @@ struct Vmcs {
 
     /** PC breakpoints (context-switch / thread-exit / thread-spawn). */
     std::unordered_set<Addr> breakpoints;
+
+    /**
+     * Executable page numbers written since the W^X detector armed them
+     * (see ExitControls::wx_fetch_exit). Keyed by page number, not base
+     * address.
+     */
+    std::unordered_set<Addr> wx_watch_pages;
 
     /** Virtual interrupt awaiting delivery (cleared on delivery). */
     std::optional<std::uint8_t> pending_irq;

@@ -79,6 +79,11 @@ Vm::finalize()
                     mem::kPermRW);
     mem_->set_perms(k::kUserCodeBase, k::kUserCodeLimit - k::kUserCodeBase,
                     mem::kPermRX);
+    // The declared JIT carve-out at the tail of user code stays writable
+    // so sanctioned runtime code generation is possible; the W^X
+    // detector polices what actually runs from it.
+    mem_->set_perms(k::kJitRegionBase,
+                    k::kJitRegionLimit - k::kJitRegionBase, mem::kPermRWX);
     mem_->set_perms(k::kUserDataBase, k::kUserDataLimit - k::kUserDataBase,
                     mem::kPermRW);
     mem_->set_perms(k::kWorkingSetBase,

@@ -64,6 +64,11 @@ class Vm {
     const mem::PhysMem& mem() const { return *mem_; }
     dev::DeviceHub& hub() { return *hub_; }
     const kernel::GuestKernel& guest_kernel() const { return kernel_; }
+    /** The user images loaded via load_user_image, in load order. */
+    const std::vector<isa::Image>& user_images() const
+    {
+        return user_images_;
+    }
     const VmConfig& config() const { return config_; }
     /** @} */
 

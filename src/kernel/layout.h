@@ -45,9 +45,31 @@ inline constexpr std::size_t kMaxTasks = 16;
 inline constexpr Addr kUserCodeBase = 0x60000;
 inline constexpr Addr kUserCodeLimit = 0x100000;
 
+/**
+ * JIT region: the tail of the user code segment stays RWX so sanctioned
+ * runtime code generation (self-patching workloads) is possible. The
+ * W^X detector's policy treats entering this region at its base as
+ * benign JIT dispatch; anything else fetched from a written page is
+ * classified as code injection.
+ */
+inline constexpr Addr kJitRegionBase = 0xF8000;
+inline constexpr Addr kJitRegionLimit = 0x100000;
+
 /** User data segment (buffers, jmp_bufs, packet buffers). */
 inline constexpr Addr kUserDataBase = 0x100000;
 inline constexpr Addr kUserDataLimit = 0x400000;
+
+/**
+ * The dispatch-table slice: one user-data slice (no task owns it)
+ * reserved for function-pointer tables. The slice carries a write
+ * discipline — programs store into it only through materialized
+ * constant addresses (the publish idiom) — which is what lets the
+ * static value-set pass track its slots interprocedurally and emit
+ * exact per-site CFI target sets (the analogue of ELF relro keeping
+ * vtables/GOT away from arbitrary heap writes).
+ */
+inline constexpr Addr kDispatchTableBase = kUserDataBase + 20 * 0x10000;
+inline constexpr Addr kDispatchTableLimit = kDispatchTableBase + 0x10000;
 
 /** Workload working-set region (page-dirtying traffic for checkpoints). */
 inline constexpr Addr kWorkingSetBase = 0x400000;

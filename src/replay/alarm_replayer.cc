@@ -6,6 +6,7 @@
 #include "analysis/decoded_image.h"
 #include "analysis/function_bounds.h"
 #include "common/log.h"
+#include "core/detector.h"
 #include "isa/disassembler.h"
 #include "kernel/layout.h"
 #include "obs/trace.h"
@@ -72,6 +73,12 @@ alarm_cause_name(AlarmCause cause)
       case AlarmCause::kWhitelistViolation: return "whitelist-violation";
       case AlarmCause::kNeedsDeeperAnalysis: return "needs-deeper-analysis";
       case AlarmCause::kLogIntegrity: return "LOG-INTEGRITY";
+      case AlarmCause::kJopTableMiss: return "jop-table-miss";
+      case AlarmCause::kJopAttack: return "JOP-ATTACK";
+      case AlarmCause::kCfiTableMiss: return "cfi-table-miss";
+      case AlarmCause::kCfiHijack: return "CFI-HIJACK";
+      case AlarmCause::kWxJitBenign: return "wx-jit-benign";
+      case AlarmCause::kWxInjection: return "WX-INJECTION";
     }
     return "<bad>";
 }
@@ -142,7 +149,8 @@ AlarmReplayer::hook_positional_record(const rnr::LogRecord& record)
         shadow_.note_evict(record.tid, record.addr);
         return true;
     }
-    if (record.type == rnr::RecordType::kRasAlarm) {
+    if (record.type == rnr::RecordType::kRasAlarm ||
+        record.type == rnr::RecordType::kDetectorAlarm) {
         if (log_pos() - 1 == target_index_) {
             reached_target_ = true;
             return false;  // stop: the state at the alarm is now live
@@ -161,7 +169,53 @@ AlarmReplayer::analyze(std::size_t alarm_log_index)
     if (!reached_target_ || outcome != rnr::ReplayOutcome::kStopRequested) {
         panic("AlarmReplayer: did not reach the target alarm record");
     }
-    return build_analysis(source_->at(alarm_log_index));
+    const rnr::LogRecord& record = source_->at(alarm_log_index);
+    if (record.type == rnr::RecordType::kDetectorAlarm)
+        return classify_detector(record);
+    return build_analysis(record);
+}
+
+AlarmAnalysis
+AlarmReplayer::classify_detector(const rnr::LogRecord& record)
+{
+    const core::Detector* detector =
+        detectors_ != nullptr
+            ? detectors_->find(static_cast<core::DetectorId>(record.value))
+            : nullptr;
+    AlarmAnalysis analysis;
+    if (detector != nullptr) {
+        analysis = detector->classify(record, *this);
+    } else {
+        // No classifier registered (e.g. a shipped log replayed without
+        // the matching detector complement): surface the alarm benignly
+        // rather than guessing an attack verdict.
+        analysis.is_attack = false;
+        analysis.cause = AlarmCause::kHardwareArtifact;
+        analysis.ret_pc = record.alarm.ret_pc;
+        analysis.actual_target = record.alarm.actual;
+        analysis.report = "detector alarm without a registered "
+                          "classifier; left unconfirmed (benign)";
+    }
+
+    // Shared bookkeeping every detector verdict carries, so individual
+    // classifiers only fill verdict, cause, addresses and report.
+    analysis.alarm_record = record;
+    analysis.tid = record.tid;
+    analysis.analysis_cycles = vm_->cpu().cycles() - start_cycles_;
+    obs::ForensicReport& forensic = analysis.forensic;
+    forensic.log_index = target_index_;
+    forensic.icount = record.icount;
+    forensic.cause = alarm_cause_name(analysis.cause);
+    forensic.is_attack = analysis.is_attack;
+    forensic.kernel_mode = record.alarm.kernel_mode;
+    forensic.ret_pc = analysis.ret_pc;
+    forensic.faulting_function = analysis.faulting_function;
+    forensic.expected_target = analysis.expected_target;
+    forensic.call_site_function = analysis.call_site_function;
+    forensic.actual_target = analysis.actual_target;
+    forensic.tid = record.tid;
+    forensic.threads_tracked = shadow_.num_threads();
+    return analysis;
 }
 
 std::vector<Addr>

@@ -26,6 +26,10 @@
  * chain sitting on the corrupted stack (Section 6's where/who/what).
  */
 
+namespace rsafe::core {
+class DetectorSet;  // core/detector.h; full type not needed here
+}  // namespace rsafe::core
+
 namespace rsafe::replay {
 
 /** Classification of an analyzed alarm. */
@@ -37,6 +41,12 @@ enum class AlarmCause {
     kWhitelistViolation,///< non-procedural return to an illegal target
     kNeedsDeeperAnalysis, ///< needs a rerun with more instrumentation
     kLogIntegrity,      ///< the input log itself failed integrity checks
+    kJopTableMiss,      ///< legal under the full table/policy (false pos.)
+    kJopAttack,         ///< stray transfer no table or policy explains
+    kCfiTableMiss,      ///< in the static target set, not the hw excerpt
+    kCfiHijack,         ///< outside the site's static target set
+    kWxJitBenign,       ///< sanctioned JIT-region entry (false positive)
+    kWxInjection,       ///< fetched freshly written non-JIT code
 };
 
 /** @return a short name for @p cause. */
@@ -83,8 +93,35 @@ class AlarmReplayer : public rnr::Replayer {
 
     /**
      * Replay up to the alarm record at @p alarm_log_index and classify it.
+     * kRasAlarm records go through the shadow-RAS analysis; kDetectorAlarm
+     * records are routed to the registered detector's classifier (see
+     * set_detectors), which runs with the replayed machine stopped exactly
+     * at the alarm.
      */
     AlarmAnalysis analyze(std::size_t alarm_log_index);
+
+    /**
+     * Register the detector complement whose classifiers resolve
+     * kDetectorAlarm records. The set must outlive this replayer; without
+     * one, detector alarms classify as benign-unclassified.
+     */
+    void set_detectors(const core::DetectorSet* detectors)
+    {
+        detectors_ = detectors;
+    }
+
+    /**
+     * The paper's shadow-RAS classification of @p record (a kRasAlarm
+     * positioned at the stop point). Public so the RopRasDetector can
+     * delegate to it through the framework interface.
+     */
+    AlarmAnalysis classify_ras(const rnr::LogRecord& record)
+    {
+        return build_analysis(record);
+    }
+
+    /** The replayed machine (detector classifiers inspect its state). */
+    hv::Vm& vm() { return *vm_; }
 
     /** The software RAS (exposed for tests). */
     const ShadowRas& shadow() const { return shadow_; }
@@ -99,11 +136,13 @@ class AlarmReplayer : public rnr::Replayer {
     static rnr::ReplayOptions force_tracing(rnr::ReplayOptions options);
 
     AlarmAnalysis build_analysis(const rnr::LogRecord& record);
+    AlarmAnalysis classify_detector(const rnr::LogRecord& record);
     std::vector<Addr> scan_gadget_chain(Addr sp) const;
     void build_forensic(const rnr::LogRecord& record,
                         AlarmAnalysis* analysis) const;
 
     ShadowRas shadow_;
+    const core::DetectorSet* detectors_ = nullptr;
 
     /** Shadow depth per thread as restored from the checkpoint. */
     std::map<ThreadId, std::size_t> initial_depth_;

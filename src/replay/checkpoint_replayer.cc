@@ -69,13 +69,16 @@ CheckpointReplayer::hook_positional_record(const rnr::LogRecord& record)
         evicts_[record.tid].push_back(record.addr);
         return true;
     }
-    if (record.type != rnr::RecordType::kRasAlarm)
+    if (record.type != rnr::RecordType::kRasAlarm &&
+        record.type != rnr::RecordType::kDetectorAlarm)
         return true;
 
     // Underflow alarms: match against the latest Evict record from the
     // same thread (Section 4.6.2). A match proves the hardware merely ran
     // out of RAS depth; the entry is consumed and the alarm discarded.
-    if (record.alarm.kind == cpu::RasAlarmKind::kUnderflow) {
+    // (Detector alarms carry no RAS kind and always go to an AR.)
+    if (record.type == rnr::RecordType::kRasAlarm &&
+        record.alarm.kind == cpu::RasAlarmKind::kUnderflow) {
         auto it = evicts_.find(record.tid);
         if (it != evicts_.end() && !it->second.empty() &&
             it->second.back() == record.alarm.actual) {

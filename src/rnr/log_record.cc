@@ -81,6 +81,7 @@ record_type_name(RecordType type)
       case RecordType::kRasEvict: return "evict";
       case RecordType::kHalt: return "halt";
       case RecordType::kDiskComplete: return "disk-complete";
+      case RecordType::kDetectorAlarm: return "DETECTOR-ALARM";
     }
     return "<bad>";
 }
@@ -111,6 +112,9 @@ LogRecord::serialized_size() const
         break;
       case RecordType::kRasEvict:
         size += 8 + 4;
+        break;
+      case RecordType::kDetectorAlarm:
+        size += 1 + 8 * 2 + 1 + 4;
         break;
       case RecordType::kHalt:
       case RecordType::kDiskComplete:
@@ -158,6 +162,13 @@ LogRecord::serialize(std::vector<std::uint8_t>* out) const
         put_u64(out, addr);
         put_u32(out, tid);
         break;
+      case RecordType::kDetectorAlarm:
+        put_u8(out, static_cast<std::uint8_t>(value));
+        put_u64(out, alarm.ret_pc);
+        put_u64(out, alarm.actual);
+        put_u8(out, alarm.kernel_mode ? 1 : 0);
+        put_u32(out, tid);
+        break;
       case RecordType::kHalt:
       case RecordType::kDiskComplete:
         break;
@@ -176,7 +187,7 @@ LogRecord::decode(const std::vector<std::uint8_t>& data, std::size_t* pos,
     std::uint8_t type_byte;
     if (!get_u8(data, pos, &type_byte))
         return truncated("type");
-    if (type_byte > static_cast<std::uint8_t>(RecordType::kDiskComplete)) {
+    if (type_byte > static_cast<std::uint8_t>(RecordType::kDetectorAlarm)) {
         return Status(StatusCode::kMalformedRecord,
                       strcat_args("unknown record type ",
                                   static_cast<unsigned>(type_byte)));
@@ -260,6 +271,19 @@ LogRecord::decode(const std::vector<std::uint8_t>& data, std::size_t* pos,
             return truncated("evict fields");
         }
         return Status();
+      case RecordType::kDetectorAlarm: {
+        std::uint8_t id, kernel_mode;
+        if (!get_u8(data, pos, &id) ||
+            !get_u64(data, pos, &out->alarm.ret_pc) ||
+            !get_u64(data, pos, &out->alarm.actual) ||
+            !get_u8(data, pos, &kernel_mode) ||
+            !get_u32(data, pos, &out->tid)) {
+            return truncated("detector alarm fields");
+        }
+        out->value = id;
+        out->alarm.kernel_mode = kernel_mode != 0;
+        return Status();
+      }
       case RecordType::kHalt:
       case RecordType::kDiskComplete:
         return Status();
@@ -306,6 +330,12 @@ LogRecord::to_string() const
       case RecordType::kRasEvict:
         os << " evicted=0x" << std::hex << addr << std::dec
            << " tid=" << tid;
+        break;
+      case RecordType::kDetectorAlarm:
+        os << " detector=" << value << " site=0x" << std::hex
+           << alarm.ret_pc << " target=0x" << alarm.actual << std::dec
+           << " tid=" << tid
+           << (alarm.kernel_mode ? " (kernel)" : " (user)");
         break;
       case RecordType::kHalt:
       case RecordType::kDiskComplete:

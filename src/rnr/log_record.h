@@ -42,6 +42,14 @@ enum class RecordType : std::uint8_t {
     kRasEvict = 6,  ///< addr = evicted return address, tid
     kHalt = 7,      ///< end of execution
     kDiskComplete = 8,  ///< DMA completion applied (frees the controller)
+    /**
+     * A pluggable detector's hardware trigger fired: value = detector id
+     * (core::DetectorId), alarm.ret_pc = the triggering site,
+     * alarm.actual = the observed transfer/fetch target, tid. Positional,
+     * like kRasAlarm: the AR stops here and asks the detector's precise
+     * classifier for the verdict.
+     */
+    kDetectorAlarm = 9,
 };
 
 /** @return a short name for @p type (diagnostics). */

@@ -1,5 +1,6 @@
 #include "rnr/recorder.h"
 
+#include "core/detector.h"
 #include "obs/trace.h"
 
 namespace rsafe::rnr {
@@ -127,6 +128,51 @@ Recorder::hook_ras_alarm(const cpu::RasAlarm& alarm)
         // vmcs().perf_stop resumes the machine if the alarm proves
         // false.)
         vm_->cpu().vmcs().perf_stop = 0;
+    }
+}
+
+void
+Recorder::log_detector_alarm(const core::Detector& detector, Addr site,
+                             Addr target)
+{
+    LogRecord record;
+    record.type = RecordType::kDetectorAlarm;
+    record.icount = vm_->cpu().icount();
+    record.tid = have_current_tid() ? current_tid() : 0;
+    record.value = static_cast<Word>(detector.id());
+    record.alarm.ret_pc = site;
+    record.alarm.actual = target;
+    record.alarm.kernel_mode =
+        vm_->cpu().state().mode == cpu::Mode::kKernel;
+    obs::Tracer::instance().instant("record.detector_alarm",
+                                    detector.name(), "icount",
+                                    record.icount);
+    overhead_.detectors += Costs::kVmTransition + charge_log_write(record);
+    if (rec_options_.stop_on_alarm) {
+        alarm_stop_ = true;
+        vm_->cpu().vmcs().perf_stop = 0;
+    }
+}
+
+void
+Recorder::on_indirect_branch(Addr pc, Addr target, bool is_call)
+{
+    if (detectors_ == nullptr)
+        return;
+    for (const auto& detector : detectors_->all()) {
+        if (detector->trigger_indirect(pc, target, is_call))
+            log_detector_alarm(*detector, pc, target);
+    }
+}
+
+void
+Recorder::on_wx_fetch(Addr pc)
+{
+    if (detectors_ == nullptr)
+        return;
+    for (const auto& detector : detectors_->all()) {
+        if (detector->trigger_wx_fetch(pc))
+            log_detector_alarm(*detector, pc, pc);
     }
 }
 

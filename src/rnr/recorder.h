@@ -20,6 +20,11 @@
  * network-content logging, or the RAS extensions.
  */
 
+namespace rsafe::core {
+class Detector;      // core/detector.h; full type not needed here
+class DetectorSet;
+}  // namespace rsafe::core
+
 namespace rsafe::rnr {
 
 /** Recording configuration. */
@@ -43,10 +48,12 @@ struct RecordOverhead {
     Cycles interrupt = 0;
     Cycles network = 0;
     Cycles ras = 0;
+    /** Pluggable-detector alarm exits (CFI, W^X, JOP triggers). */
+    Cycles detectors = 0;
 
     Cycles total() const
     {
-        return rdtsc + pio_mmio + interrupt + network + ras;
+        return rdtsc + pio_mmio + interrupt + network + ras + detectors;
     }
 };
 
@@ -72,6 +79,17 @@ class Recorder : public hv::Hypervisor {
     /** @return true if an alarm requested a stop (stop_on_alarm). */
     bool alarm_stop_requested() const { return alarm_stop_; }
 
+    /**
+     * Register the armed detector complement. Each detector's hardware
+     * trigger is consulted at the matching VM exit; a positive trigger
+     * logs a kDetectorAlarm record for the alarm replayers. The set must
+     * outlive this recorder (the framework owns it via shared_ptr).
+     */
+    void set_detectors(const core::DetectorSet* detectors)
+    {
+        detectors_ = detectors;
+    }
+
   protected:
     void hook_rdtsc(Word value) override;
     void hook_io_in(std::uint16_t port, Word value) override;
@@ -85,9 +103,16 @@ class Recorder : public hv::Hypervisor {
     void hook_halt() override;
     void hook_context_switch(ThreadId tid) override;
 
+    void on_indirect_branch(Addr pc, Addr target, bool is_call) override;
+    void on_wx_fetch(Addr pc) override;
+
   private:
     /** Charge the simulated cost of appending @p record; @return cost. */
     Cycles charge_log_write(LogRecord record);
+
+    /** Log a kDetectorAlarm raised by @p detector at @p site. */
+    void log_detector_alarm(const core::Detector& detector, Addr site,
+                            Addr target);
 
     static hv::HvOptions make_hv_options(const RecorderOptions& options);
 
@@ -95,6 +120,7 @@ class Recorder : public hv::Hypervisor {
     InputLog log_;
     LogChannel* stream_ = nullptr;
     RecordOverhead overhead_;
+    const core::DetectorSet* detectors_ = nullptr;
     bool alarm_stop_ = false;
 };
 

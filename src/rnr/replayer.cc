@@ -50,6 +50,7 @@ Replayer::is_positional(RecordType type) const
       case RecordType::kRasEvict:
       case RecordType::kHalt:
       case RecordType::kDiskComplete:
+      case RecordType::kDetectorAlarm:
         return true;
       default:
         return false;
@@ -318,6 +319,7 @@ Replayer::run()
             break;
           case RecordType::kRasAlarm:
           case RecordType::kRasEvict:
+          case RecordType::kDetectorAlarm:
             if (!hook_positional_record(record))
                 return ReplayOutcome::kStopRequested;
             break;

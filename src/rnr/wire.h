@@ -74,6 +74,7 @@ enum class PayloadKind : std::uint16_t {
     kInputLog = 1,
     kCheckpointDigest = 2,
     kForensicReport = 3,
+    kPolicyTable = 4,
 };
 
 /** Decoded wire header. */

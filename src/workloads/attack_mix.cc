@@ -1,8 +1,11 @@
 #include "workloads/attack_mix.h"
 
+#include <cstdint>
 #include <vector>
 
 #include "attack/attack_mounter.h"
+#include "common/log.h"
+#include "isa/assembler.h"
 #include "kernel/kernel_builder.h"
 #include "kernel/layout.h"
 #include "workloads/benchmarks.h"
@@ -11,6 +14,96 @@
 namespace rsafe::workloads {
 
 namespace k = rsafe::kernel;
+
+namespace {
+
+using isa::R0;
+using isa::R5;
+using isa::R6;
+using isa::R7;
+using isa::R13;
+
+/** Scenario image load addresses (clear of the generated workload and
+ *  the attack-mix attackers). */
+constexpr Addr kScenarioCodeBase = k::kUserCodeBase + 0x48000;
+constexpr Addr kForeignCodeBase = k::kUserCodeBase + 0x50000;
+
+/** The shared one-slot dispatch table, in the write-disciplined slice. */
+constexpr Addr kScenarioTable = k::kDispatchTableBase;
+
+/** Small benign base profile the scenarios ride on. */
+WorkloadProfile
+scenario_profile(const std::string& name)
+{
+    WorkloadProfile profile;
+    profile.name = name;
+    profile.seed = 11;
+    profile.num_tasks = 1;
+    profile.iterations_per_task = 24;
+    profile.alu_loop = 6;
+    profile.ws_writes = 1;
+    profile.yield_prob = 0.25;
+    return profile;
+}
+
+/**
+ * Emit the materialize-table-slot-then-dispatch idiom in one basic
+ * block, which is exactly the shape the (block-local) value-set pass
+ * resolves: table base constant, load, indirect call.
+ */
+void
+emit_dispatch(isa::Assembler& a)
+{
+    a.ldi(R6, static_cast<std::int64_t>(kScenarioTable));
+    a.ld(R5, R6, 0);
+    a.callr(R5);
+}
+
+void
+emit_syscall(isa::Assembler& a, Word number)
+{
+    a.ldi(R0, static_cast<std::int64_t>(number));
+    a.syscall();
+}
+
+/** Store @p target (a label in this image) into the dispatch slot. */
+void
+emit_publish(isa::Assembler& a, const std::string& label)
+{
+    a.ldi(R6, static_cast<std::int64_t>(kScenarioTable));
+    a.ldi_label(R7, label);
+    a.st(R6, 0, R7);
+}
+
+/** @return instruction word @p index of @p image, little-endian. */
+std::uint64_t
+image_word(const isa::Image& image, std::size_t index)
+{
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+        word |= static_cast<std::uint64_t>(
+                    image.bytes().at(index * 8 + b))
+                << (8 * b);
+    }
+    return word;
+}
+
+/** Fill the scenario-independent pieces of @p s. */
+void
+finish_scenario(DetectorScenario* s,
+                const std::vector<isa::Image>& extra_images,
+                const std::vector<Addr>& extra_entries,
+                const std::vector<isa::Image>& extra_trusted)
+{
+    const auto kernel = k::build_kernel();
+    s->trusted_images.push_back(kernel.image);
+    s->trusted_images.push_back(generate_workload(s->profile).image);
+    for (const auto& image : extra_trusted)
+        s->trusted_images.push_back(image);
+    s->factory = vm_factory(s->profile, extra_images, extra_entries);
+}
+
+}  // namespace
 
 AttackMix
 attack_mix(const AttackMixOptions& options)
@@ -41,6 +134,179 @@ attack_mix(const AttackMixOptions& options)
     }
     mix.factory = vm_factory(mix.profile, images, entries);
     return mix;
+}
+
+DetectorScenario
+cfi_hijack_scenario()
+{
+    DetectorScenario s;
+    s.name = "cfi-hijack";
+    s.profile = scenario_profile("cfi-hijack");
+    s.expect_attack = true;
+
+    isa::Assembler v(kScenarioCodeBase);
+    v.func_begin("v_helper_a");
+    v.nop();
+    v.ret();  // v_helper_a + 8: the attacker's mid-function target
+    v.func_end();
+    v.func_begin("v_helper_b");
+    v.nop();
+    v.ret();
+    v.func_end();
+    v.func_begin("v_entry");
+    // Publish both sanctioned handlers (the store map is flow-
+    // insensitive, so both stores feed every site reading the slot).
+    emit_publish(v, "v_helper_b");
+    emit_dispatch(v);
+    emit_publish(v, "v_helper_a");
+    // Dispatch loop, yielding each round so the attacker task runs (and
+    // corrupts the slot) mid-loop.
+    v.ldi(R13, 12);
+    v.label("v_loop");
+    v.label("v_site");
+    emit_dispatch(v);
+    emit_syscall(v, k::kSysYield);
+    v.addi(R13, R13, -1);
+    v.ldi(R7, 0);
+    v.bne(R13, R7, "v_loop");
+    emit_syscall(v, k::kSysExit);
+    v.func_end();
+    const auto victim = v.link();
+    s.site = victim.symbol("v_site") + 16;  // the callr of the idiom
+    s.target = victim.symbol("v_helper_a") + 8;
+
+    // The foreign task: wait a few rounds, then overwrite the dispatch
+    // slot with a mid-function address. Its image is NOT in the trusted
+    // set, so the static policy knows nothing about this store.
+    isa::Assembler f(kForeignCodeBase);
+    f.func_begin("f_entry");
+    for (int i = 0; i < 3; ++i)
+        emit_syscall(f, k::kSysYield);
+    f.ldi(R6, static_cast<std::int64_t>(kScenarioTable));
+    f.ldi(R7, static_cast<std::int64_t>(s.target));
+    f.st(R6, 0, R7);
+    emit_syscall(f, k::kSysExit);
+    f.func_end();
+    const auto foreign = f.link();
+
+    finish_scenario(&s, {victim, foreign},
+                    {victim.symbol("v_entry"), foreign.symbol("f_entry")},
+                    {victim});
+    return s;
+}
+
+DetectorScenario
+cfi_table_miss_scenario()
+{
+    DetectorScenario s;
+    s.name = "cfi-table-miss";
+    s.profile = scenario_profile("cfi-table-miss");
+    s.expect_attack = false;
+
+    isa::Assembler v(kScenarioCodeBase);
+    for (int i = 0; i < 6; ++i) {
+        v.func_begin(strcat_args("v_h", i));
+        v.nop();
+        v.ret();
+        v.func_end();
+    }
+    v.func_begin("v_entry");
+    // Cycle the slot through all six handlers. Every dispatch site's
+    // static set holds all six targets; the modeled hardware caches only
+    // CfiDetector::kHardwareSlots of them, so the last handlers raise
+    // hardware alarms the replay classifier clears.
+    for (int i = 0; i < 6; ++i) {
+        emit_publish(v, strcat_args("v_h", i));
+        emit_dispatch(v);
+        emit_syscall(v, k::kSysYield);
+    }
+    emit_syscall(v, k::kSysExit);
+    v.func_end();
+    const auto image = v.link();
+    s.target = image.symbol("v_h4");
+
+    finish_scenario(&s, {image}, {image.symbol("v_entry")}, {image});
+    return s;
+}
+
+DetectorScenario
+wx_patcher_scenario()
+{
+    DetectorScenario s;
+    s.name = "wx-patcher";
+    s.profile = scenario_profile("wx-patcher");
+    s.expect_attack = false;
+    s.site = k::kJitRegionBase;
+    s.target = k::kJitRegionBase;
+
+    // The stub the patcher materializes: a single `ret` at the JIT base.
+    isa::Assembler stub(k::kJitRegionBase);
+    stub.ret();
+    const auto stub_image = stub.link();
+
+    isa::Assembler v(kScenarioCodeBase);
+    v.func_begin("v_entry");
+    v.ldi(R6, static_cast<std::int64_t>(k::kJitRegionBase));
+    v.ldi(R7, static_cast<std::int64_t>(image_word(stub_image, 0)));
+    v.st(R6, 0, R7);
+    // Dispatch into the freshly generated code, entering the JIT region
+    // at its base (the sanctioned-codegen shape).
+    v.ldi(R5, static_cast<std::int64_t>(k::kJitRegionBase));
+    v.callr(R5);
+    emit_syscall(v, k::kSysExit);
+    v.func_end();
+    const auto image = v.link();
+
+    finish_scenario(&s, {image}, {image.symbol("v_entry")}, {image});
+    return s;
+}
+
+DetectorScenario
+wx_inject_scenario()
+{
+    DetectorScenario s;
+    s.name = "wx-inject";
+    s.profile = scenario_profile("wx-inject");
+    s.expect_attack = true;
+    s.site = k::kJitRegionBase + 0x100;
+    s.target = s.site;
+
+    // The injected payload: exit cleanly so the run stays deterministic.
+    isa::Assembler payload(s.site);
+    payload.ldi(R0, static_cast<std::int64_t>(k::kSysExit));
+    payload.syscall();
+    const auto payload_image = payload.link();
+
+    isa::Assembler v(kScenarioCodeBase);
+    v.func_begin("v_entry");
+    for (std::size_t w = 0; w * 8 < payload_image.size(); ++w) {
+        v.ldi(R6, static_cast<std::int64_t>(s.site + w * 8));
+        v.ldi(R7, static_cast<std::int64_t>(image_word(payload_image, w)));
+        v.st(R6, 0, R7);
+    }
+    // Jump into the payload mid-region: not a sanctioned JIT entry.
+    v.ldi(R5, static_cast<std::int64_t>(s.site));
+    v.jmpr(R5);
+    v.func_end();
+    const auto image = v.link();
+
+    finish_scenario(&s, {image}, {image.symbol("v_entry")}, {image});
+    return s;
+}
+
+DetectorScenario
+longjmp_storm_scenario()
+{
+    DetectorScenario s;
+    s.name = "longjmp-storm";
+    s.profile = scenario_profile("longjmp-storm");
+    s.profile.seed = 23;
+    s.profile.iterations_per_task = 48;
+    s.profile.setjmp_prob = 0.35;
+    s.profile.rec_prob = 0.15;
+    s.expect_attack = false;
+    finish_scenario(&s, {}, {}, {});
+    return s;
 }
 
 }  // namespace rsafe::workloads

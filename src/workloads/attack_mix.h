@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "hv/vm.h"
+#include "isa/program.h"
 #include "workloads/profile.h"
 
 /**
@@ -61,6 +64,61 @@ struct AttackMix {
  * delay_iters + i*delay_step warm-up iterations.
  */
 AttackMix attack_mix(const AttackMixOptions& options = {});
+
+/**
+ * One canonical static-policy detector workload: a small benign base
+ * profile plus scenario-specific guest images, with the ground truth the
+ * detector tests assert against.
+ *
+ * trusted_images is the image group the static policy (and the JOP
+ * function table) is built from — the kernel, the generated base
+ * workload, and every image the deployment trusts. Scenario images that
+ * model foreign/injected code are deliberately absent from it.
+ */
+struct DetectorScenario {
+    std::string name;
+    WorkloadProfile profile;
+    std::function<std::unique_ptr<hv::Vm>()> factory;
+
+    /** Policy-build inputs: kernel image first, then trusted user code. */
+    std::vector<isa::Image> trusted_images;
+
+    /** Ground truth. @{ */
+    bool expect_attack = false;
+    Addr site = 0;    ///< the monitored dispatch/fetch site (0 = n/a)
+    Addr target = 0;  ///< the interesting runtime target
+    /** @} */
+};
+
+/**
+ * The detector scenario set. @{
+ *
+ * cfi_hijack: a victim task dispatches through a one-slot function table
+ * in its data slice; an untrusted attacker task overwrites the slot with
+ * a mid-function address. The runtime target leaves the site's static
+ * value set -> CFI hijack (attack).
+ *
+ * cfi_table_miss: one dispatch slot legitimately cycles through six
+ * handlers. The static set holds all six but the modeled CFI hardware
+ * caches only four targets per site, so the last handlers alarm and the
+ * replay classifier clears them (benign false positives).
+ *
+ * wx_patcher: a trusted task writes a one-instruction stub to the JIT
+ * region base and calls it — sanctioned runtime codegen (benign).
+ *
+ * wx_inject: a task writes a payload *past* the JIT region base and
+ * jumps into it mid-region — code injection (attack).
+ *
+ * longjmp_storm: the base profile's setjmp/longjmp storm knob turned up;
+ * every storm strands dive-chain return addresses on the hardware RAS,
+ * raising classic imperfect-nesting RAS alarms (benign).
+ */
+DetectorScenario cfi_hijack_scenario();
+DetectorScenario cfi_table_miss_scenario();
+DetectorScenario wx_patcher_scenario();
+DetectorScenario wx_inject_scenario();
+DetectorScenario longjmp_storm_scenario();
+/** @} */
 
 }  // namespace rsafe::workloads
 

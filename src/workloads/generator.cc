@@ -65,6 +65,11 @@ class TaskEmitter {
             emit_logmsg();
         if (rng_.chance(profile_.rec_prob))
             emit_recursion();
+        // Guarded on the knob so profiles without storms consume exactly
+        // the draw sequence they did before the knob existed (golden
+        // workload images must stay bit-identical).
+        if (profile_.setjmp_prob > 0 && rng_.chance(profile_.setjmp_prob))
+            emit_setjmp_storm();
         if (rng_.chance(profile_.yield_prob))
             emit_syscall0(k::kSysYield);
     }
@@ -167,6 +172,17 @@ class TaskEmitter {
         a_.call("u_rec");
     }
 
+    void
+    emit_setjmp_storm()
+    {
+        const auto depth = rng_.next_range(profile_.setjmp_depth_min,
+                                           profile_.setjmp_depth_max);
+        a_.ldi(R1, static_cast<std::int64_t>(slice_base(task_) +
+                                             kScratchOff));
+        a_.ldi(R2, static_cast<std::int64_t>(depth));
+        a_.call("u_storm");
+    }
+
     Assembler& a_;
     const WorkloadProfile& profile_;
     int task_;
@@ -223,6 +239,38 @@ generate_workload(const WorkloadProfile& profile)
     a.mov(R0, R2);
     a.jmpr(R5);                // non-procedural transfer: no RAS pop
     a.func_end();
+
+    // Longjmp-storm helpers (RAS false-positive generator): u_storm
+    // setjmps, dives `depth` calls deep, and longjmps straight back. The
+    // dive chain's return addresses stay on the hardware RAS, so the
+    // storm's own ret (and a few after it) mispredict — classic imperfect
+    // nesting the AR must classify benign. Emitted only for profiles
+    // that use the knob so existing images stay bit-identical.
+    if (profile.setjmp_prob > 0) {
+        a.func_begin("u_storm");
+        a.mov(isa::R10, R1);       // jmp_buf (u_setjmp/longjmp preserve it)
+        a.st(isa::R10, 48, R2);    // stash dive depth past the jmp_buf
+        a.call("u_setjmp");        // R1 still holds the jmp_buf
+        a.ldi(R2, 0);
+        a.bne(R0, R2, "u_storm_out");
+        a.ld(R1, isa::R10, 48);
+        a.call("u_dive");          // never returns: ends in the longjmp
+        a.label("u_storm_out");
+        a.ret();                   // pops a stale dive entry: mispredict
+        a.func_end();
+
+        a.func_begin("u_dive");
+        a.ldi(R2, 0);
+        a.beq(R1, R2, "u_dive_jump");
+        a.addi(R1, R1, -1);
+        a.call("u_dive");
+        a.ret();                   // unreachable: the dive never unwinds
+        a.label("u_dive_jump");
+        a.mov(R1, isa::R10);
+        a.ldi(R2, 1);
+        a.call("u_longjmp");
+        a.func_end();
+    }
 
     GeneratedWorkload workload;
     for (int task = 0; task < profile.num_tasks; ++task) {

@@ -50,6 +50,12 @@ struct WorkloadProfile {
     double logmsg_prob = 0.0;     ///< benign sys_logmsg
     double rec_prob = 0.0;        ///< user-level recursion
     double yield_prob = 0.0;      ///< voluntary sys_yield
+    double setjmp_prob = 0.0;     ///< setjmp + deep dive + longjmp storm
+    /** @} */
+
+    /** Longjmp-storm dive depth range (stale RAS entries per storm). @{ */
+    int setjmp_depth_min = 6;
+    int setjmp_depth_max = 20;
     /** @} */
 
     /** sys_checksum buffer length (kernel recursion depth = len/32). */

@@ -1,8 +1,11 @@
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/policy.h"
 #include "common/log.h"
 #include "kernel/kernel_builder.h"
 #include "kernel/layout.h"
@@ -38,7 +41,67 @@ usage(std::ostream& os)
           "  --max-gadget-len <n>   longest ret-terminated run counted\n"
           "                         (default 4)\n"
           "  --warnings-as-errors   exit non-zero on warnings too\n"
+          "  --emit-policy <file>   run the value-set pass over the\n"
+          "                         kernel (plus --workload image, when\n"
+          "                         given) and write the serialized\n"
+          "                         static policy table to <file>\n"
           "  -h, --help             show this message\n";
+}
+
+/** Build, round-trip-verify, and write the static policy table. */
+int
+emit_policy(const std::string& workload, const std::string& path)
+{
+    using namespace rsafe;
+
+    const kernel::GuestKernel guest = kernel::build_kernel();
+    std::vector<isa::Image> images = {guest.image};
+    if (!workload.empty()) {
+        images.push_back(
+            workloads::generate_workload(
+                workloads::benchmark_profile(workload))
+                .image);
+    }
+    std::vector<const isa::Image*> image_ptrs;
+    for (const auto& image : images)
+        image_ptrs.push_back(&image);
+
+    const analysis::StaticPolicy policy =
+        analysis::build_policy(image_ptrs, analysis::guest_policy_config());
+    const std::vector<std::uint8_t> bytes = policy.serialize();
+
+    // Round-trip before writing: a table that does not decode to itself
+    // must never ship.
+    analysis::StaticPolicy decoded;
+    if (const Status status =
+            analysis::StaticPolicy::deserialize(bytes, &decoded);
+        !status.ok()) {
+        std::cerr << "rsafe-analyze: policy round-trip decode failed: "
+                  << status.to_string() << "\n";
+        return 1;
+    }
+    if (!(decoded == policy)) {
+        std::cerr << "rsafe-analyze: policy round-trip mismatch\n";
+        return 1;
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::cerr << "rsafe-analyze: cannot open '" << path << "'\n";
+        return 1;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+        std::cerr << "rsafe-analyze: short write to '" << path << "'\n";
+        return 1;
+    }
+
+    std::cout << policy.to_string();
+    std::cout << "policy table: " << bytes.size() << " bytes -> " << path
+              << "\n";
+    return 0;
 }
 
 }  // namespace
@@ -51,6 +114,7 @@ main(int argc, char** argv)
     bool json = false;
     bool warnings_as_errors = false;
     std::string workload;
+    std::string policy_path;
     std::size_t max_gadget_len = 4;
 
     for (int i = 1; i < argc; ++i) {
@@ -61,6 +125,8 @@ main(int argc, char** argv)
             warnings_as_errors = true;
         } else if (arg == "--workload" && i + 1 < argc) {
             workload = argv[++i];
+        } else if (arg == "--emit-policy" && i + 1 < argc) {
+            policy_path = argv[++i];
         } else if (arg == "--max-gadget-len" && i + 1 < argc) {
             max_gadget_len = static_cast<std::size_t>(
                 std::stoul(argv[++i]));
@@ -75,6 +141,9 @@ main(int argc, char** argv)
     }
 
     try {
+        if (!policy_path.empty())
+            return emit_policy(workload, policy_path);
+
         analysis::AnalysisReport report;
         if (workload.empty()) {
             const kernel::GuestKernel guest = kernel::build_kernel();
