@@ -1,0 +1,98 @@
+#include "core/ar_stage.h"
+
+#include <string>
+
+#include "common/log.h"
+#include "core/detector.h"
+#include "obs/trace.h"
+
+namespace rsafe::core {
+
+ArStage::ArStage(VmFactory factory, rnr::ReplayOptions base_options,
+                 const DetectorSet* detectors)
+    : factory_(std::move(factory)), base_options_(base_options),
+      detectors_(detectors)
+{
+    if (!factory_)
+        fatal("ArStage: null VM factory");
+}
+
+AlarmReplayResult
+ArStage::analyze(const replay::PendingAlarm& pending,
+                 const rnr::InputLog* log,
+                 stats::StatRegistry* local_stats) const
+{
+    rnr::InputLogSource source(log);
+    return analyze(pending, &source, local_stats);
+}
+
+AlarmReplayResult
+ArStage::analyze(const replay::PendingAlarm& pending,
+                 rnr::LogSource* source,
+                 stats::StatRegistry* local_stats) const
+{
+    if (!pending.checkpoint)
+        panic("pending alarm without a checkpoint");
+    rnr::ReplayOptions ar_options = base_options_;
+    ar_options.trap_kernel_call_ret = true;
+
+    AlarmReplayResult out;
+    out.log_index = pending.log_index;
+
+    // Flow head: close the arrow the CR opened when it queued this alarm
+    // (same id = the alarm's log index), inside the analysis span so the
+    // viewer binds the arrow to this slice.
+    obs::ScopedSpan span("ar.analyze", "ar");
+    obs::Tracer::instance().flow_finish("alarm", "alarm",
+                                        pending.log_index);
+
+    auto ar_vm = factory_();
+    replay::AlarmReplayer ar(ar_vm.get(), source, *pending.checkpoint,
+                             ar_options);
+    ar.set_detectors(detectors_);
+    local_stats->counter("ar.replays").inc();
+    out.analysis = ar.analyze(pending.log_index);
+
+    if (out.analysis.cause == replay::AlarmCause::kNeedsDeeperAnalysis) {
+        // Re-run with more instrumentation (Section 4.6.2): trace
+        // user-mode call/ret as well.
+        ar_options.trap_user_call_ret = true;
+        obs::Tracer::instance().instant("ar.deep_rerun", "ar", "log_index",
+                                        pending.log_index);
+        auto deep_vm = factory_();
+        replay::AlarmReplayer deep_ar(deep_vm.get(), source,
+                                      *pending.checkpoint, ar_options);
+        deep_ar.set_detectors(detectors_);
+        local_stats->counter("ar.replays").inc();
+        local_stats->counter("ar.deep_reruns").inc();
+        out.analysis = deep_ar.analyze(pending.log_index);
+        out.deep_rerun = true;
+    }
+    if (out.analysis.is_attack)
+        local_stats->counter("ar.attacks").inc();
+    if (pending.record.type == rnr::RecordType::kDetectorAlarm &&
+        detectors_ != nullptr) {
+        const Detector* detector = detectors_->find(
+            static_cast<DetectorId>(pending.record.value));
+        if (detector != nullptr) {
+            const std::string prefix =
+                std::string("detector.") + detector->name();
+            local_stats->counter(prefix + ".replays").inc();
+            local_stats
+                ->counter(prefix + (out.analysis.is_attack
+                                        ? ".attacks"
+                                        : ".false_positives"))
+                .inc();
+        }
+    }
+    local_stats->counter("ar.analysis_cycles")
+        .inc(out.analysis.analysis_cycles);
+    local_stats->histogram("ar.analysis_cycles_hist", kLatencyHistMax,
+                           kLatencyHistBuckets)
+        .sample(out.analysis.analysis_cycles);
+    obs::Tracer::instance().instant("ar.verdict", "ar", "is_attack",
+                                    out.analysis.is_attack ? 1 : 0);
+    return out;
+}
+
+}  // namespace rsafe::core

@@ -1,0 +1,93 @@
+#ifndef RSAFE_CORE_AR_STAGE_H_
+#define RSAFE_CORE_AR_STAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "hv/vm.h"
+#include "replay/alarm_replayer.h"
+#include "replay/checkpoint_replayer.h"
+#include "rnr/log_source.h"
+#include "stats/stats.h"
+
+/**
+ * @file
+ * The detachable alarm-replay stage.
+ *
+ * One ArStage holds everything needed to turn a PendingAlarm into a
+ * verdict: the VM factory, the base replay options, and the active
+ * detector complement. It is stateless across calls (every analyze()
+ * builds fresh VMs), so a single instance is safely shared by any number
+ * of worker threads — the framework's private pool and the fleet's
+ * shared work-stealing pool both call the same code.
+ *
+ * Two log access shapes:
+ *  - a finished InputLog (the framework path: alarm replays run after
+ *    the recording completed);
+ *  - any LogSource resolving the [checkpoint, alarm] range — in the
+ *    fleet, a SliceLogSource owning a copy of exactly that range, so a
+ *    pool worker never reads a tenant's still-growing log.
+ */
+
+namespace rsafe::core {
+
+class DetectorSet;
+
+/** Builds one more identically-configured VM. */
+using VmFactory = std::function<std::unique_ptr<hv::Vm>()>;
+
+/** Everything one alarm replay produced (satellite of result.alarms). */
+struct AlarmReplayResult {
+    /** Index of the alarm record in the input log. */
+    std::size_t log_index = 0;
+    /** True if the first AR pass lacked instrumentation and a deeper
+     *  rerun (user-mode call/ret tracing) produced the final analysis. */
+    bool deep_rerun = false;
+    /** The final classification, forensics, and report. */
+    replay::AlarmAnalysis analysis;
+};
+
+/** The alarm-replay stage: PendingAlarm -> AlarmReplayResult. */
+class ArStage {
+  public:
+    /** Geometry of the per-alarm analysis-latency histogram: cycle costs
+     *  of one AR replay land in the millions, so a wide range with coarse
+     *  buckets keeps the percentiles meaningful without a huge table. */
+    static constexpr std::uint64_t kLatencyHistMax = 64u * 1024u * 1024u;
+    static constexpr std::size_t kLatencyHistBuckets = 64;
+
+    /**
+     * @param factory       builds the AR VMs; must be thread-safe when
+     *                      analyze() is called from worker threads.
+     * @param base_options  the CR's replay options; analyze() layers the
+     *                      AR instrumentation (kernel call/ret traps, and
+     *                      user traps for the deep rerun) on top.
+     * @param detectors     the active detector complement (may be null);
+     *                      must outlive this stage.
+     */
+    ArStage(VmFactory factory, rnr::ReplayOptions base_options,
+            const DetectorSet* detectors);
+
+    /**
+     * Launch one alarm replayer (plus the deeper rerun if needed) for
+     * @p pending and account it into @p local_stats. Thread-safe.
+     */
+    AlarmReplayResult analyze(const replay::PendingAlarm& pending,
+                              const rnr::InputLog* log,
+                              stats::StatRegistry* local_stats) const;
+
+    /** As above, reading records from @p source (both passes). */
+    AlarmReplayResult analyze(const replay::PendingAlarm& pending,
+                              rnr::LogSource* source,
+                              stats::StatRegistry* local_stats) const;
+
+  private:
+    VmFactory factory_;
+    rnr::ReplayOptions base_options_;
+    const DetectorSet* detectors_;
+};
+
+}  // namespace rsafe::core
+
+#endif  // RSAFE_CORE_AR_STAGE_H_

@@ -1,5 +1,6 @@
 #include "core/framework.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -12,16 +13,6 @@
 #include "rnr/log_source.h"
 
 namespace rsafe::core {
-
-namespace {
-
-/** Geometry of the per-alarm analysis-latency histogram: cycle costs of
- *  one AR replay land in the millions, so a wide range with coarse
- *  buckets keeps the percentiles meaningful without a huge table. */
-constexpr std::uint64_t kArLatencyHistMax = 64u * 1024u * 1024u;
-constexpr std::size_t kArLatencyHistBuckets = 64;
-
-}  // namespace
 
 RnrSafeFramework::RnrSafeFramework(VmFactory factory, FrameworkConfig config)
     : factory_(std::move(factory)), config_(std::move(config))
@@ -42,9 +33,20 @@ RnrSafeFramework::run()
     panic("RnrSafeFramework: bad pipeline mode");
 }
 
+SessionOptions
+RnrSafeFramework::session_options(bool streamed) const
+{
+    SessionOptions options;
+    options.recorder = config_.recorder;
+    options.cr = config_.cr;
+    options.max_instructions = config_.max_instructions;
+    options.channel = config_.channel;
+    options.streamed = streamed;
+    return options;
+}
+
 void
-RnrSafeFramework::install_detectors(FrameworkResult* result,
-                                    hv::Vm* armed_vm)
+RnrSafeFramework::install_detectors(FrameworkResult* result)
 {
     active_detectors_ = nullptr;
     if (!config_.detectors || config_.detectors->empty())
@@ -53,90 +55,25 @@ RnrSafeFramework::install_detectors(FrameworkResult* result,
         return;  // runtime kill-switch: RAS-only baseline
     result->detectors = config_.detectors;
     active_detectors_ = config_.detectors.get();
-    if (armed_vm != nullptr) {
-        for (const auto& detector : config_.detectors->all())
-            detector->arm(*armed_vm);
-    }
-    if (result->recorder)
-        result->recorder->set_detectors(active_detectors_);
 }
 
 void
-RnrSafeFramework::disarm_detectors()
+RnrSafeFramework::adopt_session(FrameworkResult* result, SessionStage* stage,
+                                const SessionResult& session)
 {
-    if (active_detectors_ == nullptr)
-        return;
-    for (const auto& detector : active_detectors_->all())
-        detector->disarm();
-}
-
-AlarmReplayResult
-RnrSafeFramework::analyze_alarm(const replay::PendingAlarm& pending,
-                                const rnr::InputLog* log,
-                                stats::StatRegistry* local_stats)
-{
-    if (!pending.checkpoint)
-        panic("pending alarm without a checkpoint");
-    rnr::ReplayOptions ar_options = config_.cr.replay;
-    ar_options.trap_kernel_call_ret = true;
-
-    AlarmReplayResult out;
-    out.log_index = pending.log_index;
-
-    // Flow head: close the arrow the CR opened when it queued this alarm
-    // (same id = the alarm's log index), inside the analysis span so the
-    // viewer binds the arrow to this slice.
-    obs::ScopedSpan span("ar.analyze", "ar");
-    obs::Tracer::instance().flow_finish("alarm", "alarm",
-                                        pending.log_index);
-
-    auto ar_vm = factory_();
-    replay::AlarmReplayer ar(ar_vm.get(), log, *pending.checkpoint,
-                             ar_options);
-    ar.set_detectors(active_detectors_);
-    local_stats->counter("ar.replays").inc();
-    out.analysis = ar.analyze(pending.log_index);
-
-    if (out.analysis.cause == replay::AlarmCause::kNeedsDeeperAnalysis) {
-        // Re-run with more instrumentation (Section 4.6.2): trace
-        // user-mode call/ret as well.
-        ar_options.trap_user_call_ret = true;
-        obs::Tracer::instance().instant("ar.deep_rerun", "ar", "log_index",
-                                        pending.log_index);
-        auto deep_vm = factory_();
-        replay::AlarmReplayer deep_ar(deep_vm.get(), log,
-                                      *pending.checkpoint, ar_options);
-        deep_ar.set_detectors(active_detectors_);
-        local_stats->counter("ar.replays").inc();
-        local_stats->counter("ar.deep_reruns").inc();
-        out.analysis = deep_ar.analyze(pending.log_index);
-        out.deep_rerun = true;
-    }
-    if (out.analysis.is_attack)
-        local_stats->counter("ar.attacks").inc();
-    if (pending.record.type == rnr::RecordType::kDetectorAlarm &&
-        active_detectors_ != nullptr) {
-        const Detector* detector = active_detectors_->find(
-            static_cast<DetectorId>(pending.record.value));
-        if (detector != nullptr) {
-            const std::string prefix =
-                std::string("detector.") + detector->name();
-            local_stats->counter(prefix + ".replays").inc();
-            local_stats
-                ->counter(prefix + (out.analysis.is_attack
-                                        ? ".attacks"
-                                        : ".false_positives"))
-                .inc();
-        }
-    }
-    local_stats->counter("ar.analysis_cycles")
-        .inc(out.analysis.analysis_cycles);
-    local_stats->histogram("ar.analysis_cycles_hist", kArLatencyHistMax,
-                           kArLatencyHistBuckets)
-        .sample(out.analysis.analysis_cycles);
-    obs::Tracer::instance().instant("ar.verdict", "ar", "is_attack",
-                                    out.analysis.is_attack ? 1 : 0);
-    return out;
+    result->record_result = session.record_result;
+    result->cr_outcome = session.cr_outcome;
+    result->alarms_logged = session.alarms_logged;
+    result->channel_stats = session.channel_stats;
+    result->underflows_resolved = stage->cr()->underflows_resolved();
+    result->replay_lag = stage->cr()->lag();
+    if (stage->active_detectors() != nullptr)
+        result->detectors = config_.detectors;
+    active_detectors_ = stage->active_detectors();
+    result->recorded_vm = stage->release_recorded_vm();
+    result->recorder = stage->release_recorder();
+    result->cr_vm = stage->release_cr_vm();
+    result->cr = stage->release_cr();
 }
 
 std::vector<AlarmReplayResult>
@@ -148,19 +85,28 @@ RnrSafeFramework::run_alarm_pool(
     if (pending.empty())
         return results;
 
+    const ArStage stage(factory_, config_.cr.replay, active_detectors_);
+
     std::size_t workers = config_.ar_workers == 0 ? 1 : config_.ar_workers;
     if (workers > pending.size())
         workers = pending.size();
 
     if (workers == 1) {
         for (std::size_t i = 0; i < pending.size(); ++i)
-            results[i] = analyze_alarm(pending[i], log, stats_out);
+            results[i] = stage.analyze(pending[i], log, stats_out);
         return results;
     }
 
-    // Each worker claims alarm indices from a shared counter and writes
-    // into its own result slot and its own stats registry: no shared
-    // mutation on the hot path, deterministic merge order at join.
+    // Each worker claims a batch of alarm indices from a shared counter
+    // and writes into its own result slots and its own stats registry:
+    // no shared mutation on the hot path, deterministic merge order at
+    // join. Batching the claims (K indices per fetch_add) keeps the
+    // counter cache line from ping-ponging when many short alarm replays
+    // meet many workers — the 2->4 worker wall-clock regression path.
+    // The batch is 1 until there are >= 8 alarms per worker, so small
+    // runs keep the exact claim order the scheduling model mirrors.
+    const std::size_t batch = std::clamp<std::size_t>(
+        pending.size() / (workers * 8), 1, 8);
     std::atomic<std::size_t> next{0};
     std::vector<stats::StatRegistry> worker_stats(workers);
     std::vector<std::exception_ptr> worker_errors(workers);
@@ -172,12 +118,17 @@ RnrSafeFramework::run_alarm_pool(
                 if (obs::Tracer::instance().enabled())
                     obs::Tracer::instance().attach_thread("ar-worker");
                 while (true) {
-                    const std::size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= pending.size())
+                    const std::size_t begin =
+                        next.fetch_add(batch, std::memory_order_relaxed);
+                    if (begin >= pending.size())
                         break;
-                    results[i] =
-                        analyze_alarm(pending[i], log, &worker_stats[w]);
+                    const std::size_t end =
+                        std::min(begin + batch, pending.size());
+                    for (std::size_t i = begin; i < end; ++i) {
+                        results[i] =
+                            stage.analyze(pending[i], log,
+                                          &worker_stats[w]);
+                    }
                 }
             } catch (...) {
                 worker_errors[w] = std::current_exception();
@@ -195,8 +146,8 @@ RnrSafeFramework::run_alarm_pool(
 }
 
 void
-RnrSafeFramework::finalize(FrameworkResult* result,
-                           std::vector<AlarmReplayResult> ar_results)
+finalize_result(FrameworkResult* result,
+                std::vector<AlarmReplayResult> ar_results)
 {
     // Fold AR outputs back in alarm order: identical between the serial
     // pipeline and any worker-pool schedule.
@@ -299,7 +250,7 @@ RnrSafeFramework::replay_wire(const std::vector<std::uint8_t>& bytes)
     // No recording stage here, so there is nothing to arm — but the
     // shipped log may carry kDetectorAlarm records, and the configured
     // detector set supplies their classifiers.
-    install_detectors(&result, /*armed_vm=*/nullptr);
+    install_detectors(&result);
 
     // Checkpointing replay over the recovered prefix. The CR stops at the
     // corruption boundary (the log simply ends there) instead of the
@@ -314,18 +265,20 @@ RnrSafeFramework::replay_wire(const std::vector<std::uint8_t>& bytes)
     result.underflows_resolved = result.cr->underflows_resolved();
     result.replay_lag = result.cr->lag();
 
-    // Alarm replays, scheduled per the configured pipeline shape.
+    // Alarm replays, scheduled per the configured pipeline mode.
     std::vector<AlarmReplayResult> ar_results;
     if (config_.pipeline == PipelineMode::kSerial) {
+        const ArStage ar_stage(factory_, config_.cr.replay,
+                               active_detectors_);
         ar_results.reserve(result.cr->pending_alarms().size());
         for (const auto& pending : result.cr->pending_alarms())
             ar_results.push_back(
-                analyze_alarm(pending, &log, &result.pipeline_stats));
+                ar_stage.analyze(pending, &log, &result.pipeline_stats));
     } else {
         ar_results = run_alarm_pool(result.cr->pending_alarms(), &log,
                                     &result.pipeline_stats);
     }
-    finalize(&result, std::move(ar_results));
+    finalize_result(&result, std::move(ar_results));
 
     if (!result.log_integrity.intact()) {
         // Surface the damage as a first-class alarm: replay verdicts
@@ -351,40 +304,22 @@ RnrSafeFramework::run_serial()
         tracer.attach_thread("pipeline");
     obs::ScopedSpan pipeline_span("pipeline.serial", "pipeline");
 
-    // 1. Monitored recording.
-    result.recorded_vm = factory_();
-    result.recorder = std::make_unique<rnr::Recorder>(
-        result.recorded_vm.get(), config_.recorder);
-    install_detectors(&result, result.recorded_vm.get());
-    {
-        obs::ScopedSpan span("record.run", "record");
-        result.record_result = result.recorder->run(config_.max_instructions);
-    }
-    disarm_detectors();
-
-    const rnr::InputLog& log = result.recorder->log();
-    result.alarms_logged =
-        log.find_all(rnr::RecordType::kRasAlarm).size() +
-        log.find_all(rnr::RecordType::kDetectorAlarm).size();
-
-    // 2. Checkpointing replay.
-    result.cr_vm = factory_();
-    result.cr = std::make_unique<replay::CheckpointReplayer>(
-        result.cr_vm.get(), &log, config_.cr);
-    {
-        obs::ScopedSpan span("cr.run", "cr");
-        result.cr_outcome = result.cr->run();
-    }
-    result.underflows_resolved = result.cr->underflows_resolved();
-    result.replay_lag = result.cr->lag();
+    // 1+2. The session stage: monitored recording, then checkpointing
+    // replay, back to back on this thread.
+    SessionStage stage(factory_, session_options(/*streamed=*/false),
+                       config_.detectors);
+    const SessionResult session = stage.run();
+    adopt_session(&result, &stage, session);
 
     // 3. Alarm replays, one per unresolved alarm, in alarm order.
+    const rnr::InputLog& log = result.recorder->log();
+    const ArStage ar_stage(factory_, config_.cr.replay, active_detectors_);
     std::vector<AlarmReplayResult> ar_results;
     ar_results.reserve(result.cr->pending_alarms().size());
     for (const auto& pending : result.cr->pending_alarms())
         ar_results.push_back(
-            analyze_alarm(pending, &log, &result.pipeline_stats));
-    finalize(&result, std::move(ar_results));
+            ar_stage.analyze(pending, &log, &result.pipeline_stats));
+    finalize_result(&result, std::move(ar_results));
     return result;
 }
 
@@ -397,77 +332,21 @@ RnrSafeFramework::run_concurrent()
         tracer.attach_thread("pipeline");
     obs::ScopedSpan pipeline_span("pipeline.concurrent", "pipeline");
 
-    // Both VMs and both engines are built up front on this thread; only
-    // run() executes on the component threads.
-    result.recorded_vm = factory_();
-    result.recorder = std::make_unique<rnr::Recorder>(
-        result.recorded_vm.get(), config_.recorder);
-    install_detectors(&result, result.recorded_vm.get());
-
-    rnr::LogChannel channel(config_.channel);
-    result.recorder->attach_stream(&channel);
-    rnr::LogReader reader(&channel);
-
-    result.cr_vm = factory_();
-    result.cr = std::make_unique<replay::CheckpointReplayer>(
-        result.cr_vm.get(), static_cast<rnr::LogSource*>(&reader),
-        config_.cr);
-
     // 1+2 concurrently: the recorder streams the log through the bounded
     // channel; the CR consumes it on the fly (Figure 1's arrow is a live
     // queue, not a file handed over after the fact).
-    std::exception_ptr record_error, cr_error;
-    std::thread record_thread([&] {
-        try {
-            if (obs::Tracer::instance().enabled())
-                obs::Tracer::instance().attach_thread("recorder");
-            obs::ScopedSpan span("record.run", "record");
-            result.record_result =
-                result.recorder->run(config_.max_instructions);
-            channel.close();
-        } catch (...) {
-            record_error = std::current_exception();
-            channel.poison();
-        }
-    });
-    std::thread cr_thread([&] {
-        try {
-            if (obs::Tracer::instance().enabled())
-                obs::Tracer::instance().attach_thread("cr");
-            obs::ScopedSpan span("cr.run", "cr");
-            result.cr_outcome = result.cr->run();
-        } catch (...) {
-            cr_error = std::current_exception();
-            // Unblock the producer: without a consumer the bounded
-            // channel would park the recorder forever.
-            channel.abandon();
-        }
-    });
-    record_thread.join();
-    cr_thread.join();
-    // The channel dies with this frame; the recorder must not keep a
-    // pointer to it.
-    result.recorder->attach_stream(nullptr);
-    disarm_detectors();
-    if (record_error)
-        std::rethrow_exception(record_error);
-    if (cr_error)
-        std::rethrow_exception(cr_error);
-
-    const rnr::InputLog& log = result.recorder->log();
-    result.alarms_logged =
-        log.find_all(rnr::RecordType::kRasAlarm).size() +
-        log.find_all(rnr::RecordType::kDetectorAlarm).size();
-    result.underflows_resolved = result.cr->underflows_resolved();
-    result.replay_lag = result.cr->lag();
-    result.channel_stats = channel.stats();
+    SessionStage stage(factory_, session_options(/*streamed=*/true),
+                       config_.detectors);
+    const SessionResult session = stage.run();
+    adopt_session(&result, &stage, session);
 
     // 3. Alarm replays across the worker pool. Each AR is independent
     // given its originating checkpoint; results merge in alarm order.
+    const rnr::InputLog& log = result.recorder->log();
     obs::ScopedSpan ar_span("ar.pool", "ar");
     auto ar_results = run_alarm_pool(result.cr->pending_alarms(), &log,
                                      &result.pipeline_stats);
-    finalize(&result, std::move(ar_results));
+    finalize_result(&result, std::move(ar_results));
     return result;
 }
 

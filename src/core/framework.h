@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "core/alarm.h"
+#include "core/ar_stage.h"
 #include "core/detector.h"
+#include "core/session_stage.h"
 #include "hv/vm.h"
 #include "replay/checkpoint_replayer.h"
 #include "rnr/log_channel.h"
@@ -53,8 +55,8 @@
 
 namespace rsafe::core {
 
-/** Builds one more identically-configured VM. */
-using VmFactory = std::function<std::unique_ptr<hv::Vm>()>;
+// VmFactory and AlarmReplayResult moved to core/ar_stage.h (the
+// detachable alarm-replay stage); both remain visible here.
 
 /** Stage scheduling of the pipeline. */
 enum class PipelineMode {
@@ -83,17 +85,6 @@ struct FrameworkConfig {
      * a runtime kill-switch that ignores this field entirely.
      */
     std::shared_ptr<DetectorSet> detectors;
-};
-
-/** Everything one alarm replay produced (satellite of result.alarms). */
-struct AlarmReplayResult {
-    /** Index of the alarm record in the input log. */
-    std::size_t log_index = 0;
-    /** True if the first AR pass lacked instrumentation and a deeper
-     *  rerun (user-mode call/ret tracing) produced the final analysis. */
-    bool deep_rerun = false;
-    /** The final classification, forensics, and report. */
-    replay::AlarmAnalysis analysis;
 };
 
 /** Everything the pipeline produced. */
@@ -147,6 +138,18 @@ struct FrameworkResult {
     std::unique_ptr<rnr::InputLog> shipped_log;
 };
 
+/**
+ * Fold @p ar_results plus the component counters into @p result: alarm
+ * verdicts land in alarm order, pipeline counters cover only values that
+ * are bit-identical across pipeline shapes (the determinism A/B gates
+ * compare the whole snapshot), and scheduling-dependent series (replay
+ * lag, TB telemetry) ride in gauges/histograms, which snapshot()
+ * excludes. Shared by the single framework and the replay fleet, so both
+ * produce comparable results by construction.
+ */
+void finalize_result(FrameworkResult* result,
+                     std::vector<AlarmReplayResult> ar_results);
+
 /** The RnR-Safe pipeline. */
 class RnrSafeFramework {
   public:
@@ -170,38 +173,25 @@ class RnrSafeFramework {
     FrameworkResult run_serial();
     FrameworkResult run_concurrent();
 
-    /**
-     * Launch one alarm replayer (plus the deeper rerun if needed) for
-     * @p pending and account it into @p local_stats. Builds its VMs via
-     * factory_; safe to call from worker threads.
-     */
-    AlarmReplayResult analyze_alarm(const replay::PendingAlarm& pending,
-                                    const rnr::InputLog* log,
-                                    stats::StatRegistry* local_stats);
+    /** Build the session-stage half of config_ (streamed or not). */
+    SessionOptions session_options(bool streamed) const;
+
+    /** Move the stage's components + outputs into @p result. */
+    void adopt_session(FrameworkResult* result, SessionStage* stage,
+                       const SessionResult& session);
 
     /** Fan pending alarms across workers; results land in alarm order. */
     std::vector<AlarmReplayResult> run_alarm_pool(
         const std::vector<replay::PendingAlarm>& pending,
         const rnr::InputLog* log, stats::StatRegistry* stats_out);
 
-    /** Fold AR results + component counters into @p result. */
-    void finalize(FrameworkResult* result,
-                  std::vector<AlarmReplayResult> ar_results);
-
     /**
-     * Resolve the kill-switch and (when @p armed_vm is non-null) arm the
-     * configured detectors on the recorded VM + recorder. Sets
-     * active_detectors_ for the alarm-replay stage.
+     * Resolve the kill-switch: record the configured detector set in
+     * @p result and set active_detectors_ for the alarm-replay stage
+     * (replay_wire has no recording stage to arm, SessionStage arms the
+     * run() paths itself).
      */
-    void install_detectors(FrameworkResult* result, hv::Vm* armed_vm);
-
-    /**
-     * Release every active detector's binding to the recorded VM.
-     * Called as soon as recording finishes: the hardware models are
-     * only live during recording, and the detector set (shared via
-     * config_) can outlive the recorded VM.
-     */
-    void disarm_detectors();
+    void install_detectors(FrameworkResult* result);
 
     VmFactory factory_;
     FrameworkConfig config_;

@@ -1,0 +1,163 @@
+#ifndef RSAFE_CORE_SESSION_STAGE_H_
+#define RSAFE_CORE_SESSION_STAGE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ar_stage.h"
+#include "hv/vm.h"
+#include "replay/checkpoint_replayer.h"
+#include "rnr/log_channel.h"
+#include "rnr/log_source.h"
+#include "rnr/recorder.h"
+
+/**
+ * @file
+ * The recorder+CR front half of the pipeline as a detachable stage.
+ *
+ * One SessionStage owns one guest session: the recorded VM with its
+ * Recorder, and the checkpointing-replayer VM consuming the log — either
+ * streamed through a bounded LogChannel while recording is still in
+ * progress (the paper's deployment shape) or back-to-back over the
+ * finished log (the serial reference used for determinism A/B testing).
+ *
+ * What makes it a *stage* rather than a whole pipeline is what it does
+ * with alarms: it does not replay them. Every alarm the CR cannot
+ * resolve is handed to the installed alarm sink (set_alarm_sink) as soon
+ * as the CR reaches it, packaged with an owned copy of the log records
+ * between the originating checkpoint and the alarm — a self-contained
+ * job any alarm-replay worker can execute without touching this
+ * session's log. RnrSafeFramework runs one stage and feeds its own AR
+ * pool; ReplayFleet runs N stages over one shared work-stealing pool.
+ */
+
+namespace rsafe::core {
+
+class DetectorSet;
+
+/** SessionStage configuration (the front half of FrameworkConfig). */
+struct SessionOptions {
+    rnr::RecorderOptions recorder;
+    replay::CrOptions cr;
+    /** Stop the recorded run after this many guest instructions. */
+    InstrCount max_instructions = ~static_cast<InstrCount>(0);
+    /** Recorder->CR streaming channel shape (streamed mode only). */
+    rnr::ChannelOptions channel;
+    /** true = stream record->CR on two threads; false = back-to-back. */
+    bool streamed = true;
+    /**
+     * Tenant name used to prefix this session's trace-track names
+     * ("<name>.recorder", "<name>.cr"). Empty keeps the bare stage names
+     * the single-framework pipeline has always used.
+     */
+    std::string name;
+};
+
+/** What one session run produced (components stay owned by the stage). */
+struct SessionResult {
+    hv::RunResult record_result = hv::RunResult::kHalted;
+    rnr::ReplayOutcome cr_outcome = rnr::ReplayOutcome::kFinished;
+    /** Raw alarm markers in the log. */
+    std::size_t alarms_logged = 0;
+    /** Recorder->CR channel traffic (streamed mode only). */
+    rnr::ChannelStats channel_stats;
+    /** True if a request_stop() cut recording or replay short. */
+    bool stopped = false;
+};
+
+/** An alarm-replay job emitted by a session: self-contained. */
+struct AlarmJob {
+    replay::PendingAlarm pending;
+    /**
+     * Owned copy of log records [checkpoint.log_pos, pending.log_index]
+     * — everything an AlarmReplayer touches, bounded by the checkpoint
+     * interval. Feed it to a SliceLogSource for replay.
+     */
+    std::vector<rnr::LogRecord> slice;
+};
+
+/** One guest session: recorder + checkpointing replayer. */
+class SessionStage {
+  public:
+    /**
+     * Builds the session's VMs and engines. @p detectors (may be null)
+     * is armed on the recorded VM unless the RSAFE_NO_DETECTORS
+     * kill-switch is set; run() disarms it when recording finishes.
+     */
+    SessionStage(VmFactory factory, SessionOptions options,
+                 std::shared_ptr<DetectorSet> detectors);
+
+    /**
+     * Install the alarm sink, fired on the CR's thread for every alarm
+     * the CR queues, mid-replay. Must be called before run().
+     */
+    using AlarmSink = std::function<void(const AlarmJob&)>;
+    void set_alarm_sink(AlarmSink sink) { sink_ = std::move(sink); }
+
+    /** Record + checkpointing-replay this session (blocking). */
+    SessionResult run();
+
+    /**
+     * Ask a run() in progress to wind down: the recorder stops at its
+     * next exit boundary (which closes the stream), and the CR stops at
+     * its next positional segment. Callable from any thread.
+     */
+    void request_stop();
+
+    /** The in-effect detector set (kill-switch applied; may be null). */
+    const DetectorSet* active_detectors() const { return active_detectors_; }
+
+    /** Component access (valid until the matching release_*()). @{ */
+    hv::Vm* recorded_vm() { return recorded_vm_.get(); }
+    rnr::Recorder* recorder() { return recorder_.get(); }
+    hv::Vm* cr_vm() { return cr_vm_.get(); }
+    replay::CheckpointReplayer* cr() { return cr_.get(); }
+    /** @} */
+
+    /** Hand the components over (e.g. into a FrameworkResult). @{ */
+    std::unique_ptr<hv::Vm> release_recorded_vm();
+    std::unique_ptr<rnr::Recorder> release_recorder();
+    std::unique_ptr<hv::Vm> release_cr_vm();
+    std::unique_ptr<replay::CheckpointReplayer> release_cr();
+    /** @} */
+
+  private:
+    SessionResult run_streamed();
+    SessionResult run_sequential();
+
+    /** Build the CR (+VM) over @p source and hook up the alarm sink. */
+    void build_cr(rnr::LogSource* source);
+
+    /** Wrap sink_: copy the [checkpoint, alarm] slice out of @p source
+     *  (on the CR thread) and forward the job. */
+    void install_cr_sink(rnr::LogSource* source);
+
+    void disarm_detectors();
+
+    VmFactory factory_;
+    SessionOptions options_;
+    std::shared_ptr<DetectorSet> detectors_;
+    const DetectorSet* active_detectors_ = nullptr;
+    bool detectors_armed_ = false;
+
+    AlarmSink sink_;
+    bool ran_ = false;
+
+    /** Guards cr_ against a request_stop() racing its lazy build. */
+    std::mutex stop_mu_;
+    bool stop_flag_ = false;
+
+    std::unique_ptr<hv::Vm> recorded_vm_;
+    std::unique_ptr<rnr::Recorder> recorder_;
+    std::unique_ptr<rnr::LogChannel> channel_;
+    std::unique_ptr<rnr::LogReader> reader_;
+    std::unique_ptr<rnr::InputLogSource> seq_source_;
+    std::unique_ptr<hv::Vm> cr_vm_;
+    std::unique_ptr<replay::CheckpointReplayer> cr_;
+};
+
+}  // namespace rsafe::core
+
+#endif  // RSAFE_CORE_SESSION_STAGE_H_

@@ -1,0 +1,314 @@
+#include "fleet/fleet.h"
+
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/log.h"
+#include "obs/trace.h"
+#include "rnr/log_source.h"
+
+namespace rsafe::fleet {
+
+/**
+ * Everything one tenant needs while its session runs and its alarm jobs
+ * float through the shared pool. Lives on the fleet's run() stack and
+ * outlives the pool, so job closures can hold raw pointers to it.
+ */
+struct ReplayFleet::TenantState {
+    std::string name;
+    std::size_t pool_id = 0;
+    std::unique_ptr<core::SessionStage> stage;
+    std::unique_ptr<core::ArStage> ar;
+
+    core::SessionResult session;
+    std::exception_ptr error;
+
+    /** Guards the job bookkeeping below against pool workers. */
+    std::mutex mu;
+    /** Jobs submitted so far; a job's sequence number is its slot. The
+     *  CR queues alarms in log order, so slot order == alarm order. */
+    std::size_t submitted = 0;
+    std::vector<core::AlarmReplayResult> results;
+    std::vector<char> done;
+    /** Per-tenant AR counters, merged from per-job registries. Counter
+     *  and histogram merges are commutative, so completion order does
+     *  not perturb the totals. */
+    stats::StatRegistry ar_stats;
+};
+
+ReplayFleet::ReplayFleet(std::vector<FleetTenant> tenants,
+                         FleetOptions options)
+    : tenants_(std::move(tenants)), options_(options)
+{
+    if (tenants_.empty())
+        fatal("ReplayFleet: no tenants");
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (!tenants_[i].factory)
+            fatal("ReplayFleet: tenant without a VM factory");
+        if (tenants_[i].name.empty())
+            fatal("ReplayFleet: tenant without a name");
+        for (std::size_t j = i + 1; j < tenants_.size(); ++j)
+            if (tenants_[i].name == tenants_[j].name)
+                fatal("ReplayFleet: duplicate tenant name '" +
+                      tenants_[i].name + "'");
+    }
+}
+
+FleetResult
+ReplayFleet::run()
+{
+    if (ran_)
+        fatal("ReplayFleet: run() called twice");
+    ran_ = true;
+    if (std::getenv("RSAFE_NO_FLEET") != nullptr)
+        return run_fallback();
+    return run_fleet();
+}
+
+void
+ReplayFleet::shutdown(ShutdownMode mode)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+    if (mode == ShutdownMode::kAbandon)
+        abandon_requested_ = true;
+    for (TenantState* state : live_states_)
+        state->stage->request_stop();
+    // Discarding queued jobs waits out the ones already executing; fleet
+    // jobs never touch mu_, so holding it here only delays run()'s own
+    // brief bookkeeping sections.
+    if (abandon_requested_ && live_pool_ != nullptr)
+        live_pool_->abandon();
+}
+
+FleetResult
+ReplayFleet::run_fleet()
+{
+    FleetResult out;
+
+    // States must outlive the pool (job closures hold raw TenantState
+    // pointers), so they are declared first and destroyed last.
+    std::vector<std::unique_ptr<TenantState>> states;
+    states.reserve(tenants_.size());
+
+    PoolOptions pool_options;
+    pool_options.workers = options_.workers;
+    pool_options.tenant_inflight_cap = options_.tenant_inflight_cap;
+    WorkStealingPool pool(pool_options);
+
+    for (const FleetTenant& tenant : tenants_) {
+        auto state = std::make_unique<TenantState>();
+        state->name = tenant.name;
+        state->pool_id = pool.register_tenant(tenant.name);
+
+        core::SessionOptions session;
+        session.recorder = tenant.config.recorder;
+        session.cr = tenant.config.cr;
+        session.max_instructions = tenant.config.max_instructions;
+        session.channel = tenant.config.channel;
+        session.streamed =
+            tenant.config.pipeline == core::PipelineMode::kConcurrent;
+        session.name = tenant.name;
+        state->stage = std::make_unique<core::SessionStage>(
+            tenant.factory, std::move(session), tenant.config.detectors);
+        state->ar = std::make_unique<core::ArStage>(
+            tenant.factory, tenant.config.cr.replay,
+            state->stage->active_detectors());
+
+        // The sink runs on this tenant's CR thread: claim the next slot,
+        // wrap the job's owned slice in a SliceLogSource, and hand it to
+        // the shared pool. The pool worker writes the result back into
+        // the claimed slot, so out-of-order execution still lands in
+        // alarm order.
+        TenantState* raw = state.get();
+        WorkStealingPool* pool_ptr = &pool;
+        state->stage->set_alarm_sink(
+            [raw, pool_ptr](const core::AlarmJob& job) {
+                auto owned = std::make_shared<core::AlarmJob>(job);
+                std::size_t seq;
+                {
+                    std::lock_guard<std::mutex> lock(raw->mu);
+                    seq = raw->submitted++;
+                    raw->results.resize(raw->submitted);
+                    raw->done.resize(raw->submitted, 0);
+                }
+                pool_ptr->submit(raw->pool_id, [raw, owned, seq] {
+                    stats::StatRegistry local;
+                    rnr::SliceLogSource source(
+                        owned->pending.checkpoint->log_pos,
+                        std::move(owned->slice));
+                    core::AlarmReplayResult result =
+                        raw->ar->analyze(owned->pending, &source, &local);
+                    std::lock_guard<std::mutex> lock(raw->mu);
+                    raw->results[seq] = std::move(result);
+                    raw->done[seq] = 1;
+                    raw->ar_stats.merge(local);
+                });
+            });
+        states.push_back(std::move(state));
+    }
+
+    // Publish the live run for shutdown(), honoring one requested before
+    // the states existed.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& state : states)
+            live_states_.push_back(state.get());
+        live_pool_ = &pool;
+        if (shutdown_requested_)
+            for (TenantState* state : live_states_)
+                state->stage->request_stop();
+    }
+
+    // One thread per tenant session; streamed tenants spawn their
+    // recorder/CR pair inside SessionStage::run().
+    std::vector<std::thread> sessions;
+    sessions.reserve(states.size());
+    for (auto& state : states) {
+        TenantState* raw = state.get();
+        sessions.emplace_back([raw] {
+            try {
+                if (obs::Tracer::instance().enabled()) {
+                    const std::string track = raw->name + ".session";
+                    obs::Tracer::instance().attach_thread(track.c_str());
+                }
+                raw->session = raw->stage->run();
+            } catch (...) {
+                raw->error = std::current_exception();
+            }
+        });
+    }
+    for (auto& session : sessions)
+        session.join();
+
+    // Sessions are done; finish (or discard) the alarm jobs.
+    bool abandon;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        abandon = abandon_requested_;
+    }
+    if (abandon)
+        pool.abandon();
+    else
+        pool.drain();
+    out.pool = pool.stats();
+    out.tenant_pool = pool.tenant_stats();
+
+    // The run is quiescing: unpublish before tearing anything down.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        live_states_.clear();
+        live_pool_ = nullptr;
+    }
+
+    for (auto& state : states)
+        if (state->error) {
+            pool.abandon();
+            std::rethrow_exception(state->error);
+        }
+
+    for (auto& state : states) {
+        TenantRunResult tenant;
+        tenant.name = state->name;
+        core::FrameworkResult& fr = tenant.result;
+
+        // Adopt the session outputs exactly as the framework does.
+        fr.record_result = state->session.record_result;
+        fr.cr_outcome = state->session.cr_outcome;
+        fr.alarms_logged = state->session.alarms_logged;
+        fr.channel_stats = state->session.channel_stats;
+        fr.underflows_resolved = state->stage->cr()->underflows_resolved();
+        fr.replay_lag = state->stage->cr()->lag();
+        if (state->stage->active_detectors() != nullptr)
+            fr.detectors = config_for(state->name).detectors;
+        fr.recorded_vm = state->stage->release_recorded_vm();
+        fr.recorder = state->stage->release_recorder();
+        fr.cr_vm = state->stage->release_cr_vm();
+        fr.cr = state->stage->release_cr();
+
+        // Completed jobs in submission (= alarm) order; discarded jobs
+        // leave holes that mark the tenant partial.
+        std::vector<core::AlarmReplayResult> ar_results;
+        {
+            std::lock_guard<std::mutex> lock(state->mu);
+            ar_results.reserve(state->submitted);
+            for (std::size_t i = 0; i < state->submitted; ++i) {
+                if (state->done[i])
+                    ar_results.push_back(std::move(state->results[i]));
+                else
+                    ++tenant.jobs_dropped;
+            }
+            fr.pipeline_stats.merge(state->ar_stats);
+        }
+        core::finalize_result(&fr, std::move(ar_results));
+        tenant.partial =
+            state->session.stopped || tenant.jobs_dropped > 0;
+        out.tenants.push_back(std::move(tenant));
+    }
+
+    collect_metrics(&out);
+    return out;
+}
+
+FleetResult
+ReplayFleet::run_fallback()
+{
+    // RSAFE_NO_FLEET: the pre-fleet world, one private framework per
+    // tenant, run sequentially. The A/B gate — a fleet of one tenant
+    // must equal this path bit for bit — keeps the fleet honest.
+    FleetResult out;
+    out.used_fallback = true;
+    for (const FleetTenant& tenant : tenants_) {
+        core::RnrSafeFramework framework(tenant.factory, tenant.config);
+        TenantRunResult result;
+        result.name = tenant.name;
+        result.result = framework.run();
+        out.tenants.push_back(std::move(result));
+    }
+    collect_metrics(&out);
+    return out;
+}
+
+const core::FrameworkConfig&
+ReplayFleet::config_for(const std::string& name) const
+{
+    for (const FleetTenant& tenant : tenants_)
+        if (tenant.name == name)
+            return tenant.config;
+    panic("ReplayFleet: unknown tenant '" + name + "'");
+}
+
+void
+ReplayFleet::collect_metrics(FleetResult* out)
+{
+    auto& metrics = out->metrics;
+    for (const TenantRunResult& tenant : out->tenants) {
+        const std::string prefix = "tenant." + tenant.name + ".";
+        metrics.merge_prefixed(tenant.result.pipeline_stats, prefix);
+        auto& latency = metrics.histogram(
+            prefix + "ar.verdict_latency", core::ArStage::kLatencyHistMax,
+            core::ArStage::kLatencyHistBuckets);
+        for (const auto& ar : tenant.result.ar_results)
+            latency.sample(ar.analysis.analysis_cycles);
+        metrics.counter(prefix + "jobs_dropped").inc(tenant.jobs_dropped);
+        if (tenant.partial)
+            metrics.counter(prefix + "partial").inc();
+    }
+    // Deterministic pool totals ride in counters; scheduling noise
+    // (steals, starvation, hand-off shapes) rides in gauges, which
+    // snapshot() excludes — same split the pipeline stats use.
+    metrics.counter("fleet.pool.submitted").inc(out->pool.submitted);
+    metrics.counter("fleet.pool.executed").inc(out->pool.executed);
+    metrics.counter("fleet.pool.discarded").inc(out->pool.discarded);
+    metrics.gauge("fleet.pool.global_takes").set(0, out->pool.global_takes);
+    metrics.gauge("fleet.pool.steals").set(0, out->pool.steals);
+    metrics.gauge("fleet.pool.stolen_jobs").set(0, out->pool.stolen_jobs);
+    metrics.gauge("fleet.pool.starved_waits")
+        .set(0, out->pool.starved_waits);
+    metrics.gauge("fleet.pool.max_admitted").set(0, out->pool.max_admitted);
+    metrics.gauge("fleet.pool.workers").set(0, out->pool.workers);
+}
+
+}  // namespace rsafe::fleet

@@ -1,0 +1,142 @@
+#ifndef RSAFE_FLEET_FLEET_H_
+#define RSAFE_FLEET_FLEET_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "fleet/work_pool.h"
+#include "stats/stats.h"
+
+/**
+ * @file
+ * ReplayFleet: N concurrent guest sessions over one shared AR pool.
+ *
+ * The single RnrSafeFramework spins up a private alarm-replay worker pool
+ * per run; deploy six monitored guests that way and the host runs six
+ * pools' worth of threads, most of them idle. The fleet inverts that:
+ * each tenant is a SessionStage (recorder + checkpointing replayer on
+ * its own threads) that *submits* self-contained alarm-replay jobs — a
+ * PendingAlarm plus an owned [checkpoint, alarm] log slice — to one
+ * WorkStealingPool sized once for the whole machine. Fair-share
+ * admission keeps an alarm storm in one tenant from starving the rest;
+ * work stealing keeps the workers busy when alarms arrive unevenly.
+ *
+ * Determinism is preserved per tenant: jobs execute in any order on any
+ * worker, but results are slotted by submission sequence (= alarm order,
+ * the CR queues alarms in log order), per-job stat registries merge
+ * commutatively, and finalize_result() is the same fold the framework
+ * uses — so a fleet tenant's verdicts, counters, and state digests are
+ * bit-identical to the same workload run through RnrSafeFramework alone.
+ * The RSAFE_NO_FLEET environment kill-switch makes run() literally do
+ * that: each tenant runs through a private framework, sequentially.
+ *
+ * Shutdown is two-mode (shutdown(), callable from any thread):
+ * kDrain stops the sessions but lets every submitted alarm job finish;
+ * kAbandon also discards queued jobs, flagging affected tenants partial.
+ */
+
+namespace rsafe::fleet {
+
+/** One monitored guest session in the fleet. */
+struct FleetTenant {
+    /** Unique tenant name: metric namespace + trace track prefix. */
+    std::string name;
+    core::VmFactory factory;
+    /**
+     * Per-tenant pipeline configuration. `pipeline` selects the session
+     * shape (kConcurrent = streamed record->CR); `ar_workers` is ignored
+     * — alarm replays go to the shared pool. Detector sets must not be
+     * shared between tenants (each is armed on its tenant's VM).
+     */
+    core::FrameworkConfig config;
+};
+
+/** Fleet-wide knobs. */
+struct FleetOptions {
+    /** Shared AR pool width; 0 = hardware_concurrency, sized once. */
+    std::size_t workers = 0;
+    /** Fair-share: max in-flight alarm jobs per tenant. */
+    std::size_t tenant_inflight_cap = 2;
+};
+
+/** How shutdown() treats alarm jobs not yet executed. */
+enum class ShutdownMode {
+    kDrain,    ///< stop sessions, finish every submitted job
+    kAbandon,  ///< stop sessions, discard queued jobs (partial results)
+};
+
+/** One tenant's outcome. */
+struct TenantRunResult {
+    std::string name;
+    /** Same shape the single framework returns, finalized identically. */
+    core::FrameworkResult result;
+    /** True if the session was stopped early or jobs were discarded. */
+    bool partial = false;
+    /** Alarm jobs submitted but discarded by an abandon shutdown. */
+    std::size_t jobs_dropped = 0;
+};
+
+/** Everything a fleet run produced. */
+struct FleetResult {
+    std::vector<TenantRunResult> tenants;
+    /** Shared-pool scheduling counters (zero in fallback mode). */
+    PoolStats pool;
+    std::vector<TenantPoolStats> tenant_pool;
+    /**
+     * Fleet-wide registry: every tenant's pipeline stats under
+     * "tenant.<name>." (so two tenants' series can never alias), each
+     * tenant's ar.verdict_latency histogram, and fleet.pool.* stats.
+     * Feed it to obs::MetricsExporter for JSON/Prometheus.
+     */
+    stats::StatRegistry metrics;
+    /** True if RSAFE_NO_FLEET routed this run through per-tenant
+     *  frameworks instead of the shared pool. */
+    bool used_fallback = false;
+};
+
+/** N sessions, one shared work-stealing alarm-replay pool. */
+class ReplayFleet {
+  public:
+    ReplayFleet(std::vector<FleetTenant> tenants, FleetOptions options = {});
+
+    /** Run every tenant to completion (or until shutdown()). Blocking;
+     *  call at most once. */
+    FleetResult run();
+
+    /**
+     * Wind down a run() in progress from any thread: every session gets
+     * request_stop(); kAbandon additionally discards alarm jobs not yet
+     * executing. Idempotent; kAbandon wins if both modes are requested.
+     */
+    void shutdown(ShutdownMode mode);
+
+  private:
+    struct TenantState;
+
+    FleetResult run_fleet();
+    FleetResult run_fallback();
+
+    /** The configuration of the tenant named @p name. */
+    const core::FrameworkConfig& config_for(const std::string& name) const;
+
+    /** Fold per-tenant registries + pool stats into result->metrics. */
+    static void collect_metrics(FleetResult* result);
+
+    std::vector<FleetTenant> tenants_;
+    FleetOptions options_;
+    bool ran_ = false;
+
+    /** Guards the shutdown flags and the live-run pointers below. */
+    std::mutex mu_;
+    bool shutdown_requested_ = false;
+    bool abandon_requested_ = false;
+    std::vector<TenantState*> live_states_;
+    WorkStealingPool* live_pool_ = nullptr;
+};
+
+}  // namespace rsafe::fleet
+
+#endif  // RSAFE_FLEET_FLEET_H_

@@ -136,8 +136,18 @@ RunResult
 Hypervisor::run(InstrCount max_icount)
 {
     auto& cpu = vm_->cpu();
+    // Quantum bound on one cpu.run() call: an async request_stop() is
+    // honored at the next pause even when no device event is due. Pausing
+    // at a cycle limit and resuming is guest-invisible, so the bound has
+    // no effect on recorded state.
+    constexpr Cycles kStopPollQuantum = 5'000'000;
     while (true) {
+        if (stop_requested_.load(std::memory_order_relaxed))
+            return RunResult::kInstrLimit;
         Cycles stop = vm_->hub().next_event_cycle();
+        const Cycles poll = cpu.cycles() + kStopPollQuantum;
+        if (poll < stop)
+            stop = poll;
         // If injections are pending delivery, poll again soon.
         if (!irq_queue_.empty() || cpu.vmcs().pending_irq) {
             const Cycles retry = cpu.cycles() + 5000;

@@ -1,6 +1,7 @@
 #ifndef RSAFE_HV_HYPERVISOR_H_
 #define RSAFE_HV_HYPERVISOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -128,6 +129,23 @@ class Hypervisor : public VmEnvBase, public cpu::PvBus {
     /** Execute the guest until halt, fault, or @p max_icount. */
     RunResult run(InstrCount max_icount);
 
+    /**
+     * Ask a run() in progress to stop at the next exit boundary; run()
+     * returns kInstrLimit. Callable from any thread (fleet shutdown
+     * signals a recording session this way); guest state stays clean —
+     * it is exactly an early instruction budget.
+     */
+    void request_stop()
+    {
+        stop_requested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** @return true once request_stop() was called. */
+    bool stop_requested() const
+    {
+        return stop_requested_.load(std::memory_order_relaxed);
+    }
+
     /** The options this environment was built with. */
     const HvOptions& options() const { return options_; }
 
@@ -167,6 +185,7 @@ class Hypervisor : public VmEnvBase, public cpu::PvBus {
 
     HvOptions options_;
     std::deque<dev::AsyncEvent> irq_queue_;
+    std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace rsafe::hv

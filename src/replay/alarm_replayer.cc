@@ -99,6 +99,24 @@ AlarmReplayer::AlarmReplayer(hv::Vm* vm, const rnr::InputLog* log,
                vm->guest_kernel().finish_fork,
                vm->guest_kernel().finish_kthread})
 {
+    init_from_checkpoint(checkpoint);
+}
+
+AlarmReplayer::AlarmReplayer(hv::Vm* vm, rnr::LogSource* source,
+                             const Checkpoint& checkpoint,
+                             const rnr::ReplayOptions& options)
+    : rnr::Replayer(vm, source, checkpoint.log_pos, force_tracing(options)),
+      shadow_({vm->guest_kernel().switch_ret_pc},
+              {vm->guest_kernel().finish_resched,
+               vm->guest_kernel().finish_fork,
+               vm->guest_kernel().finish_kthread})
+{
+    init_from_checkpoint(checkpoint);
+}
+
+void
+AlarmReplayer::init_from_checkpoint(const Checkpoint& checkpoint)
+{
     restore_checkpoint(checkpoint, vm_, this);
     start_cycles_ = vm_->cpu().cycles();
 

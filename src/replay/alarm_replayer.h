@@ -92,6 +92,16 @@ class AlarmReplayer : public rnr::Replayer {
                   const rnr::ReplayOptions& options);
 
     /**
+     * Source variant: records come from @p source (e.g. a SliceLogSource
+     * holding the [checkpoint, alarm] range a fleet job carries). The
+     * source must resolve the same absolute indices as the original log
+     * over that range, and must outlive this replayer.
+     */
+    AlarmReplayer(hv::Vm* vm, rnr::LogSource* source,
+                  const Checkpoint& checkpoint,
+                  const rnr::ReplayOptions& options);
+
+    /**
      * Replay up to the alarm record at @p alarm_log_index and classify it.
      * kRasAlarm records go through the shadow-RAS analysis; kDetectorAlarm
      * records are routed to the registered detector's classifier (see
@@ -134,6 +144,9 @@ class AlarmReplayer : public rnr::Replayer {
 
   private:
     static rnr::ReplayOptions force_tracing(rnr::ReplayOptions options);
+
+    /** Shared ctor tail: restore @p checkpoint and seed the shadow RAS. */
+    void init_from_checkpoint(const Checkpoint& checkpoint);
 
     AlarmAnalysis build_analysis(const rnr::LogRecord& record);
     AlarmAnalysis classify_detector(const rnr::LogRecord& record);

@@ -96,6 +96,7 @@ CheckpointReplayer::hook_positional_record(const rnr::LogRecord& record)
     pending.log_index = log_pos() - 1;  // hook runs just after the cursor
     pending.record = record;
     pending.checkpoint = store_.latest();
+    pending.queued_at_cycles = vm_->cpu().cycles();
 
     // Flow tail: the arrow from here to the AR worker that classifies
     // this alarm, keyed by its log index. The enclosing mini-span gives
@@ -109,6 +110,8 @@ CheckpointReplayer::hook_positional_record(const rnr::LogRecord& record)
     }
 
     pending_.push_back(std::move(pending));
+    if (alarm_sink_)
+        alarm_sink_(pending_.back());
     return true;
 }
 

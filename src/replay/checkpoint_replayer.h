@@ -1,6 +1,7 @@
 #ifndef RSAFE_REPLAY_CHECKPOINT_REPLAYER_H_
 #define RSAFE_REPLAY_CHECKPOINT_REPLAYER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -38,6 +39,13 @@ struct PendingAlarm {
     rnr::LogRecord record;
     /** The checkpoint immediately preceding the alarm (AR start point). */
     std::shared_ptr<const Checkpoint> checkpoint;
+    /**
+     * The CR's replay cycle clock when the alarm was queued. A pure
+     * function of the log, so it is deterministic across runs and
+     * pipeline shapes; the fleet's scheduling model uses it as the job's
+     * arrival time when computing alarm-to-verdict latency.
+     */
+    Cycles queued_at_cycles = 0;
 };
 
 /** The always-on checkpointing replayer. */
@@ -60,6 +68,16 @@ class CheckpointReplayer : public rnr::Replayer {
     {
         return pending_;
     }
+
+    /**
+     * Install a callback fired (on the CR's thread, mid-replay) for every
+     * alarm queued to pending_alarms(). This is the stage-detachment
+     * hook: a fleet session forwards each alarm to the shared worker
+     * pool as soon as the CR reaches it, instead of batching all alarm
+     * replays behind the CR's completion.
+     */
+    using AlarmSink = std::function<void(const PendingAlarm&)>;
+    void set_alarm_sink(AlarmSink sink) { alarm_sink_ = std::move(sink); }
 
     /** Underflow alarms auto-resolved by Evict matching. */
     std::uint64_t underflows_resolved() const
@@ -89,6 +107,7 @@ class CheckpointReplayer : public rnr::Replayer {
     /** Per-thread outstanding Evict records (oldest first). */
     std::map<ThreadId, std::vector<Addr>> evicts_;
     std::vector<PendingAlarm> pending_;
+    AlarmSink alarm_sink_;
 };
 
 }  // namespace rsafe::replay

@@ -30,6 +30,30 @@ InputLogSource::visible() const
     return log_->size();
 }
 
+SliceLogSource::SliceLogSource(std::size_t base,
+                               std::vector<LogRecord> records)
+    : base_(base), records_(std::move(records))
+{
+    if (!records_.empty())
+        last_icount_ = records_.back().icount;
+}
+
+bool
+SliceLogSource::await(std::size_t index)
+{
+    return index >= base_ && index - base_ < records_.size();
+}
+
+const LogRecord&
+SliceLogSource::at(std::size_t index) const
+{
+    if (index < base_ || index - base_ >= records_.size())
+        fatal(strcat_args("SliceLogSource: index ", index,
+                          " outside slice [", base_, ", ",
+                          base_ + records_.size(), ")"));
+    return records_[index - base_];
+}
+
 LogReader::LogReader(LogChannel* channel) : channel_(channel)
 {
     if (channel_ == nullptr)

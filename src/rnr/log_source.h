@@ -2,6 +2,7 @@
 #define RSAFE_RNR_LOG_SOURCE_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "rnr/log_channel.h"
 #include "rnr/log_io.h"
@@ -65,6 +66,37 @@ class InputLogSource final : public LogSource {
 
   private:
     const InputLog* log_;
+    InstrCount last_icount_ = 0;
+};
+
+/**
+ * A LogSource over an *owned* contiguous slice of a larger log,
+ * preserving the original absolute indices: at(base + i) returns the
+ * i-th owned record, and the stream ends after the slice.
+ *
+ * This is how fleet alarm-replay jobs travel: the checkpointing replayer
+ * copies the records between an alarm's originating checkpoint and the
+ * alarm itself (a range bounded by the checkpoint interval) into the
+ * job, so a pool worker replays from a self-contained snapshot and never
+ * touches the tenant's still-growing InputLog from another thread.
+ */
+class SliceLogSource final : public LogSource {
+  public:
+    /** @param base the absolute log index of @p records.front(). */
+    SliceLogSource(std::size_t base, std::vector<LogRecord> records);
+
+    bool await(std::size_t index) override;
+    const LogRecord& at(std::size_t index) const override;
+    std::size_t visible() const override { return base_ + records_.size(); }
+    bool aborted() const override { return false; }
+    InstrCount producer_icount() const override { return last_icount_; }
+
+    /** The absolute index of the first owned record. */
+    std::size_t base() const { return base_; }
+
+  private:
+    std::size_t base_;
+    std::vector<LogRecord> records_;
     InstrCount last_icount_ = 0;
 };
 

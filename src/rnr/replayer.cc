@@ -268,6 +268,8 @@ Replayer::run()
 {
     auto& cpu = vm_->cpu();
     while (true) {
+        if (stop_requested_.load(std::memory_order_relaxed))
+            return ReplayOutcome::kStopRequested;
         const std::size_t pos = next_positional();
         if (pos == kNoMore) {
             if (source_->aborted()) {

@@ -1,6 +1,7 @@
 #ifndef RSAFE_RNR_REPLAYER_H_
 #define RSAFE_RNR_REPLAYER_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -156,6 +157,24 @@ class Replayer : public hv::VmEnvBase {
     /** Replay until the log ends, the guest halts, or a hook stops us. */
     ReplayOutcome run();
 
+    /**
+     * Ask a run() in progress to stop at the next positional-segment
+     * boundary; run() returns kStopRequested. Callable from any thread
+     * (fleet shutdown). A replayer blocked in a streaming source's
+     * await() wakes only when the producer side closes or poisons the
+     * channel — stop the recorder first.
+     */
+    void request_stop()
+    {
+        stop_requested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** @return true once request_stop() was called. */
+    bool stop_requested() const
+    {
+        return stop_requested_.load(std::memory_order_relaxed);
+    }
+
     /** @return the current log cursor (the InputLogPtr). */
     std::size_t log_pos() const { return cursor_; }
 
@@ -222,6 +241,7 @@ class Replayer : public hv::VmEnvBase {
 
     std::unique_ptr<InputLogSource> owned_source_;
     ReplayLag lag_;
+    std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace rsafe::rnr

@@ -278,4 +278,30 @@ StatRegistry::merge(const StatRegistry& other)
     return result;
 }
 
+Status
+StatRegistry::merge_prefixed(const StatRegistry& other,
+                             const std::string& prefix)
+{
+    Status result;
+    for (const auto& [name, counter] : other.counters_)
+        counters_[prefix + name].merge(counter);
+    for (const auto& [name, histogram] : other.histograms_) {
+        const std::string full = prefix + name;
+        auto it = histograms_.find(full);
+        if (it == histograms_.end()) {
+            histograms_.emplace(full, histogram);
+            continue;
+        }
+        const Status merged = it->second.merge(histogram);
+        if (!merged.ok() && result.ok()) {
+            result = Status(merged.code(),
+                            strcat_args("histogram '", full,
+                                        "': ", merged.message()));
+        }
+    }
+    for (const auto& [name, gauge] : other.gauges_)
+        gauges_[prefix + name].merge(gauge);
+    return result;
+}
+
 }  // namespace rsafe::stats

@@ -211,6 +211,15 @@ class StatRegistry {
      */
     Status merge(const StatRegistry& other);
 
+    /**
+     * merge(), but every stat of @p other lands under @p prefix + name.
+     * This is how per-tenant registries are folded into one fleet-wide
+     * registry without aliasing: two tenants' "cr.replay_lag" become
+     * "tenant.a.cr.replay_lag" and "tenant.b.cr.replay_lag".
+     */
+    Status merge_prefixed(const StatRegistry& other,
+                          const std::string& prefix);
+
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Histogram> histograms_;

@@ -205,6 +205,123 @@ TEST(LogChannel, RandomizedPacingStressPreservesTheStream)
     }
 }
 
+TEST(LogChannel, AbandonAfterFullDrainIsANoOp)
+{
+    // A fleet tenant whose CR completes normally still abandons the
+    // channel on its way out (the unconditional unblock in
+    // SessionStage); after a full drain that must change nothing.
+    LogChannel channel;
+    InputLog reference = feed(&channel, 10);
+    LogReader reader(&channel);
+    ASSERT_TRUE(reader.await(9));
+    const ChannelStats before = channel.stats();
+
+    channel.abandon();
+    channel.abandon();  // idempotent
+
+    const ChannelStats after = channel.stats();
+    EXPECT_EQ(after.records_pushed, before.records_pushed);
+    EXPECT_EQ(after.records_dropped, 0u);
+    EXPECT_EQ(reader.log().serialize(), reference.serialize());
+}
+
+TEST(LogChannel, AbandonWakesAProducerParkedOnBackpressure)
+{
+    // The fleet abandon-shutdown shape: the consumer walks away while
+    // the producer is demonstrably asleep inside the backpressure wait
+    // (not merely racing toward it). The producer must wake, finish its
+    // stream into the void, and account every record.
+    ChannelOptions options;
+    options.capacity_records = 4;
+    options.chunk_records = 2;
+    LogChannel channel(options);
+
+    const std::size_t total = 100;
+    std::thread producer([&] {
+        for (std::size_t i = 0; i < total; ++i)
+            channel.push(make_record(i));
+        channel.close();
+    });
+    while (channel.stats().producer_waits == 0)
+        std::this_thread::yield();
+
+    channel.abandon();
+    producer.join();  // deadlocks here if abandon misses the parked wait
+
+    const ChannelStats stats = channel.stats();
+    EXPECT_EQ(stats.records_pushed, total);
+    EXPECT_GT(stats.records_dropped, 0u);
+    EXPECT_LE(stats.records_dropped, stats.records_pushed);
+}
+
+TEST(LogChannel, PoisonAfterAbandonStillOutranksEverything)
+{
+    // Shutdown ordering race: the consumer has abandoned, then the
+    // producer dies and poisons. A late diagnostic pop must still see
+    // the abort, not leftover data or a clean close.
+    ChannelOptions options;
+    options.capacity_records = 8;
+    options.chunk_records = 2;
+    LogChannel channel(options);
+    channel.push(make_record(0));
+    channel.push(make_record(1));  // published chunk sits in the queue
+
+    channel.abandon();
+    channel.push(make_record(2));
+    channel.push(make_record(3));  // dropped, not queued
+    channel.poison();
+
+    std::vector<LogRecord> chunk;
+    EXPECT_EQ(channel.pop(&chunk), LogChannel::PopResult::kPoisoned);
+    EXPECT_EQ(channel.stats().records_dropped, 2u);
+}
+
+TEST(LogChannel, RandomizedMidStreamAbandonNeverDeadlocksOrMiscounts)
+{
+    // Fleet shutdown stress: the consumer abandons at a random point
+    // while the producer is mid-stream. Whatever the interleaving, both
+    // sides return and the push/drop books balance.
+    Rng rng(0xFEED5EED);
+    for (int round = 0; round < 8; ++round) {
+        ChannelOptions options;
+        options.chunk_records = 1 + rng.next_below(4);
+        options.capacity_records =
+            options.chunk_records * (1 + rng.next_below(4));
+        LogChannel channel(options);
+        const std::size_t total = 200 + rng.next_below(400);
+
+        std::thread producer([&, seed = rng.next()] {
+            Rng pacing(seed);
+            for (std::size_t i = 0; i < total; ++i) {
+                channel.push(make_record(i));
+                if (pacing.chance(0.02))
+                    std::this_thread::yield();
+            }
+            channel.close();
+        });
+
+        std::vector<LogRecord> chunk;
+        std::size_t drained = 0;
+        const std::size_t abandon_after = rng.next_below(total);
+        while (drained < abandon_after &&
+               channel.pop(&chunk) == LogChannel::PopResult::kData)
+            drained += chunk.size();
+        channel.abandon();
+        producer.join();
+
+        const ChannelStats stats = channel.stats();
+        EXPECT_EQ(stats.records_pushed, total) << "round " << round;
+        EXPECT_LE(stats.records_dropped, total) << "round " << round;
+        EXPECT_GE(drained + stats.records_dropped +
+                      options.capacity_records,
+                  // Everything was drained, dropped, or fits in-queue
+                  // (plus at most one open chunk that close() flushed
+                  // into the drop path).
+                  total - options.chunk_records)
+            << "round " << round;
+    }
+}
+
 TEST(LogChannel, ProducerIcountTracksNewestRecord)
 {
     LogChannel channel;

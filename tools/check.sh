@@ -19,6 +19,11 @@
 #                             # checked-in BENCH_micro.json baseline
 #                             # (machine-independent speedup ratios;
 #                             # RSAFE_BENCH_GATE_TOLERANCE overrides 10%).
+#   tools/check.sh fleet      # multi-tenant gate: test_fleet (determinism,
+#                             # shutdown, metric namespacing) plus
+#                             # bench_fleet --gate against the committed
+#                             # BENCH_fleet.json (aggregate throughput and
+#                             # benign-tenant p99 regression thresholds).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -99,6 +104,24 @@ run_bench() {
     echo "check.sh: bench gate ok (build-rel/BENCH_micro.json measured)"
 }
 
+run_fleet() {
+    # The multi-tenant gate: the fleet unit suite (A/B determinism vs the
+    # single framework, drain/abandon shutdown, per-tenant metric
+    # namespacing) plus the scheduling benchmark measured fresh and
+    # compared against the committed baseline. Release keeps the real
+    # fleet run (wall_ms, pool counters) honest; the gated figures
+    # themselves are simulated cycles and machine-independent.
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-rel -j "$(nproc)" --target test_fleet \
+        --target bench_fleet
+    ./build-rel/tests/test_fleet
+    # Run inside build-rel so the freshly measured JSON lands there
+    # instead of clobbering the committed baseline it is gated against.
+    (cd build-rel &&
+         ./bench/bench_fleet --gate --reference=../BENCH_fleet.json)
+    echo "check.sh: fleet gate ok (build-rel/BENCH_fleet.json measured)"
+}
+
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
@@ -107,13 +130,14 @@ case "$mode" in
   fuzz)     run_fuzz ;;
   trace)    run_trace ;;
   bench)    run_bench ;;
+  fleet)    run_fleet ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
     run_config build-tsan -DRSAFE_SANITIZE=thread
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|bench|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|bench|fleet|all]" >&2
     exit 2
     ;;
 esac
