@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "core/detector.h"
 #include "obs/trace.h"
+#include "replay/ckpt_store/ckpt_image.h"
 
 namespace rsafe::core {
 
@@ -27,12 +28,52 @@ ArStage::analyze(const replay::PendingAlarm& pending,
 }
 
 AlarmReplayResult
+ArStage::unavailable(const replay::PendingAlarm& pending,
+                     const std::string& why,
+                     stats::StatRegistry* local_stats) const
+{
+    // No checkpoint covers this alarm (interval 0, a byte budget that
+    // recycled past it, or a damaged shipped image). The verdict must be
+    // a clean record of that fact, not a crash: the alarm stays visible
+    // in result.alarms with an explicit cause the operator can act on.
+    AlarmReplayResult out;
+    out.log_index = pending.log_index;
+    out.analysis.is_attack = false;
+    out.analysis.cause = replay::AlarmCause::kCheckpointUnavailable;
+    out.analysis.alarm_record = pending.record;
+    out.analysis.report = "alarm @" + std::to_string(pending.log_index) +
+                          ": checkpoint unavailable (" + why + ")";
+    local_stats->counter("ar.ckpt_unavailable").inc();
+    obs::Tracer::instance().instant("ar.ckpt_unavailable", "ar",
+                                    "log_index", pending.log_index);
+    return out;
+}
+
+AlarmReplayResult
+ArStage::analyze_image(const replay::PendingAlarm& pending,
+                       const std::vector<std::uint8_t>& image,
+                       rnr::LogSource* source,
+                       stats::StatRegistry* local_stats) const
+{
+    auto shipped = std::make_shared<replay::Checkpoint>();
+    const Status status =
+        replay::ckpt::deserialize_checkpoint(image, shipped.get());
+    if (!status.ok())
+        return unavailable(pending, "image rejected: " + status.message(),
+                           local_stats);
+    replay::PendingAlarm booted = pending;
+    booted.checkpoint = std::move(shipped);
+    return analyze(booted, source, local_stats);
+}
+
+AlarmReplayResult
 ArStage::analyze(const replay::PendingAlarm& pending,
                  rnr::LogSource* source,
                  stats::StatRegistry* local_stats) const
 {
     if (!pending.checkpoint)
-        panic("pending alarm without a checkpoint");
+        return unavailable(pending, "no checkpoint at or before the alarm",
+                           local_stats);
     rnr::ReplayOptions ar_options = base_options_;
     ar_options.trap_kernel_call_ret = true;
 

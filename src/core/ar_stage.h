@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "hv/vm.h"
 #include "replay/alarm_replayer.h"
@@ -72,6 +74,10 @@ class ArStage {
     /**
      * Launch one alarm replayer (plus the deeper rerun if needed) for
      * @p pending and account it into @p local_stats. Thread-safe.
+     *
+     * A pending alarm with no checkpoint (checkpointing disabled, or the
+     * store recycled past the alarm) yields a clean
+     * AlarmCause::kCheckpointUnavailable verdict, never a crash.
      */
     AlarmReplayResult analyze(const replay::PendingAlarm& pending,
                               const rnr::InputLog* log,
@@ -82,7 +88,25 @@ class ArStage {
                               rnr::LogSource* source,
                               stats::StatRegistry* local_stats) const;
 
+    /**
+     * The remote-AR primitive: boot from a *serialized* checkpoint image
+     * (PayloadKind::kCheckpointImage) instead of @p pending's in-memory
+     * checkpoint, then run the standard analysis against @p source. A
+     * damaged image classifies as kCheckpointUnavailable (with the decode
+     * error in the report) — shipping corruption must surface as a
+     * verdict, not UB. Counter accounting is identical to analyze(), so
+     * shipped and in-memory paths stay A/B bit-identical.
+     */
+    AlarmReplayResult analyze_image(const replay::PendingAlarm& pending,
+                                    const std::vector<std::uint8_t>& image,
+                                    rnr::LogSource* source,
+                                    stats::StatRegistry* local_stats) const;
+
   private:
+    /** The no-checkpoint verdict shared by the paths above. */
+    AlarmReplayResult unavailable(const replay::PendingAlarm& pending,
+                                  const std::string& why,
+                                  stats::StatRegistry* local_stats) const;
     VmFactory factory_;
     rnr::ReplayOptions base_options_;
     const DetectorSet* detectors_;

@@ -226,6 +226,37 @@ finalize_result(FrameworkResult* result,
     if (result->recorded_vm)
         export_tb("record.tb", result->recorded_vm->cpu());
     export_tb("cr.tb", result->cr_vm->cpu());
+
+    // Checkpoint-storage telemetry. Gauges again: stored bytes and
+    // compressed-page counts flip with RSAFE_NO_CKPT_COMPRESS (and dedup
+    // config), and the kill-switch A/B gate compares counter snapshots.
+    {
+        const replay::CheckpointStoreStats cs =
+            result->cr->checkpoints().stats();
+        stats.gauge("ckpt.bytes_raw").set(0, cs.bytes_raw);
+        stats.gauge("ckpt.bytes_stored").set(0, cs.bytes_stored);
+        stats.gauge("ckpt.dedup_hits").set(0, cs.dedup_hits);
+        stats.gauge("ckpt.compressed_pages").set(0, cs.compressed_pages);
+        stats.gauge("ckpt.live_bytes").set(0, cs.live_bytes);
+        stats.gauge("ckpt.live_pages").set(0, cs.live_pages);
+        stats.gauge("ckpt.budget_evictions").set(0, cs.budget_evictions);
+        stats.gauge("ckpt.count_evictions").set(0, cs.count_evictions);
+    }
+    if (const replay::ckpt::CkptWriteback* wb = result->cr->writeback()) {
+        // Writeback traffic is scheduling noise by construction (a
+        // background thread racing the CR), so it could never be a
+        // counter. lag() is the headline gauge: sealed checkpoints not
+        // yet serialized + delivered.
+        const replay::ckpt::WritebackStats ws = wb->stats();
+        stats.gauge("ckpt.writeback_lag").set(0, wb->lag());
+        stats.gauge("ckpt.writeback_submitted").set(0, ws.submitted);
+        stats.gauge("ckpt.writeback_written").set(0, ws.written);
+        stats.gauge("ckpt.writeback_bytes").set(0, ws.bytes_written);
+        stats.gauge("ckpt.writeback_dropped").set(0, ws.dropped);
+        stats.gauge("ckpt.writeback_producer_waits")
+            .set(0, ws.producer_waits);
+        stats.gauge("ckpt.writeback_max_queued").set(0, ws.max_queued);
+    }
 }
 
 FrameworkResult

@@ -69,7 +69,11 @@ SessionStage::install_cr_sink(rnr::LogSource* source)
     cr_->set_alarm_sink([this, source](const replay::PendingAlarm& p) {
         AlarmJob job;
         job.pending = p;
-        const std::size_t base = p.checkpoint->log_pos;
+        // No checkpoint (interval 0, or recycled past the alarm): the job
+        // still ships, with a degenerate slice; the AR stage turns it
+        // into a clean checkpoint-unavailable verdict.
+        const std::size_t base =
+            p.checkpoint ? p.checkpoint->log_pos : p.log_index;
         job.slice.reserve(p.log_index + 1 - base);
         for (std::size_t i = base; i <= p.log_index; ++i)
             job.slice.push_back(source->at(i));

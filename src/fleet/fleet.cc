@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "obs/trace.h"
+#include "replay/ckpt_store/ckpt_image.h"
 #include "rnr/log_source.h"
 
 namespace rsafe::fleet {
@@ -32,6 +33,9 @@ struct ReplayFleet::TenantState {
     std::size_t submitted = 0;
     std::vector<core::AlarmReplayResult> results;
     std::vector<char> done;
+    /** Ship-mode volume (under mu; workers ship concurrently). */
+    std::size_t jobs_shipped = 0;
+    std::uint64_t bytes_shipped = 0;
     /** Per-tenant AR counters, merged from per-job registries. Counter
      *  and histogram merges are commutative, so completion order does
      *  not perturb the totals. */
@@ -124,8 +128,9 @@ ReplayFleet::run_fleet()
         // alarm order.
         TenantState* raw = state.get();
         WorkStealingPool* pool_ptr = &pool;
+        const bool ship = options_.ship_checkpoints;
         state->stage->set_alarm_sink(
-            [raw, pool_ptr](const core::AlarmJob& job) {
+            [raw, pool_ptr, ship](const core::AlarmJob& job) {
                 auto owned = std::make_shared<core::AlarmJob>(job);
                 std::size_t seq;
                 {
@@ -134,13 +139,32 @@ ReplayFleet::run_fleet()
                     raw->results.resize(raw->submitted);
                     raw->done.resize(raw->submitted, 0);
                 }
-                pool_ptr->submit(raw->pool_id, [raw, owned, seq] {
+                pool_ptr->submit(raw->pool_id, [raw, owned, seq, ship] {
                     stats::StatRegistry local;
+                    // A job can arrive without a checkpoint (interval 0,
+                    // or the byte budget recycled past the alarm); its
+                    // slice is based at the alarm itself and the AR
+                    // returns a clean checkpoint-unavailable verdict.
+                    const auto& ck = owned->pending.checkpoint;
                     rnr::SliceLogSource source(
-                        owned->pending.checkpoint->log_pos,
+                        ck ? ck->log_pos : owned->pending.log_index,
                         std::move(owned->slice));
-                    core::AlarmReplayResult result =
-                        raw->ar->analyze(owned->pending, &source, &local);
+                    core::AlarmReplayResult result;
+                    if (ship && ck) {
+                        // Ship mode: the worker sees exactly what a
+                        // remote AR tier would — the serialized image,
+                        // not the live object graph.
+                        const std::vector<std::uint8_t> image =
+                            replay::ckpt::serialize_checkpoint(*ck);
+                        result = raw->ar->analyze_image(
+                            owned->pending, image, &source, &local);
+                        std::lock_guard<std::mutex> lock(raw->mu);
+                        ++raw->jobs_shipped;
+                        raw->bytes_shipped += image.size();
+                    } else {
+                        result = raw->ar->analyze(owned->pending, &source,
+                                                  &local);
+                    }
                     std::lock_guard<std::mutex> lock(raw->mu);
                     raw->results[seq] = std::move(result);
                     raw->done[seq] = 1;
@@ -240,6 +264,8 @@ ReplayFleet::run_fleet()
                 else
                     ++tenant.jobs_dropped;
             }
+            tenant.jobs_shipped = state->jobs_shipped;
+            tenant.bytes_shipped = state->bytes_shipped;
             fr.pipeline_stats.merge(state->ar_stats);
         }
         core::finalize_result(&fr, std::move(ar_results));
@@ -295,6 +321,12 @@ ReplayFleet::collect_metrics(FleetResult* out)
         metrics.counter(prefix + "jobs_dropped").inc(tenant.jobs_dropped);
         if (tenant.partial)
             metrics.counter(prefix + "partial").inc();
+        // Ship-mode volume: gauges, so shipped and in-memory runs keep
+        // identical counter snapshots (the A/B determinism lever).
+        metrics.gauge(prefix + "ckpt.shipped_jobs")
+            .set(0, tenant.jobs_shipped);
+        metrics.gauge(prefix + "ckpt.shipped_bytes")
+            .set(0, tenant.bytes_shipped);
     }
     // Deterministic pool totals ride in counters; scheduling noise
     // (steals, starvation, hand-off shapes) rides in gauges, which

@@ -1,6 +1,7 @@
 #ifndef RSAFE_FLEET_FLEET_H_
 #define RSAFE_FLEET_FLEET_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +61,14 @@ struct FleetOptions {
     std::size_t workers = 0;
     /** Fair-share: max in-flight alarm jobs per tenant. */
     std::size_t tenant_inflight_cap = 2;
+    /**
+     * Ship checkpoints: each pool worker serializes the job's checkpoint
+     * to a kCheckpointImage and boots the AR from the *deserialized*
+     * copy — exactly what a remote AR tier would execute. Verdicts,
+     * digests, and counters are gated bit-identical to in-memory jobs;
+     * shipped volume rides in gauges only.
+     */
+    bool ship_checkpoints = false;
 };
 
 /** How shutdown() treats alarm jobs not yet executed. */
@@ -77,6 +86,11 @@ struct TenantRunResult {
     bool partial = false;
     /** Alarm jobs submitted but discarded by an abandon shutdown. */
     std::size_t jobs_dropped = 0;
+    /** Ship mode: jobs whose checkpoint went through the wire image,
+     *  and the serialized bytes moved (scheduling-dependent detail —
+     *  exported as gauges, not counters). */
+    std::size_t jobs_shipped = 0;
+    std::uint64_t bytes_shipped = 0;
 };
 
 /** Everything a fleet run produced. */

@@ -6,33 +6,45 @@
 #include <memory>
 #include <vector>
 
+#include "common/log.h"
 #include "mem/cow_store.h"
 
 /**
  * @file
- * A persistent (copy-on-write) array of PageRefs for checkpoints.
+ * A persistent (copy-on-write) array of page references for checkpoints.
  *
- * A checkpoint needs a map from page/block number to the PageRef holding
+ * A checkpoint needs a map from page/block number to the reference holding
  * that page's contents. Copying a whole std::map per checkpoint makes an
  * incremental checkpoint cost O(all pages) even when only a handful are
- * dirty (Section 4.6.1 wants the opposite). PageTable instead stores the
- * refs in fixed-size chunks that consecutive checkpoints share: copying a
- * PageTable copies only the chunk-pointer vector, and set() clones just
- * the one chunk it lands in when that chunk is still shared (path
+ * dirty (Section 4.6.1 wants the opposite). BasicPageTable instead stores
+ * the refs in fixed-size chunks that consecutive checkpoints share:
+ * copying a table copies only the chunk-pointer vector, and set() clones
+ * just the one chunk it lands in when that chunk is still shared (path
  * copying). An incremental checkpoint therefore costs
  * O(chunks + dirty pages) pointer work instead of O(all pages).
+ *
+ * The table is templated on the reference type: checkpoints hold
+ * deduplicated, possibly-compressed pages (replay::ckpt::StoredPageRef)
+ * while other users keep the raw PageRef shape.
  */
 
 namespace rsafe::mem {
 
-/** Copy-on-write indexed table of PageRefs (dense, fixed size). */
-class PageTable {
+/** Copy-on-write indexed table of shared refs (dense, fixed size). */
+template <typename Ref>
+class BasicPageTable {
   public:
     /** An empty table (size 0). */
-    PageTable() = default;
+    BasicPageTable() = default;
 
     /** A table of @p size null refs. */
-    explicit PageTable(std::size_t size);
+    explicit BasicPageTable(std::size_t size) : size_(size)
+    {
+        const std::size_t chunks = (size + kChunkSize - 1) / kChunkSize;
+        chunks_.reserve(chunks);
+        for (std::size_t i = 0; i < chunks; ++i)
+            chunks_.push_back(std::make_shared<Chunk>());
+    }
 
     /** @return number of slots. */
     std::size_t size() const { return size_; }
@@ -41,26 +53,42 @@ class PageTable {
     bool empty() const { return size_ == 0; }
 
     /** @return the ref at @p index (may be null if never set). */
-    const PageRef& at(std::uint64_t index) const;
+    const Ref& at(std::uint64_t index) const
+    {
+        if (index >= size_)
+            panic("BasicPageTable::at out of range");
+        return chunks_[index >> kChunkShift]->refs[index & (kChunkSize - 1)];
+    }
 
     /**
      * Replace the ref at @p index. If the containing chunk is shared with
-     * another PageTable (an older/newer checkpoint), only that chunk is
+     * another table (an older/newer checkpoint), only that chunk is
      * cloned; the rest of the table stays shared.
      */
-    void set(std::uint64_t index, PageRef ref);
+    void set(std::uint64_t index, Ref ref)
+    {
+        if (index >= size_)
+            panic("BasicPageTable::set out of range");
+        auto& chunk = chunks_[index >> kChunkShift];
+        if (chunk.use_count() > 1)
+            chunk = std::make_shared<Chunk>(*chunk);
+        chunk->refs[index & (kChunkSize - 1)] = std::move(ref);
+    }
 
   private:
     static constexpr std::size_t kChunkShift = 6;
     static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
 
     struct Chunk {
-        std::array<PageRef, kChunkSize> refs;
+        std::array<Ref, kChunkSize> refs;
     };
 
     std::vector<std::shared_ptr<Chunk>> chunks_;
     std::size_t size_ = 0;
 };
+
+/** The raw-page shape used outside the checkpoint store. */
+using PageTable = BasicPageTable<PageRef>;
 
 }  // namespace rsafe::mem
 

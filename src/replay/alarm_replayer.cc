@@ -79,6 +79,8 @@ alarm_cause_name(AlarmCause cause)
       case AlarmCause::kCfiHijack: return "CFI-HIJACK";
       case AlarmCause::kWxJitBenign: return "wx-jit-benign";
       case AlarmCause::kWxInjection: return "WX-INJECTION";
+      case AlarmCause::kCheckpointUnavailable:
+          return "checkpoint-unavailable";
     }
     return "<bad>";
 }

@@ -47,6 +47,8 @@ enum class AlarmCause {
     kCfiHijack,         ///< outside the site's static target set
     kWxJitBenign,       ///< sanctioned JIT-region entry (false positive)
     kWxInjection,       ///< fetched freshly written non-JIT code
+    kCheckpointUnavailable, ///< no checkpoint covers the alarm (recycled
+                            ///< past it, or checkpointing disabled)
 };
 
 /** @return a short name for @p cause. */

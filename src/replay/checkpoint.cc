@@ -1,6 +1,7 @@
 #include "replay/checkpoint.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/log.h"
@@ -9,7 +10,42 @@
 
 namespace rsafe::replay {
 
-CheckpointStore::CheckpointStore(std::size_t max_keep) : max_keep_(max_keep)
+namespace {
+
+CheckpointStoreOptions
+with_kill_switch(CheckpointStoreOptions options)
+{
+    if (std::getenv("RSAFE_NO_CKPT_COMPRESS") != nullptr)
+        options.compress = false;
+    return options;
+}
+
+CheckpointStoreOptions
+options_for_max_keep(std::size_t max_keep)
+{
+    CheckpointStoreOptions options;
+    options.max_keep = max_keep;
+    return options;
+}
+
+ckpt::PagePoolOptions
+pool_options(const CheckpointStoreOptions& options)
+{
+    ckpt::PagePoolOptions pool;
+    pool.dedup = options.dedup;
+    pool.compress = options.compress;
+    return pool;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::size_t max_keep)
+    : CheckpointStore(options_for_max_keep(max_keep))
+{
+}
+
+CheckpointStore::CheckpointStore(const CheckpointStoreOptions& options)
+    : options_(with_kill_switch(options)), pool_(pool_options(options_))
 {
 }
 
@@ -25,30 +61,31 @@ CheckpointStore::take(hv::Vm& vm, const hv::VmEnvBase& env,
     const auto prev = latest();
 
     if (!prev) {
-        // First checkpoint: full copy.
-        ck->pages = mem::PageTable(mem.num_pages());
-        ck->blocks = mem::PageTable(disk.num_blocks());
+        // First checkpoint: full copy (the dedup pool collapses the
+        // mostly-identical zero pages into a handful of stored bytes).
+        ck->pages = ckpt::StoredPageTable(mem.num_pages());
+        ck->blocks = ckpt::StoredPageTable(disk.num_blocks());
         for (Addr page = 0; page < mem.num_pages(); ++page) {
-            ck->pages.set(page, cow_.store(mem.page_data(page)));
+            ck->pages.set(page, pool_.intern(mem.page_data(page)));
             ++ck->copies;
         }
         for (BlockNum block = 0; block < disk.num_blocks(); ++block) {
-            ck->blocks.set(block, cow_.store(disk.block_data(block)));
+            ck->blocks.set(block, pool_.intern(disk.block_data(block)));
             ++ck->copies;
         }
     } else {
         // Incremental: share unmodified pages with the previous
         // checkpoint and copy only what was dirtied in this interval.
-        // Assigning a PageTable shares its chunks, so this is O(dirty),
+        // Assigning a table shares its chunks, so this is O(dirty),
         // not O(all pages).
         ck->pages = prev->pages;
         ck->blocks = prev->blocks;
         for (const Addr page : mem.dirty_pages()) {
-            ck->pages.set(page, cow_.store(mem.page_data(page)));
+            ck->pages.set(page, pool_.intern(mem.page_data(page)));
             ++ck->copies;
         }
         for (const BlockNum block : disk.dirty_blocks()) {
-            ck->blocks.set(block, cow_.store(disk.block_data(block)));
+            ck->blocks.set(block, pool_.intern(disk.block_data(block)));
             ++ck->copies;
         }
     }
@@ -76,11 +113,47 @@ CheckpointStore::take(hv::Vm& vm, const hv::VmEnvBase& env,
     ck->context_dying = env.context_dying();
 
     checkpoints_.push_back(ck);
-    if (max_keep_ != 0) {
-        while (checkpoints_.size() > max_keep_)
-            checkpoints_.pop_front();
-    }
+    enforce_budget();
     return ck;
+}
+
+void
+CheckpointStore::enforce_budget()
+{
+    if (options_.max_keep != 0) {
+        while (checkpoints_.size() > options_.max_keep) {
+            checkpoints_.pop_front();
+            ++count_evictions_;
+        }
+    }
+    // Recycling a checkpoint frees only the pages no later checkpoint
+    // (or in-flight alarm job) still shares, so each pop may reclaim
+    // anything from nothing to the checkpoint's whole dirty delta; keep
+    // popping until the live encoded bytes fit. The newest checkpoint
+    // is never recycled — the budget trims history, not the present.
+    if (options_.byte_budget == 0)
+        return;
+    while (checkpoints_.size() > 1 &&
+           pool_.stats().live_bytes > options_.byte_budget) {
+        checkpoints_.pop_front();
+        ++budget_evictions_;
+    }
+}
+
+CheckpointStoreStats
+CheckpointStore::stats() const
+{
+    const ckpt::PagePoolStats pool = pool_.stats();
+    CheckpointStoreStats out;
+    out.bytes_raw = pool.bytes_raw;
+    out.bytes_stored = pool.bytes_stored;
+    out.dedup_hits = pool.dedup_hits;
+    out.compressed_pages = pool.compressed_pages;
+    out.live_bytes = pool.live_bytes;
+    out.live_pages = pool.live_pages;
+    out.budget_evictions = budget_evictions_;
+    out.count_evictions = count_evictions_;
+    return out;
 }
 
 std::shared_ptr<const Checkpoint>
@@ -125,17 +198,29 @@ restore_checkpoint(const Checkpoint& checkpoint, hv::Vm* vm,
     // a page can only differ from the checkpointed copy if it was
     // dirtied in this or a later epoch; everything older is untouched
     // RAM and need not be rewritten (or decode-cache invalidated).
+    // Stored pages decode through a stack buffer: compressed, deduped,
+    // and raw storage all restore the same raw bytes, which the A/B
+    // determinism gates hold bit-identical.
+    std::uint8_t raw[kPageSize];
     const bool mem_delta = checkpoint.mem_id == mem.id();
     for (Addr page = 0; page < checkpoint.pages.size(); ++page) {
         if (mem_delta && mem.page_epoch(page) < checkpoint.mem_epoch)
             continue;
-        mem.restore_page(page, checkpoint.pages.at(page)->data());
+        const auto& ref = checkpoint.pages.at(page);
+        if (!ref)
+            continue;  // only possible in a hand-built partial image
+        ref->copy_to(raw);
+        mem.restore_page(page, raw);
     }
     const bool disk_delta = checkpoint.disk_id == disk.id();
     for (BlockNum block = 0; block < checkpoint.blocks.size(); ++block) {
         if (disk_delta && disk.block_epoch(block) < checkpoint.disk_epoch)
             continue;
-        disk.write_block(block, checkpoint.blocks.at(block)->data());
+        const auto& ref = checkpoint.blocks.at(block);
+        if (!ref)
+            continue;
+        ref->copy_to(raw);
+        disk.write_block(block, raw);
     }
     mem.clear_dirty();
     disk.clear_dirty();
@@ -157,18 +242,22 @@ namespace {
 
 namespace wire = rnr::wire;
 
-/** Hash one PageTable's contents in index order (null refs included). */
+/** Hash one page table's raw contents in index order (nulls included).
+ *  Hashing the decoded bytes keeps digests independent of how pages are
+ *  stored: compressed, deduped, and raw chains digest identically. */
 std::uint64_t
-hash_page_table(const mem::PageTable& table)
+hash_page_table(const ckpt::StoredPageTable& table)
 {
     std::uint64_t hash = wire::kFnvOffset;
+    std::uint8_t raw[kPageSize];
     for (std::uint64_t i = 0; i < table.size(); ++i) {
         const auto& ref = table.at(i);
         if (!ref) {
             hash = wire::fnv1a64_u64(0x6e756c6cULL /* "null" */, hash);
             continue;
         }
-        hash = wire::fnv1a64(ref->data(), ref->size(), hash);
+        ref->copy_to(raw);
+        hash = wire::fnv1a64(raw, kPageSize, hash);
     }
     return hash;
 }

@@ -15,8 +15,8 @@
 #include "dev/blockdev.h"
 #include "hv/hypervisor.h"
 #include "hv/vm.h"
-#include "mem/cow_store.h"
 #include "mem/page_table.h"
+#include "replay/ckpt_store/page_pool.h"
 
 /**
  * @file
@@ -33,12 +33,20 @@
  * Recycling falls out of shared ownership: dropping a checkpoint frees a
  * page only when no later checkpoint still references it.
  *
- * The page/block maps are PageTables — persistent chunked arrays shared
- * between consecutive checkpoints — so taking an incremental checkpoint
- * costs O(dirty pages), not O(all pages). Each checkpoint also records
- * the identity and dirty-epoch of the memory/disk it was taken from,
- * letting restore_checkpoint() rewrite only pages that have actually
- * changed since the checkpoint when rolling the same VM back.
+ * The page/block maps are persistent chunked arrays shared between
+ * consecutive checkpoints — so taking an incremental checkpoint costs
+ * O(dirty pages), not O(all pages). Each checkpoint also records the
+ * identity and dirty-epoch of the memory/disk it was taken from, letting
+ * restore_checkpoint() rewrite only pages that have actually changed
+ * since the checkpoint when rolling the same VM back.
+ *
+ * Page contents live in a content-hash dedup pool (ckpt_store/) that
+ * RLE-compresses them, so the chain's stored footprint is a fraction of
+ * the raw page bytes; the CheckpointStore recycles oldest-first under
+ * both a count cap and a byte-denominated storage budget. A complete
+ * checkpoint serializes onto the hardened wire format
+ * (PayloadKind::kCheckpointImage, ckpt_store/ckpt_image.h) so an alarm
+ * replayer can boot from a checkpoint shipped from another process.
  */
 
 namespace rsafe::replay {
@@ -47,9 +55,9 @@ namespace rsafe::replay {
 struct Checkpoint {
     std::uint64_t id = 0;
 
-    // (1) Full VM state, incrementally shared.
-    mem::PageTable pages;     ///< indexed by page number
-    mem::PageTable blocks;    ///< indexed by block number
+    // (1) Full VM state, incrementally shared (and content-deduped).
+    ckpt::StoredPageTable pages;   ///< indexed by page number
+    ckpt::StoredPageTable blocks;  ///< indexed by block number
     cpu::CpuState cpu_state;
     Cycles cycles = 0;
     InstrCount icount = 0;
@@ -122,11 +130,49 @@ struct CheckpointDigest {
 /** Compute the digest of @p checkpoint. */
 CheckpointDigest digest_of(const Checkpoint& checkpoint);
 
+/** CheckpointStore configuration. */
+struct CheckpointStoreOptions {
+    /** Keep at most this many checkpoints (0 = unlimited history). */
+    std::size_t max_keep = 0;
+    /**
+     * Byte-denominated storage budget: after a take(), the oldest
+     * checkpoints are recycled until the pool's live encoded bytes fit
+     * (0 = unlimited). The newest checkpoint is always kept, so the
+     * budget bounds history depth, never correctness; an alarm older
+     * than the oldest surviving checkpoint surfaces as a clean
+     * checkpoint-unavailable verdict, not UB.
+     */
+    std::uint64_t byte_budget = 0;
+    /** Content-hash dedup of equal pages across the chain. */
+    bool dedup = true;
+    /**
+     * RLE-compress stored pages. The RSAFE_NO_CKPT_COMPRESS environment
+     * variable is a runtime kill-switch that forces this off — the A/B
+     * lever for the bit-identical determinism gate.
+     */
+    bool compress = true;
+};
+
+/** Storage accounting for one store (see PagePoolStats). */
+struct CheckpointStoreStats {
+    std::uint64_t bytes_raw = 0;      ///< page copies at raw page size
+    std::uint64_t bytes_stored = 0;   ///< cumulative unique encoded bytes
+    std::uint64_t dedup_hits = 0;     ///< copies shared instead of stored
+    std::uint64_t compressed_pages = 0;
+    std::uint64_t live_bytes = 0;     ///< encoded bytes still referenced
+    std::uint64_t live_pages = 0;
+    std::uint64_t budget_evictions = 0;  ///< checkpoints dropped to budget
+    std::uint64_t count_evictions = 0;   ///< checkpoints dropped to max_keep
+};
+
 /** Builds, retains, and recycles checkpoints for one replay stream. */
 class CheckpointStore {
   public:
     /** Keep at most @p max_keep checkpoints (0 = unlimited history). */
     explicit CheckpointStore(std::size_t max_keep);
+
+    /** Full configuration (kill-switch applied here). */
+    explicit CheckpointStore(const CheckpointStoreOptions& options);
 
     /**
      * Take a checkpoint of @p vm at the current instant.
@@ -160,12 +206,26 @@ class CheckpointStore {
     std::shared_ptr<const Checkpoint> at(std::size_t i) const;
 
     /** @return total pages+blocks copied across all checkpoints. */
-    std::uint64_t total_copies() const { return cow_.pages_copied(); }
+    std::uint64_t total_copies() const
+    {
+        return pool_.stats().pages_interned;
+    }
+
+    /** Storage accounting (dedup, compression, recycling). */
+    CheckpointStoreStats stats() const;
+
+    /** The in-effect configuration (kill-switch already applied). */
+    const CheckpointStoreOptions& options() const { return options_; }
 
   private:
-    std::size_t max_keep_;
+    /** Recycle oldest-first until count and byte budget both fit. */
+    void enforce_budget();
+
+    CheckpointStoreOptions options_;
     std::uint64_t next_id_ = 0;
-    mem::CowStore cow_;
+    ckpt::PagePool pool_;
+    std::uint64_t budget_evictions_ = 0;
+    std::uint64_t count_evictions_ = 0;
     std::deque<std::shared_ptr<const Checkpoint>> checkpoints_;
 };
 

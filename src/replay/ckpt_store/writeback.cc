@@ -1,0 +1,107 @@
+#include "replay/ckpt_store/writeback.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+#include "replay/checkpoint.h"
+#include "replay/ckpt_store/ckpt_image.h"
+
+namespace rsafe::replay::ckpt {
+
+CkptWriteback::CkptWriteback(Sink sink, const WritebackOptions& options)
+    : sink_(std::move(sink)), options_(options)
+{
+    if (sink_ == nullptr) panic("CkptWriteback needs a sink");
+    if (options_.capacity == 0) panic("CkptWriteback capacity must be > 0");
+    worker_ = std::thread([this] { worker_main(); });
+}
+
+CkptWriteback::~CkptWriteback() { close(); }
+
+void CkptWriteback::submit(std::shared_ptr<const Checkpoint> checkpoint)
+{
+    if (checkpoint == nullptr) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (sealed_) return;
+    if (queue_.size() >= options_.capacity) {
+        ++stats_.producer_waits;
+        can_push_.wait(lock, [this] {
+            return sealed_ || queue_.size() < options_.capacity;
+        });
+        if (sealed_) return;
+    }
+    queue_.push_back(std::move(checkpoint));
+    ++stats_.submitted;
+    ++in_flight_;
+    stats_.max_queued = std::max(stats_.max_queued, queue_.size());
+    can_pop_.notify_one();
+}
+
+void CkptWriteback::close()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        sealed_ = true;
+        if (joined_) return;
+        joined_ = true;
+    }
+    can_pop_.notify_all();
+    can_push_.notify_all();
+    worker_.join();
+}
+
+void CkptWriteback::abandon()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        sealed_ = true;
+        stats_.dropped += queue_.size();
+        in_flight_ -= queue_.size();
+        queue_.clear();
+        if (joined_) return;
+        joined_ = true;
+    }
+    can_pop_.notify_all();
+    can_push_.notify_all();
+    worker_.join();
+}
+
+std::size_t CkptWriteback::lag() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return in_flight_;
+}
+
+WritebackStats CkptWriteback::stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void CkptWriteback::worker_main()
+{
+    for (;;) {
+        std::shared_ptr<const Checkpoint> next;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            can_pop_.wait(lock,
+                          [this] { return sealed_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // sealed and drained (or abandoned)
+            next = std::move(queue_.front());
+            queue_.pop_front();
+            can_push_.notify_one();
+        }
+        std::vector<std::uint8_t> image = serialize_checkpoint(*next);
+        std::size_t bytes = image.size();
+        sink_(next, std::move(image));
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            ++stats_.written;
+            stats_.bytes_written += bytes;
+            --in_flight_;
+        }
+    }
+}
+
+}  // namespace rsafe::replay::ckpt

@@ -1,0 +1,107 @@
+#ifndef RSAFE_REPLAY_CKPT_STORE_WRITEBACK_H_
+#define RSAFE_REPLAY_CKPT_STORE_WRITEBACK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/**
+ * @file
+ * Asynchronous checkpoint writeback.
+ *
+ * The CR must keep pace with the recorder; serializing every sealed
+ * checkpoint on its thread would charge wire encoding to the replay
+ * critical path. CkptWriteback moves that work to a background thread
+ * behind a bounded channel with rnr::LogChannel's semantics:
+ *
+ *  - submit() enqueues a sealed (immutable, shared) checkpoint and
+ *    blocks only when the queue is full — backpressure, so an
+ *    unconsumed backlog cannot grow without bound;
+ *  - close() seals the stream: every submitted checkpoint is serialized
+ *    and delivered to the sink, then the worker joins (drain shutdown);
+ *  - abandon() discards checkpoints not yet being serialized and joins
+ *    (the consumer died or the run is being torn down).
+ *
+ * The sink receives the checkpoint and its kCheckpointImage wire bytes
+ * on the worker thread; whatever it does with them (file, socket, a
+ * remote AR tier) is outside the simulated timeline, so writeback never
+ * perturbs the determinism gates.
+ */
+
+namespace rsafe::replay {
+
+struct Checkpoint;
+
+namespace ckpt {
+
+/** CkptWriteback configuration. */
+struct WritebackOptions {
+    /** Backpressure bound: sealed checkpoints queued at once. */
+    std::size_t capacity = 4;
+};
+
+/** Traffic counters (coherent after close()/abandon()). */
+struct WritebackStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t written = 0;        ///< serialized and delivered
+    std::uint64_t bytes_written = 0;  ///< wire bytes handed to the sink
+    std::uint64_t dropped = 0;        ///< discarded by abandon()
+    std::uint64_t producer_waits = 0; ///< submit() blocked on a full queue
+    std::size_t max_queued = 0;       ///< high-water mark of the queue
+};
+
+/** Bounded-channel background serializer for sealed checkpoints. */
+class CkptWriteback {
+  public:
+    /** Receives each checkpoint + its serialized image (worker thread). */
+    using Sink = std::function<void(std::shared_ptr<const Checkpoint>,
+                                    std::vector<std::uint8_t>)>;
+
+    explicit CkptWriteback(Sink sink, const WritebackOptions& options = {});
+
+    /** Drains (close) if the stream is still open. */
+    ~CkptWriteback();
+
+    /** Enqueue @p checkpoint (may block on backpressure). No-op after
+     *  close()/abandon(). */
+    void submit(std::shared_ptr<const Checkpoint> checkpoint);
+
+    /** Seal the stream, serialize everything queued, join the worker. */
+    void close();
+
+    /** Seal the stream, discard the queue, join the worker. */
+    void abandon();
+
+    /** Checkpoints submitted but not yet delivered (the lag gauge). */
+    std::size_t lag() const;
+
+    WritebackStats stats() const;
+
+  private:
+    void worker_main();
+
+    Sink sink_;
+    WritebackOptions options_;
+
+    mutable std::mutex mu_;
+    std::condition_variable can_push_;
+    std::condition_variable can_pop_;
+    std::deque<std::shared_ptr<const Checkpoint>> queue_;
+    bool sealed_ = false;
+    bool joined_ = false;
+    WritebackStats stats_;
+    /** submitted - written - dropped, maintained under mu_. */
+    std::size_t in_flight_ = 0;
+
+    std::thread worker_;
+};
+
+}  // namespace ckpt
+}  // namespace rsafe::replay
+
+#endif  // RSAFE_REPLAY_CKPT_STORE_WRITEBACK_H_

@@ -75,6 +75,7 @@ enum class PayloadKind : std::uint16_t {
     kCheckpointDigest = 2,
     kForensicReport = 3,
     kPolicyTable = 4,
+    kCheckpointImage = 5,
 };
 
 /** Decoded wire header. */

@@ -16,8 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "replay/checkpoint.h"
+#include "replay/ckpt_store/ckpt_image.h"
 #include "rnr/log_io.h"
 #include "rnr/replayer.h"
+#include "rnr/wire.h"
 #include "workloads/attack_mix.h"
 #include "workloads/benchmarks.h"
 #include "workloads/generator.h"
@@ -134,6 +137,111 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+// ---------------------------------------------------------------------
+// Golden serialized checkpoints (ckpt_manifest.txt): one complete
+// kCheckpointImage per Table 3 benchmark plus the attack mix, written by
+// rsafe-corpus from a checkpointed CR replay of the golden recording.
+// The checked-in bytes must keep deserializing, keep their recorded
+// geometry and state digest, and stay a canonical fixed point of
+// serialize(). Any drift in the image format, the RLE codec, or the
+// dedup slot map fails here before it ships.
+
+struct GoldenCkptEntry {
+    std::string name;
+    std::string file;
+    std::size_t bytes = 0;
+    std::size_t pages = 0;
+    std::size_t blocks = 0;
+    std::uint64_t digest_hash = 0;
+};
+
+std::vector<GoldenCkptEntry>
+read_ckpt_manifest()
+{
+    std::vector<GoldenCkptEntry> entries;
+    std::ifstream in(golden_dir() + "/ckpt_manifest.txt");
+    if (!in) {
+        entries.push_back(GoldenCkptEntry{kMissing, "", 0, 0, 0, 0});
+        return entries;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        GoldenCkptEntry entry;
+        std::string hash;
+        fields >> entry.name >> entry.file >> entry.bytes >> entry.pages >>
+            entry.blocks >> hash;
+        if (fields.fail()) {
+            entries.push_back(GoldenCkptEntry{kMissing, "", 0, 0, 0, 0});
+            continue;
+        }
+        entry.digest_hash = std::stoull(hash, nullptr, 16);
+        entries.push_back(std::move(entry));
+    }
+    if (entries.empty())
+        entries.push_back(GoldenCkptEntry{kMissing, "", 0, 0, 0, 0});
+    return entries;
+}
+
+class GoldenCkptCorpus
+    : public ::testing::TestWithParam<GoldenCkptEntry> {};
+
+TEST_P(GoldenCkptCorpus, CheckedInImageStillDecodesToItsDigest)
+{
+    const GoldenCkptEntry& entry = GetParam();
+    ASSERT_NE(entry.name, kMissing)
+        << "golden checkpoint corpus missing or malformed: run build/"
+           "tools/rsafe-corpus from the repo root to regenerate "
+        << golden_dir();
+
+    std::ifstream in(golden_dir() + "/" + entry.file, std::ios::binary);
+    ASSERT_TRUE(in) << "cannot read " << entry.file;
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes.size(), entry.bytes);
+
+    replay::Checkpoint ck;
+    const Status status = replay::ckpt::deserialize_checkpoint(bytes, &ck);
+    ASSERT_TRUE(status.ok()) << status.to_string();
+    EXPECT_EQ(ck.pages.size(), entry.pages);
+    EXPECT_EQ(ck.blocks.size(), entry.blocks);
+
+    // The machine state the image decodes to is pinned by the digest
+    // recorded at generation time.
+    const auto digest_bytes = replay::digest_of(ck).serialize();
+    EXPECT_EQ(rnr::wire::fnv1a64(digest_bytes.data(), digest_bytes.size()),
+              entry.digest_hash);
+
+    // Serialization is canonical: re-encoding the decoded checkpoint
+    // must reproduce the checked-in bytes exactly.
+    EXPECT_EQ(replay::ckpt::serialize_checkpoint(ck), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CkptManifest, GoldenCkptCorpus,
+    ::testing::ValuesIn(read_ckpt_manifest()), [](const auto& info) {
+        if (info.param.name == kMissing)
+            return "corpus_missing_" + std::to_string(info.index);
+        return info.param.name;
+    });
+
+TEST(GoldenCkptManifest, CoversEveryBenchmarkPlusTheAttackMix)
+{
+    const auto entries = read_ckpt_manifest();
+    std::vector<std::string> wanted = workloads::benchmark_names();
+    wanted.push_back("attack");
+    for (const std::string& name : wanted) {
+        bool found = false;
+        for (const auto& entry : entries)
+            if (entry.name == name)
+                found = true;
+        EXPECT_TRUE(found) << "no golden checkpoint for " << name;
+    }
+}
 
 TEST(GoldenCorpusManifest, CoversEveryBenchmarkPlusALegacyImage)
 {

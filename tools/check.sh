@@ -24,6 +24,11 @@
 #                             # bench_fleet --gate against the committed
 #                             # BENCH_fleet.json (aggregate throughput and
 #                             # benign-tenant p99 regression thresholds).
+#   tools/check.sh ckpt       # checkpoint-storage gate: test_ckpt_store
+#                             # (dedup, compression A/B, writeback, wire
+#                             # restore) plus bench_ckpt --gate against the
+#                             # committed BENCH_ckpt.json (>=4x byte and
+#                             # image reductions, restore-latency ratio).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,12 +71,16 @@ run_fuzz() {
         cmake -B build-fuzz -S .
     fi
     cmake --build build-fuzz -j "$(nproc)" \
-        --target fuzz_wire --target fuzz_log --target fuzz_checkpoint
-    for target in wire log checkpoint; do
-        echo "check.sh: fuzz_$target over tests/corpus/$target" \
+        --target fuzz_wire --target fuzz_log --target fuzz_checkpoint \
+        --target fuzz_ckpt_image
+    for target in wire log checkpoint ckpt_image; do
+        corpus="$target"
+        # Full-image seeds live under corpus/ckpt.
+        [ "$target" = ckpt_image ] && corpus=ckpt
+        echo "check.sh: fuzz_$target over tests/corpus/$corpus" \
              "(runs=$runs)"
         "./build-fuzz/tools/fuzz_$target" -runs="$runs" \
-            "tests/corpus/$target"
+            "tests/corpus/$corpus"
     done
 }
 
@@ -122,6 +131,24 @@ run_fleet() {
     echo "check.sh: fleet gate ok (build-rel/BENCH_fleet.json measured)"
 }
 
+run_ckpt() {
+    # The checkpoint-storage gate: the ckpt_store unit suite (dedup
+    # refcount lifecycle, RSAFE_NO_CKPT_COMPRESS A/B determinism, async
+    # writeback, AR-boots-from-wire-image equivalence) plus the storage
+    # benchmark measured fresh and compared against the committed
+    # baseline. The byte/image reductions are deterministic functions of
+    # the log and carry hard >=4x floors; only the restore-latency ratio
+    # is wall-clock (Release keeps it honest).
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-rel -j "$(nproc)" --target test_ckpt_store \
+        --target bench_ckpt
+    ./build-rel/tests/test_ckpt_store
+    # Run inside build-rel so the freshly measured JSON lands there
+    # instead of clobbering the committed baseline it is gated against.
+    (cd build-rel && ./bench/bench_ckpt --gate ../BENCH_ckpt.json)
+    echo "check.sh: ckpt gate ok (build-rel/BENCH_ckpt.json measured)"
+}
+
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
@@ -131,13 +158,14 @@ case "$mode" in
   trace)    run_trace ;;
   bench)    run_bench ;;
   fleet)    run_fleet ;;
+  ckpt)     run_ckpt ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
     run_config build-tsan -DRSAFE_SANITIZE=thread
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|bench|fleet|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|bench|fleet|ckpt|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,46 @@
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "replay/checkpoint.h"
+#include "replay/ckpt_store/ckpt_image.h"
+
+/**
+ * @file
+ * Fuzz target: complete checkpoint-image deserialization
+ * (PayloadKind::kCheckpointImage).
+ *
+ * Arbitrary bytes — truncations, bit-flips, lying counts, lengths, slot
+ * references, and RLE streams — must land in the Status taxonomy, never
+ * crash. An accepted image must reach a canonical fixed point: its
+ * re-serialization is accepted, digests to the same machine state, and
+ * re-serializes to the identical bytes.
+ */
+
+using rsafe::replay::Checkpoint;
+using rsafe::replay::digest_of;
+using rsafe::replay::ckpt::deserialize_checkpoint;
+using rsafe::replay::ckpt::serialize_checkpoint;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::vector<std::uint8_t> bytes(data, data + size);
+
+    Checkpoint first;
+    const rsafe::Status status = deserialize_checkpoint(bytes, &first);
+    (void)status.to_string();
+    if (!status.ok())
+        return 0;
+
+    const std::vector<std::uint8_t> canonical = serialize_checkpoint(first);
+    Checkpoint second;
+    if (!deserialize_checkpoint(canonical, &second).ok())
+        std::abort();
+    if (!(digest_of(second) == digest_of(first)))
+        std::abort();
+    if (serialize_checkpoint(second) != canonical)
+        std::abort();
+    return 0;
+}

@@ -9,8 +9,11 @@
 
 #include "fault/injector.h"
 #include "replay/checkpoint.h"
+#include "replay/checkpoint_replayer.h"
+#include "replay/ckpt_store/ckpt_image.h"
 #include "rnr/log_io.h"
 #include "rnr/recorder.h"
+#include "rnr/wire.h"
 #include "workloads/attack_mix.h"
 #include "workloads/benchmarks.h"
 #include "workloads/generator.h"
@@ -85,6 +88,56 @@ sample_log()
     return log;
 }
 
+/**
+ * A small hand-built checkpoint exercising every image field: a zero
+ * page (RLE), an incompressible page (raw), a shared page (dedup on the
+ * wire), a null slot, disk blocks, an in-flight DMA write, a pending
+ * irq, and a multi-thread BackRAS. Fuzz seed material — tiny on disk,
+ * deep into the decoder.
+ */
+replay::Checkpoint
+sample_checkpoint()
+{
+    replay::ckpt::PagePool pool{replay::ckpt::PagePoolOptions{}};
+    replay::Checkpoint ck;
+    ck.id = 5;
+    ck.icount = 123456;
+    ck.cycles = 234567;
+    ck.log_pos = 17;
+    ck.copies = 6;
+    for (std::size_t r = 0; r < ck.cpu_state.regs.size(); ++r)
+        ck.cpu_state.regs[r] = 0x1000 + 3 * r;
+    ck.cpu_state.pc = 0x2048;
+    ck.cpu_state.sp = 0x21000;
+    ck.cpu_state.mode = cpu::Mode::kKernel;
+    ck.cpu_state.iflag = true;
+    ck.pending_irq = 5;
+    ck.blockdev.busy = true;
+    ck.blockdev.block = 9;
+    ck.blockdev.guest_addr = 0x4000;
+    ck.blockdev.write_payload = {0xde, 0xad, 0xbe, 0xef};
+    ck.ras.entries.push_back(cpu::RasEntry{0x2050, false});
+    ck.ras.entries.push_back(cpu::RasEntry{0x2090, true});
+    ck.backras[2].entries.push_back(cpu::RasEntry{0x3000, false});
+    ck.backras[7].entries.push_back(cpu::RasEntry{0x3100, true});
+    ck.current_tid = 2;
+    ck.have_current_tid = true;
+
+    std::vector<std::uint8_t> page(kPageSize, 0);
+    ck.pages = replay::ckpt::StoredPageTable(4);
+    ck.pages.set(0, pool.intern(page.data()));  // zero page: RLE
+    for (std::size_t i = 0; i < kPageSize; ++i)
+        page[i] = static_cast<std::uint8_t>(7 * i + 13);  // runless: raw
+    ck.pages.set(1, pool.intern(page.data()));
+    ck.pages.set(2, ck.pages.at(0));  // shared slot (dedup on the wire)
+    // slot 3 stays null.
+    ck.blocks = replay::ckpt::StoredPageTable(2);
+    ck.blocks.set(0, ck.pages.at(1));
+    page.assign(kPageSize, 0xa5);
+    ck.blocks.set(1, pool.intern(page.data()));
+    return ck;
+}
+
 /** Encode @p log in the legacy v1 format (magic + count + records). */
 std::vector<std::uint8_t>
 encode_legacy_v1(const rnr::InputLog& log)
@@ -137,7 +190,7 @@ main(int argc, char** argv)
     using namespace rsafe;
 
     const fs::path root = argc > 1 ? fs::path(argv[1]) : "tests/corpus";
-    for (const char* sub : {"wire", "log", "checkpoint", "golden"})
+    for (const char* sub : {"wire", "log", "checkpoint", "ckpt", "golden"})
         fs::create_directories(root / sub);
 
     // ---- fuzz seeds -------------------------------------------------
@@ -159,15 +212,55 @@ main(int argc, char** argv)
     emit_fault_variants(root / "checkpoint", "digest", digest.serialize(),
                         0x5EED0002);
 
-    // wire/ mixes both payload kinds (the raw walker sees everything).
+    // ckpt/: complete checkpoint images for the image fuzzer — the rich
+    // sample plus one faulted variant per kind, and a degenerate empty
+    // checkpoint (0 pages, 0 blocks).
+    const auto ckpt_image =
+        replay::ckpt::serialize_checkpoint(sample_checkpoint());
+    emit_fault_variants(root / "ckpt", "image", ckpt_image, 0x5EED0004);
+    write_file(root / "ckpt" / "empty.bin",
+               replay::ckpt::serialize_checkpoint(replay::Checkpoint()));
+
+    // wire/ mixes the payload kinds (the raw walker sees everything).
     emit_fault_variants(root / "wire", "log", small_image, 0x5EED0003);
     write_file(root / "wire" / "digest.bin", digest.serialize());
+    write_file(root / "wire" / "ckpt_image.bin", ckpt_image);
     write_file(root / "wire" / "empty.bin", rnr::InputLog().serialize());
     write_file(root / "wire" / "legacy_v1.bin", encode_legacy_v1(small));
 
     // ---- golden replay corpus ---------------------------------------
     std::ostringstream manifest;
     manifest << "# benchmark  file  records  icount  final_state_hash\n";
+    // Golden serialized checkpoints ride in their own manifest (different
+    // row shape): the image size, the chain geometry, and the fnv-64 of
+    // the serialized CheckpointDigest the image must deserialize to.
+    std::ostringstream ckpt_manifest;
+    ckpt_manifest << "# benchmark  file  bytes  pages  blocks"
+                     "  digest_hash\n";
+    const auto emit_golden_ckpt = [&](const std::string& name,
+                                      const rnr::InputLog& log,
+                                      const auto& factory) {
+        auto cr_vm = factory();
+        replay::CrOptions cr_options;
+        cr_options.checkpoint_interval = 50'000;
+        replay::CheckpointReplayer cr(cr_vm.get(), &log, cr_options);
+        if (cr.run() != rnr::ReplayOutcome::kFinished) {
+            std::fprintf(stderr,
+                         "rsafe-corpus: golden CR replay of %s failed\n",
+                         name.c_str());
+            std::exit(1);
+        }
+        const auto ck = cr.checkpoints().latest();
+        const auto image = replay::ckpt::serialize_checkpoint(*ck);
+        write_file(root / "golden" / (name + ".ckpt"), image);
+        const auto digest_bytes = replay::digest_of(*ck).serialize();
+        ckpt_manifest << name << " " << name << ".ckpt " << image.size()
+                      << " " << ck->pages.size() << " " << ck->blocks.size()
+                      << " "
+                      << hex64(rnr::wire::fnv1a64(digest_bytes.data(),
+                                                  digest_bytes.size()))
+                      << "\n";
+    };
     std::vector<std::uint8_t> fileio_image;
     for (const std::string& name : workloads::benchmark_names()) {
         const auto profile = workloads::golden_profile(name);
@@ -187,6 +280,7 @@ main(int argc, char** argv)
         manifest << name << " " << file << " " << recorder.log().size()
                  << " " << vm->cpu().icount() << " "
                  << hex64(vm->state_hash()) << "\n";
+        emit_golden_ckpt(name, recorder.log(), factory);
         if (name == "fileio") {
             // The same recording in the legacy v1 encoding: replaying it
             // must land on the same machine digest.
@@ -216,11 +310,16 @@ main(int argc, char** argv)
         manifest << "attack attack.rnrlog " << recorder.log().size() << " "
                  << vm->cpu().icount() << " " << hex64(vm->state_hash())
                  << "\n";
+        emit_golden_ckpt("attack", recorder.log(), mix.factory);
     }
 
     const std::string text = manifest.str();
     write_file(root / "golden" / "manifest.txt",
                std::vector<std::uint8_t>(text.begin(), text.end()));
+    const std::string ckpt_text = ckpt_manifest.str();
+    write_file(root / "golden" / "ckpt_manifest.txt",
+               std::vector<std::uint8_t>(ckpt_text.begin(),
+                                         ckpt_text.end()));
 
     std::printf("rsafe-corpus: corpus written under %s\n",
                 root.c_str());
