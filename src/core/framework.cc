@@ -9,10 +9,105 @@
 
 #include "common/log.h"
 #include "cpu/tb_engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "rnr/log_source.h"
 
 namespace rsafe::core {
+
+namespace {
+
+/**
+ * Solo-mode health plane: the same monitor / flight recorder /
+ * telemetry endpoint the fleet wires per tenant, watching the one
+ * pipeline as a tenant named "pipeline". Declared after the stage on
+ * run()'s stack so an unwinding exception stops the monitor before the
+ * stage (its sampler target) is destroyed.
+ */
+struct HealthPlane {
+    bool on = false;
+    obs::HealthProbe probe;
+    obs::FlightRecorder flight;
+    std::unique_ptr<obs::HealthMonitor> monitor;
+    std::unique_ptr<obs::TelemetryServer> telemetry;
+
+    void begin(const FrameworkConfig& config, SessionStage* stage)
+    {
+        on = config.health.enabled &&
+             std::getenv("RSAFE_NO_HEALTH") == nullptr;
+        if (!on)
+            return;
+        stage->set_health_probe(&probe);
+        monitor = std::make_unique<obs::HealthMonitor>(config.health);
+        obs::HealthProbe* probe_ptr = &probe;
+        monitor->add_tenant("pipeline", [probe_ptr, stage] {
+            obs::HealthSample sample;
+            sample.set(obs::HealthSignal::kReplayLag,
+                       probe_ptr->replay_lag.load(
+                           std::memory_order_relaxed));
+            sample.set(obs::HealthSignal::kQueueDepth,
+                       probe_ptr->queue_depth());
+            sample.set(obs::HealthSignal::kVerdictLatency,
+                       probe_ptr->verdict_cycles_peak.exchange(
+                           0, std::memory_order_relaxed));
+            sample.set(obs::HealthSignal::kChannelBackpressure,
+                       stage->live_channel_stats().producer_waits);
+            const std::uint64_t budget =
+                probe_ptr->ckpt_budget_bytes.load(
+                    std::memory_order_relaxed);
+            const std::uint64_t live = probe_ptr->ckpt_live_bytes.load(
+                std::memory_order_relaxed);
+            sample.set(obs::HealthSignal::kCkptOccupancy,
+                       budget != 0 ? live * 100 / budget : 0);
+            // No shared pool in solo mode; starvation stays zero.
+            return sample;
+        });
+        obs::FlightRecorder* flight_ptr = &flight;
+        monitor->add_listener([flight_ptr](const obs::HealthEvent& event) {
+            flight_ptr->record(obs::FlightEntryKind::kTransition,
+                               event.tenant,
+                               obs::health_signal_name(event.signal),
+                               event.value, event.to_string());
+            if (event.to == obs::HealthState::kCritical)
+                flight_ptr->dump("slo-breach:" + event.tenant);
+        });
+        monitor->start();
+        telemetry = std::make_unique<obs::TelemetryServer>(
+            config.telemetry,
+            obs::TelemetryProviders{
+                [this] { return monitor->metrics_prometheus(); },
+                [this] { return monitor->healthz_json(); },
+                [this] { return flight.latest(); },
+            });
+        telemetry->start();
+    }
+
+    /** Stop, dump, and fold the outputs into @p result. */
+    void finish(FrameworkResult* result)
+    {
+        if (!on)
+            return;
+        for (const AlarmReplayResult& ar : result->ar_results) {
+            if (ar.analysis.is_attack) {
+                flight.record(obs::FlightEntryKind::kVerdict, "pipeline",
+                              "attack", ar.analysis.analysis_cycles);
+                flight.dump("attack-verdict:pipeline");
+                break;
+            }
+        }
+        monitor->stop();
+        if (flight.dumps() == 0)
+            flight.dump("run-complete");
+        telemetry->stop();
+        // Gauges only: the deterministic counter snapshot is untouched.
+        monitor->export_metrics(&result->pipeline_stats);
+        result->healthz = monitor->healthz_json();
+        result->health_events = monitor->events();
+        result->flight_box = flight.latest();
+    }
+};
+
+}  // namespace
 
 RnrSafeFramework::RnrSafeFramework(VmFactory factory, FrameworkConfig config)
     : factory_(std::move(factory)), config_(std::move(config))
@@ -92,8 +187,12 @@ RnrSafeFramework::run_alarm_pool(
         workers = pending.size();
 
     if (workers == 1) {
-        for (std::size_t i = 0; i < pending.size(); ++i)
+        for (std::size_t i = 0; i < pending.size(); ++i) {
             results[i] = stage.analyze(pending[i], log, stats_out);
+            if (live_probe_ != nullptr)
+                live_probe_->note_verdict(
+                    results[i].analysis.analysis_cycles);
+        }
         return results;
     }
 
@@ -128,6 +227,9 @@ RnrSafeFramework::run_alarm_pool(
                         results[i] =
                             stage.analyze(pending[i], log,
                                           &worker_stats[w]);
+                        if (live_probe_ != nullptr)
+                            live_probe_->note_verdict(
+                                results[i].analysis.analysis_cycles);
                     }
                 }
             } catch (...) {
@@ -339,6 +441,9 @@ RnrSafeFramework::run_serial()
     // replay, back to back on this thread.
     SessionStage stage(factory_, session_options(/*streamed=*/false),
                        config_.detectors);
+    HealthPlane plane;
+    plane.begin(config_, &stage);
+    live_probe_ = plane.on ? &plane.probe : nullptr;
     const SessionResult session = stage.run();
     adopt_session(&result, &stage, session);
 
@@ -347,10 +452,16 @@ RnrSafeFramework::run_serial()
     const ArStage ar_stage(factory_, config_.cr.replay, active_detectors_);
     std::vector<AlarmReplayResult> ar_results;
     ar_results.reserve(result.cr->pending_alarms().size());
-    for (const auto& pending : result.cr->pending_alarms())
+    for (const auto& pending : result.cr->pending_alarms()) {
         ar_results.push_back(
             ar_stage.analyze(pending, &log, &result.pipeline_stats));
+        if (live_probe_ != nullptr)
+            live_probe_->note_verdict(
+                ar_results.back().analysis.analysis_cycles);
+    }
     finalize_result(&result, std::move(ar_results));
+    plane.finish(&result);
+    live_probe_ = nullptr;
     return result;
 }
 
@@ -368,6 +479,9 @@ RnrSafeFramework::run_concurrent()
     // queue, not a file handed over after the fact).
     SessionStage stage(factory_, session_options(/*streamed=*/true),
                        config_.detectors);
+    HealthPlane plane;
+    plane.begin(config_, &stage);
+    live_probe_ = plane.on ? &plane.probe : nullptr;
     const SessionResult session = stage.run();
     adopt_session(&result, &stage, session);
 
@@ -378,6 +492,8 @@ RnrSafeFramework::run_concurrent()
     auto ar_results = run_alarm_pool(result.cr->pending_alarms(), &log,
                                      &result.pipeline_stats);
     finalize_result(&result, std::move(ar_results));
+    plane.finish(&result);
+    live_probe_ = nullptr;
     return result;
 }
 

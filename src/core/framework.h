@@ -10,6 +10,8 @@
 #include "core/detector.h"
 #include "core/session_stage.h"
 #include "hv/vm.h"
+#include "obs/health.h"
+#include "obs/telemetry.h"
 #include "replay/checkpoint_replayer.h"
 #include "rnr/log_channel.h"
 #include "rnr/recorder.h"
@@ -85,6 +87,14 @@ struct FrameworkConfig {
      * a runtime kill-switch that ignores this field entirely.
      */
     std::shared_ptr<DetectorSet> detectors;
+    /**
+     * The live health plane for a solo run (off by default): one
+     * monitored tenant named "pipeline", same monitor / flight recorder
+     * / telemetry endpoint the fleet wires per tenant. Passive — the
+     * A/B gates hold with it on or off.
+     */
+    obs::HealthOptions health;
+    obs::TelemetryOptions telemetry;
 };
 
 /** Everything the pipeline produced. */
@@ -136,6 +146,12 @@ struct FrameworkResult {
 
     /** The deserialized shipped log (replay_wire() runs only). */
     std::unique_ptr<rnr::InputLog> shipped_log;
+
+    /** Health-plane outputs (empty when the plane was off). @{ */
+    std::string healthz;
+    std::vector<obs::HealthEvent> health_events;
+    std::vector<std::uint8_t> flight_box;
+    /** @} */
 };
 
 /**
@@ -199,6 +215,10 @@ class RnrSafeFramework {
     /** The in-effect detector set for the current run (kill-switch
      *  applied); read-only while the AR worker pool executes. */
     const DetectorSet* active_detectors_ = nullptr;
+
+    /** Live probe of the current run's health plane (null when off);
+     *  AR workers publish verdict completions through it. */
+    obs::HealthProbe* live_probe_ = nullptr;
 };
 
 }  // namespace rsafe::core

@@ -55,7 +55,23 @@ SessionStage::build_cr(rnr::LogSource* source)
         if (stop_flag_)
             cr_->request_stop();
     }
+    if (health_probe_ != nullptr)
+        cr_->set_health_probe(health_probe_);
     install_cr_sink(source);
+}
+
+void
+SessionStage::set_health_probe(obs::HealthProbe* probe)
+{
+    health_probe_ = probe;
+    if (cr_)
+        cr_->set_health_probe(probe);
+}
+
+rnr::ChannelStats
+SessionStage::live_channel_stats() const
+{
+    return channel_ ? channel_->stats() : rnr::ChannelStats();
 }
 
 void

@@ -109,6 +109,21 @@ class SessionStage {
     /** The in-effect detector set (kill-switch applied; may be null). */
     const DetectorSet* active_detectors() const { return active_detectors_; }
 
+    /**
+     * Attach the live health probe this session publishes into. Applies
+     * to the CR immediately when it already exists (streamed shape) and
+     * is re-applied when the sequential shape builds it lazily. Call
+     * before run().
+     */
+    void set_health_probe(obs::HealthProbe* probe);
+
+    /**
+     * Live recorder->CR channel statistics (streamed shape; zeros
+     * before the channel exists). LogChannel::stats() is mutex-guarded,
+     * so the health monitor may call this mid-run.
+     */
+    rnr::ChannelStats live_channel_stats() const;
+
     /** Component access (valid until the matching release_*()). @{ */
     hv::Vm* recorded_vm() { return recorded_vm_.get(); }
     rnr::Recorder* recorder() { return recorder_.get(); }
@@ -144,6 +159,7 @@ class SessionStage {
 
     AlarmSink sink_;
     bool ran_ = false;
+    obs::HealthProbe* health_probe_ = nullptr;
 
     /** Guards cr_ against a request_stop() racing its lazy build. */
     std::mutex stop_mu_;

@@ -5,7 +5,11 @@
 #include <thread>
 #include <utility>
 
+#include <chrono>
+#include <sstream>
+
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "replay/ckpt_store/ckpt_image.h"
 #include "rnr/log_source.h"
@@ -40,6 +44,9 @@ struct ReplayFleet::TenantState {
      *  and histogram merges are commutative, so completion order does
      *  not perturb the totals. */
     stats::StatRegistry ar_stats;
+
+    /** Live signals for the health monitor (relaxed atomics only). */
+    obs::HealthProbe probe;
 };
 
 ReplayFleet::ReplayFleet(std::vector<FleetTenant> tenants,
@@ -92,6 +99,15 @@ ReplayFleet::run_fleet()
 {
     FleetResult out;
 
+    // The health plane. Declaration order is lifetime order in reverse:
+    // the flight recorder precedes the pool (worker closures write into
+    // it), the monitor and the endpoint follow it (their samplers and
+    // providers read the pool and the stages, so they must be torn down
+    // first).
+    const bool health_on = options_.health.enabled &&
+                           std::getenv("RSAFE_NO_HEALTH") == nullptr;
+    obs::FlightRecorder flight;
+
     // States must outlive the pool (job closures hold raw TenantState
     // pointers), so they are declared first and destroyed last.
     std::vector<std::unique_ptr<TenantState>> states;
@@ -101,6 +117,8 @@ ReplayFleet::run_fleet()
     pool_options.workers = options_.workers;
     pool_options.tenant_inflight_cap = options_.tenant_inflight_cap;
     WorkStealingPool pool(pool_options);
+
+    obs::HealthMonitor monitor(options_.health);
 
     for (const FleetTenant& tenant : tenants_) {
         auto state = std::make_unique<TenantState>();
@@ -128,9 +146,10 @@ ReplayFleet::run_fleet()
         // alarm order.
         TenantState* raw = state.get();
         WorkStealingPool* pool_ptr = &pool;
+        obs::FlightRecorder* flight_ptr = health_on ? &flight : nullptr;
         const bool ship = options_.ship_checkpoints;
         state->stage->set_alarm_sink(
-            [raw, pool_ptr, ship](const core::AlarmJob& job) {
+            [raw, pool_ptr, flight_ptr, ship](const core::AlarmJob& job) {
                 auto owned = std::make_shared<core::AlarmJob>(job);
                 std::size_t seq;
                 {
@@ -139,7 +158,8 @@ ReplayFleet::run_fleet()
                     raw->results.resize(raw->submitted);
                     raw->done.resize(raw->submitted, 0);
                 }
-                pool_ptr->submit(raw->pool_id, [raw, owned, seq, ship] {
+                pool_ptr->submit(raw->pool_id,
+                                 [raw, owned, seq, ship, flight_ptr] {
                     stats::StatRegistry local;
                     // A job can arrive without a checkpoint (interval 0,
                     // or the byte budget recycled past the alarm); its
@@ -165,13 +185,94 @@ ReplayFleet::run_fleet()
                         result = raw->ar->analyze(owned->pending, &source,
                                                   &local);
                     }
+                    if (flight_ptr != nullptr) {
+                        raw->probe.note_verdict(
+                            result.analysis.analysis_cycles);
+                        if (result.analysis.is_attack) {
+                            // An attack verdict is exactly the moment
+                            // the black box exists for.
+                            flight_ptr->record(
+                                obs::FlightEntryKind::kVerdict, raw->name,
+                                "attack",
+                                result.analysis.analysis_cycles);
+                            flight_ptr->dump("attack-verdict:" + raw->name);
+                        }
+                    }
                     std::lock_guard<std::mutex> lock(raw->mu);
                     raw->results[seq] = std::move(result);
                     raw->done[seq] = 1;
                     raw->ar_stats.merge(local);
                 });
             });
+
+        if (health_on) {
+            // The sampler runs on the monitor thread: probe atomics,
+            // the mutex-guarded live channel stats, and the pool's
+            // locked stats are the only live state it touches.
+            state->stage->set_health_probe(&raw->probe);
+            monitor.add_tenant(raw->name, [raw, pool_ptr] {
+                obs::HealthSample sample;
+                sample.set(obs::HealthSignal::kReplayLag,
+                           raw->probe.replay_lag.load(
+                               std::memory_order_relaxed));
+                sample.set(obs::HealthSignal::kQueueDepth,
+                           raw->probe.queue_depth());
+                sample.set(obs::HealthSignal::kVerdictLatency,
+                           raw->probe.verdict_cycles_peak.exchange(
+                               0, std::memory_order_relaxed));
+                sample.set(obs::HealthSignal::kChannelBackpressure,
+                           raw->stage->live_channel_stats().producer_waits);
+                const std::uint64_t budget =
+                    raw->probe.ckpt_budget_bytes.load(
+                        std::memory_order_relaxed);
+                const std::uint64_t live =
+                    raw->probe.ckpt_live_bytes.load(
+                        std::memory_order_relaxed);
+                sample.set(obs::HealthSignal::kCkptOccupancy,
+                           budget != 0 ? live * 100 / budget : 0);
+                sample.set(obs::HealthSignal::kPoolStarvation,
+                           pool_ptr->stats().starved_waits);
+                return sample;
+            });
+        }
         states.push_back(std::move(state));
+    }
+
+    obs::TelemetryServer telemetry(
+        options_.telemetry,
+        obs::TelemetryProviders{
+            [&monitor] { return monitor.metrics_prometheus(); },
+            [&monitor] { return monitor.healthz_json(); },
+            [&flight] { return flight.latest(); },
+        });
+    if (health_on) {
+        obs::FlightRecorder* flight_ptr = &flight;
+        monitor.add_listener([flight_ptr](const obs::HealthEvent& event) {
+            flight_ptr->record(obs::FlightEntryKind::kTransition,
+                               event.tenant,
+                               obs::health_signal_name(event.signal),
+                               event.value, event.to_string());
+            if (event.to == obs::HealthState::kCritical)
+                flight_ptr->dump("slo-breach:" + event.tenant);
+        });
+        monitor.add_sample_listener(
+            [flight_ptr](const std::string& tenant,
+                         const obs::HealthSample& sample) {
+                std::ostringstream detail;
+                for (std::size_t s = 0; s < obs::kNumHealthSignals; ++s) {
+                    if (s != 0)
+                        detail << " ";
+                    detail << obs::health_signal_name(
+                                  static_cast<obs::HealthSignal>(s))
+                           << "=" << sample.values[s];
+                }
+                flight_ptr->record(
+                    obs::FlightEntryKind::kSample, tenant, "signals",
+                    sample.get(obs::HealthSignal::kQueueDepth),
+                    detail.str());
+            });
+        monitor.start();
+        telemetry.start();
     }
 
     // Publish the live run for shutdown(), honoring one requested before
@@ -227,6 +328,32 @@ ReplayFleet::run_fleet()
         live_pool_ = nullptr;
     }
 
+    // Wind down the health plane while everything its samplers read is
+    // still alive: the abandon decision goes into the black box, the
+    // monitor runs its final tick, and the endpoint lingers (if asked)
+    // so late scrapers see the end state before the snapshots land.
+    if (health_on) {
+        if (abandon) {
+            flight.record(obs::FlightEntryKind::kShutdown, "", "abandon");
+            flight.dump("abandon-shutdown");
+        }
+        monitor.stop();
+        if (flight.dumps() == 0)
+            flight.dump("run-complete");
+        std::uint32_t lingered = 0;
+        while (telemetry.running() &&
+               lingered < options_.telemetry_linger_ms) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (shutdown_requested_)
+                    break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            lingered += 50;
+        }
+    }
+    telemetry.stop();
+
     for (auto& state : states)
         if (state->error) {
             pool.abandon();
@@ -275,6 +402,13 @@ ReplayFleet::run_fleet()
     }
 
     collect_metrics(&out);
+    if (health_on) {
+        monitor.export_metrics(&out.metrics);
+        out.healthz = monitor.healthz_json();
+        out.health_events = monitor.events();
+        out.flight_box = flight.latest();
+        out.telemetry_port = telemetry.port();
+    }
     return out;
 }
 

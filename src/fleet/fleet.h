@@ -9,6 +9,8 @@
 
 #include "core/framework.h"
 #include "fleet/work_pool.h"
+#include "obs/health.h"
+#include "obs/telemetry.h"
 #include "stats/stats.h"
 
 /**
@@ -69,6 +71,23 @@ struct FleetOptions {
      * shipped volume rides in gauges only.
      */
     bool ship_checkpoints = false;
+    /**
+     * The live health plane (off by default). When enabled, a
+     * HealthMonitor samples every tenant's live signals on its cadence,
+     * a FlightRecorder black-boxes recent events (dumped on attack
+     * verdicts, SLO breaches, and abandon shutdowns), and — when
+     * telemetry.enabled too — a loopback HTTP endpoint serves /metrics,
+     * /healthz and /flight while the fleet runs. The plane is passive:
+     * verdicts, digests and counter snapshots are bit-identical with it
+     * on or off.
+     */
+    obs::HealthOptions health;
+    obs::TelemetryOptions telemetry;
+    /**
+     * Keep the telemetry endpoint up this long after the run completes
+     * (smoke tests curl it); a shutdown() request cuts the linger short.
+     */
+    std::uint32_t telemetry_linger_ms = 0;
 };
 
 /** How shutdown() treats alarm jobs not yet executed. */
@@ -109,6 +128,13 @@ struct FleetResult {
     /** True if RSAFE_NO_FLEET routed this run through per-tenant
      *  frameworks instead of the shared pool. */
     bool used_fallback = false;
+
+    /** Health-plane outputs (empty when the plane was off). @{ */
+    std::string healthz;  ///< final /healthz JSON document
+    std::vector<obs::HealthEvent> health_events;
+    std::vector<std::uint8_t> flight_box;  ///< latest dump (wire bytes)
+    std::uint16_t telemetry_port = 0;      ///< bound port (0 = no server)
+    /** @} */
 };
 
 /** N sessions, one shared work-stealing alarm-replay pool. */

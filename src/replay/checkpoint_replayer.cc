@@ -71,6 +71,28 @@ CheckpointReplayer::maybe_checkpoint()
         cr_options_.writeback->submit(ck);
     obs::Tracer::instance().instant("cr.checkpoint.taken", "cr", "copies",
                                     ck->copies);
+    publish_occupancy();
+}
+
+void
+CheckpointReplayer::set_health_probe(obs::HealthProbe* probe)
+{
+    rnr::Replayer::set_health_probe(probe);
+    publish_occupancy();
+}
+
+void
+CheckpointReplayer::publish_occupancy()
+{
+    if (health_probe_ == nullptr)
+        return;
+    // CheckpointStore::stats() is CR-thread state; mirroring it into the
+    // probe here (on the CR thread, after each take) is what lets the
+    // monitor read occupancy mid-run without racing the store.
+    health_probe_->ckpt_live_bytes.store(store_.stats().live_bytes,
+                                         std::memory_order_relaxed);
+    health_probe_->ckpt_budget_bytes.store(
+        cr_options_.checkpoint_byte_budget, std::memory_order_relaxed);
 }
 
 void
@@ -127,6 +149,8 @@ CheckpointReplayer::hook_positional_record(const rnr::LogRecord& record)
     }
 
     pending_.push_back(std::move(pending));
+    if (health_probe_ != nullptr)
+        health_probe_->alarms_queued.fetch_add(1, std::memory_order_relaxed);
     if (alarm_sink_)
         alarm_sink_(pending_.back());
     return true;

@@ -102,6 +102,14 @@ class CheckpointReplayer : public rnr::Replayer {
     /** The writeback channel wired in via CrOptions (may be null). */
     ckpt::CkptWriteback* writeback() const { return cr_options_.writeback; }
 
+    /**
+     * Attach the live health probe: publishes the current store
+     * occupancy immediately and refreshes it after every checkpoint,
+     * and counts queued alarms. All relaxed stores on paths the CR
+     * already executes — no new synchronization.
+     */
+    void set_health_probe(obs::HealthProbe* probe) override;
+
   protected:
     bool hook_positional_record(const rnr::LogRecord& record) override;
     void hook_exit_boundary() override;
@@ -109,6 +117,7 @@ class CheckpointReplayer : public rnr::Replayer {
   private:
     void take_initial_checkpoint();
     void maybe_checkpoint();
+    void publish_occupancy();
 
     CrOptions cr_options_;
     CheckpointStore store_;

@@ -77,6 +77,8 @@ Replayer::sample_lag()
     const InstrCount here = vm_->cpu().icount();
     const InstrCount lag = produced > here ? produced - here : 0;
     lag_.record(here, lag);
+    if (health_probe_ != nullptr)
+        health_probe_->replay_lag.store(lag, std::memory_order_relaxed);
     // Decimated counter track: one trace event per 16 samples keeps the
     // hot path cheap while still drawing the lag curve in the viewer.
     if ((lag_.samples & 0xf) == 1)

@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "hv/hypervisor.h"
+#include "obs/health_probe.h"
 #include "rnr/log_io.h"
 #include "rnr/log_source.h"
 
@@ -181,6 +182,17 @@ class Replayer : public hv::VmEnvBase {
     /** @return instructions-behind-the-recorder statistics. */
     const ReplayLag& lag() const { return lag_; }
 
+    /**
+     * Attach the live health probe this replayer publishes into (null
+     * detaches). lag() is replay-thread state the monitor must not
+     * read mid-run; the probe's relaxed atomics are the safe window.
+     * Subclasses extend this with their own signals.
+     */
+    virtual void set_health_probe(obs::HealthProbe* probe)
+    {
+        health_probe_ = probe;
+    }
+
     /** @return total single-steps taken for async injections. */
     std::uint64_t single_steps() const { return single_steps_; }
 
@@ -223,6 +235,7 @@ class Replayer : public hv::VmEnvBase {
     ReplayOverhead overhead_;
     Rng skid_rng_;
     std::uint64_t single_steps_ = 0;
+    obs::HealthProbe* health_probe_ = nullptr;
 
   private:
     /** next_positional() result when the stream ended first. */

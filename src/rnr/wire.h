@@ -76,6 +76,7 @@ enum class PayloadKind : std::uint16_t {
     kForensicReport = 3,
     kPolicyTable = 4,
     kCheckpointImage = 5,
+    kFlightBox = 6,
 };
 
 /** Decoded wire header. */

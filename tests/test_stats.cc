@@ -231,6 +231,31 @@ TEST(Gauge, KeepsLastValueAndBoundedSeries)
         EXPECT_LE(series[i - 1].t, series[i].t);
 }
 
+TEST(Gauge, WrapsCleanlyAtExactCapacity)
+{
+    // The boundary where the ring's write cursor returns to slot zero:
+    // exactly capacity observations must survive in order, and the very
+    // next set() must shed only the oldest sample.
+    Gauge g(4);
+    for (std::uint64_t t = 1; t <= 4; ++t)
+        g.set(t * 10, t);
+    auto series = g.series();
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_EQ(series.front().t, 10u);
+    EXPECT_EQ(series.back().t, 40u);
+    EXPECT_EQ(g.observations(), 4u);
+    EXPECT_EQ(g.last(), 4u);
+
+    g.set(50, 5);  // first overwrite lands on the oldest slot
+    series = g.series();
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_EQ(series.front().t, 20u);
+    EXPECT_EQ(series.back().t, 50u);
+    EXPECT_EQ(g.observations(), 5u);
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_LE(series[i - 1].t, series[i].t);
+}
+
 TEST(Gauge, MergeInterleavesByTimestamp)
 {
     Gauge a(8), b(8);
@@ -288,6 +313,22 @@ TEST(StatRegistry, MergeCarriesHistogramsAndGauges)
     EXPECT_NE(status.message().find("ar.lat"), std::string::npos);
     EXPECT_EQ(total.histograms().at("ar.lat").count(), 1u);
     EXPECT_EQ(total.value("ar.replays"), 2u);
+}
+
+TEST(StatRegistry, MergePrefixedNamesThePrefixedOffender)
+{
+    // The fleet folds per-tenant registries under "tenant.<name>.";
+    // a geometry clash must name the offender as the *destination*
+    // sees it, or the report points at a stat that does not exist.
+    StatRegistry total, tenant;
+    total.histogram("tenant.a.ar.lat", 100, 4).sample(10);
+    tenant.histogram("ar.lat", 100, 8).sample(20);
+    tenant.counter("ar.replays").inc(3);
+    const Status status = total.merge_prefixed(tenant, "tenant.a.");
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("tenant.a.ar.lat"), std::string::npos);
+    EXPECT_EQ(total.histograms().at("tenant.a.ar.lat").count(), 1u);
+    EXPECT_EQ(total.value("tenant.a.ar.replays"), 3u);
 }
 
 TEST(StatRegistry, SnapshotExcludesHistogramsAndGauges)

@@ -29,6 +29,13 @@
 #                             # restore) plus bench_ckpt --gate against the
 #                             # committed BENCH_ckpt.json (>=4x byte and
 #                             # image reductions, restore-latency ratio).
+#   tools/check.sh health     # health-plane smoke: test_health, then an
+#                             # attack-mix fleet with the SLO monitor and
+#                             # telemetry endpoint live — /healthz must
+#                             # flag the attack tenant, the flight-box
+#                             # dump must round-trip through
+#                             # rsafe-report --flight, and the obs
+#                             # overhead gate must hold with the plane on.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,8 +79,8 @@ run_fuzz() {
     fi
     cmake --build build-fuzz -j "$(nproc)" \
         --target fuzz_wire --target fuzz_log --target fuzz_checkpoint \
-        --target fuzz_ckpt_image
-    for target in wire log checkpoint ckpt_image; do
+        --target fuzz_ckpt_image --target fuzz_flight
+    for target in wire log checkpoint ckpt_image flight; do
         corpus="$target"
         # Full-image seeds live under corpus/ckpt.
         [ "$target" = ckpt_image ] && corpus=ckpt
@@ -149,6 +156,63 @@ run_ckpt() {
     echo "check.sh: ckpt gate ok (build-rel/BENCH_ckpt.json measured)"
 }
 
+run_health() {
+    # The health-plane smoke: the unit suite first, then a live
+    # attack-mix fleet with the monitor and the loopback telemetry
+    # endpoint up. The run itself asserts the contract (attack tenant
+    # leaves healthy, flight box decodes); here we additionally
+    # round-trip the dump through the CLI decoder, check the offline
+    # snapshots, and curl the live endpoint when curl exists.
+    cmake -B build -S .
+    cmake --build build -j "$(nproc)" --target test_health \
+        --target rsafe-report --target bench_pipeline
+    ./build/tests/test_health
+    snapdir="health_smoke"
+    rm -rf "$snapdir" && mkdir -p "$snapdir"
+    hold_ms=0
+    command -v curl > /dev/null 2>&1 && hold_ms=5000
+    ./build/tools/rsafe-report --fleet-health \
+        --snapshot-dir "$snapdir" --flight-out "$snapdir/flight.bin" \
+        --hold-ms "$hold_ms" > "$snapdir/healthz.live.json" &
+    smoke_pid=$!
+    if [ "$hold_ms" -gt 0 ]; then
+        # Curl the endpoint while the post-run linger keeps it up.
+        for _ in $(seq 1 100); do
+            [ -s "$snapdir/telemetry.port" ] && break
+            sleep 0.2
+        done
+        port="$(cat "$snapdir/telemetry.port" 2> /dev/null || echo 0)"
+        if [ "$port" -gt 0 ]; then
+            # Retry until the fleet run finishes and the linger begins.
+            live_metrics=""
+            for _ in $(seq 1 200); do
+                if live_metrics="$(curl -fsS --max-time 2 \
+                        "http://127.0.0.1:$port/metrics" 2> /dev/null)"; then
+                    break
+                fi
+                kill -0 "$smoke_pid" 2> /dev/null || break
+                sleep 0.2
+            done
+            echo "$live_metrics" | grep -q "rsafe_"
+            curl -fsS --max-time 2 "http://127.0.0.1:$port/healthz" |
+                grep -q '"attacker"'
+            echo "check.sh: live /metrics + /healthz ok (port $port)"
+        fi
+    fi
+    wait "$smoke_pid"
+    ./build/tools/rsafe-report --flight "$snapdir/flight.bin" \
+        > "$snapdir/flight.txt"
+    grep -q "flight box:" "$snapdir/flight.txt"
+    grep -q '"attacker"' "$snapdir/healthz.live.json"
+    grep -q '"critical"' "$snapdir/healthz.json"
+    grep -q "rsafe_" "$snapdir/metrics.prom"
+    # The overhead gate, with the health plane riding the on-arm.
+    (cd build &&
+         ./bench/bench_pipeline --obs-only --obs-gate \
+             --reference=../BENCH_obs.json)
+    echo "check.sh: health plane smoke ok ($snapdir/ artifacts)"
+}
+
 case "$mode" in
   release)  run_config build ;;
   sanitize) run_config build-asan -DRSAFE_SANITIZE=ON ;;
@@ -159,13 +223,14 @@ case "$mode" in
   bench)    run_bench ;;
   fleet)    run_fleet ;;
   ckpt)     run_ckpt ;;
+  health)   run_health ;;
   all)
     run_config build
     run_config build-asan -DRSAFE_SANITIZE=ON
     run_config build-tsan -DRSAFE_SANITIZE=thread
     ;;
   *)
-    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|bench|fleet|ckpt|all]" >&2
+    echo "usage: tools/check.sh [release|sanitize|tsan|tidy|fuzz|trace|bench|fleet|ckpt|health|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,47 @@
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+/**
+ * @file
+ * Fuzz target: flight-recorder dump deserialization
+ * (PayloadKind::kFlightBox).
+ *
+ * The flight box is the payload an operator pulls off a crashed or
+ * attacked deployment, so its decoder faces the most hostile bytes in
+ * the system. Arbitrary input — truncations, bit-flips, lying string
+ * lengths, out-of-range entry kinds, trailing garbage — must land in
+ * the Status taxonomy, never crash. An accepted box must reach a
+ * canonical fixed point: re-serializing it yields bytes that decode to
+ * the same box and re-serialize identically.
+ */
+
+using rsafe::obs::FlightBox;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::vector<std::uint8_t> bytes(data, data + size);
+
+    FlightBox first;
+    const rsafe::Status status = FlightBox::deserialize(bytes, &first);
+    (void)status.to_string();
+    if (!status.ok())
+        return 0;
+
+    const std::vector<std::uint8_t> canonical = first.serialize();
+    FlightBox second;
+    if (!FlightBox::deserialize(canonical, &second).ok())
+        std::abort();
+    if (second.reason != first.reason ||
+        second.total_appended != first.total_appended ||
+        second.dropped != first.dropped ||
+        second.entries.size() != first.entries.size())
+        std::abort();
+    if (second.serialize() != canonical)
+        std::abort();
+    return 0;
+}

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fault/injector.h"
+#include "obs/flight_recorder.h"
 #include "replay/checkpoint.h"
 #include "replay/checkpoint_replayer.h"
 #include "replay/ckpt_store/ckpt_image.h"
@@ -138,6 +139,41 @@ sample_checkpoint()
     return ck;
 }
 
+/**
+ * A small flight-recorder dump touching every entry kind plus shed
+ * entries and escaped strings — seed material for the kFlightBox
+ * decoder fuzzer.
+ */
+obs::FlightBox
+sample_flight_box()
+{
+    obs::FlightBox box;
+    box.reason = "attack-verdict:attacker";
+    box.total_appended = 9;
+    box.dropped = 4;
+    const auto add = [&](obs::FlightEntryKind kind, const char* tenant,
+                         const char* label, std::uint64_t value,
+                         const char* detail) {
+        obs::FlightEntry entry;
+        entry.kind = kind;
+        entry.t_ms = 100 + 10 * box.entries.size();
+        entry.tenant = tenant;
+        entry.label = label;
+        entry.value = value;
+        entry.detail = detail;
+        box.entries.push_back(std::move(entry));
+    };
+    add(obs::FlightEntryKind::kNote, "", "boot", 0, "fleet up");
+    add(obs::FlightEntryKind::kSample, "attacker", "signals", 7,
+        "replay_lag=54686 queue_depth=7");
+    add(obs::FlightEntryKind::kTransition, "attacker", "queue_depth", 7,
+        "tenant=attacker queue_depth healthy->critical");
+    add(obs::FlightEntryKind::kVerdict, "attacker", "attack", 1357,
+        "quote \" backslash \\ newline \n tab \t");
+    add(obs::FlightEntryKind::kShutdown, "", "abandon", 0, "");
+    return box;
+}
+
 /** Encode @p log in the legacy v1 format (magic + count + records). */
 std::vector<std::uint8_t>
 encode_legacy_v1(const rnr::InputLog& log)
@@ -190,7 +226,8 @@ main(int argc, char** argv)
     using namespace rsafe;
 
     const fs::path root = argc > 1 ? fs::path(argv[1]) : "tests/corpus";
-    for (const char* sub : {"wire", "log", "checkpoint", "ckpt", "golden"})
+    for (const char* sub :
+         {"wire", "log", "checkpoint", "ckpt", "flight", "golden"})
         fs::create_directories(root / sub);
 
     // ---- fuzz seeds -------------------------------------------------
@@ -220,6 +257,13 @@ main(int argc, char** argv)
     emit_fault_variants(root / "ckpt", "image", ckpt_image, 0x5EED0004);
     write_file(root / "ckpt" / "empty.bin",
                replay::ckpt::serialize_checkpoint(replay::Checkpoint()));
+
+    // flight/: flight-recorder dumps for the black-box fuzzer — every
+    // entry kind, one faulted variant per kind, and an empty box.
+    const auto flight_image = sample_flight_box().serialize();
+    emit_fault_variants(root / "flight", "box", flight_image, 0x5EED0005);
+    write_file(root / "flight" / "empty.bin",
+               obs::FlightBox().serialize());
 
     // wire/ mixes the payload kinds (the raw walker sees everything).
     emit_fault_variants(root / "wire", "log", small_image, 0x5EED0003);

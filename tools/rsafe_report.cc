@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -5,6 +6,8 @@
 #include <vector>
 
 #include "core/framework.h"
+#include "fleet/fleet.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workloads/attack_mix.h"
@@ -55,6 +58,18 @@ usage(std::ostream& os)
           "  --serial               serial stage scheduling\n"
           "  --workers <n>          AR worker pool size (default 2)\n"
           "\n"
+          "health plane:\n"
+          "  --flight <file>        decode a flight-recorder dump and\n"
+          "                         print it (then exit; --json for JSON)\n"
+          "  --fleet-health         run an attack-mix fleet with the\n"
+          "                         health plane + telemetry endpoint on;\n"
+          "                         prints /healthz JSON to stdout\n"
+          "  --snapshot-dir <dir>   telemetry file snapshots land here\n"
+          "                         (fleet-health mode; default '.')\n"
+          "  --hold-ms <n>          keep the telemetry endpoint up this\n"
+          "                         long after the run (default 0)\n"
+          "  --flight-out <file>    write the run's flight-box dump here\n"
+          "\n"
           "output:\n"
           "  --trace <file>         write the Chrome/Perfetto trace JSON\n"
           "  --check-trace          validate the trace document and exit\n"
@@ -90,6 +105,129 @@ write_text(const std::string& path, const std::string& text)
     return static_cast<bool>(out);
 }
 
+bool
+write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+/** Decode @p path as a flight-recorder dump and print it. */
+int
+show_flight(const std::string& path, bool json)
+{
+    using namespace rsafe;
+
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(path, &bytes)) {
+        std::cerr << "rsafe-report: cannot read " << path << "\n";
+        return 1;
+    }
+    obs::FlightBox box;
+    if (const Status s = obs::FlightBox::deserialize(bytes, &box);
+        !s.ok()) {
+        std::cerr << "rsafe-report: flight decode failed: " << s.to_string()
+                  << "\n";
+        return 1;
+    }
+    std::cout << (json ? box.to_json() + "\n" : box.to_string());
+    return 0;
+}
+
+/**
+ * The health-plane smoke run: a small fleet — one storming attack
+ * tenant, two lightened benign tenants — over a deliberately narrow
+ * shared pool, with the monitor and the telemetry endpoint live. The
+ * attack tenant's alarm storm outruns two workers, so its queue-depth
+ * rule escalates and the flight recorder dumps; the run fails loudly if
+ * either signal never fires.
+ */
+int
+run_fleet_health(const std::string& snapshot_dir, std::uint32_t hold_ms,
+                 const std::string& flight_out)
+{
+    using namespace rsafe;
+
+    core::FrameworkConfig tenant_config;
+    tenant_config.pipeline = core::PipelineMode::kConcurrent;
+    tenant_config.cr.checkpoint_interval = 250'000;
+
+    std::vector<fleet::FleetTenant> tenants;
+    workloads::AttackMixOptions storm;
+    storm.attackers = 8;
+    storm.iterations_per_task = 150;
+    tenants.push_back(
+        {"attacker", workloads::attack_mix(storm).factory, tenant_config});
+    for (const char* name : {"mysql", "fileio"}) {
+        auto profile = workloads::golden_profile(name);
+        profile.iterations_per_task =
+            std::max<std::uint64_t>(profile.iterations_per_task / 8, 200);
+        profile.setjmp_prob = 0.025;  // a trickle of benign alarms
+        tenants.push_back({std::string("benign-") + name,
+                           workloads::vm_factory(profile), tenant_config});
+    }
+
+    fleet::FleetOptions options;
+    options.workers = 2;  // narrow on purpose: let the storm queue up
+    options.health.enabled = true;
+    options.telemetry.enabled = true;
+    options.telemetry.snapshot_dir = snapshot_dir;
+    options.telemetry_linger_ms = hold_ms;
+
+    fleet::ReplayFleet fleet(std::move(tenants), options);
+    fleet::FleetResult result = fleet.run();
+
+    std::cout << result.healthz << "\n";
+    std::cerr << "rsafe-report: fleet-health: telemetry port "
+              << result.telemetry_port << ", " << result.health_events.size()
+              << " health events, flight box " << result.flight_box.size()
+              << " bytes\n";
+
+    if (!flight_out.empty() && !write_bytes(flight_out, result.flight_box)) {
+        std::cerr << "rsafe-report: cannot write " << flight_out << "\n";
+        return 1;
+    }
+
+    // The smoke contract: the attack tenant left healthy, an attack was
+    // detected, and the flight dump decodes back losslessly.
+    bool attacker_unhealthy = false;
+    for (const auto& event : result.health_events) {
+        if (event.tenant == "attacker" &&
+            event.to != obs::HealthState::kHealthy)
+            attacker_unhealthy = true;
+    }
+    if (!attacker_unhealthy) {
+        std::cerr << "rsafe-report: fleet-health FAILED: attack tenant "
+                     "never left healthy\n";
+        return 1;
+    }
+    bool attack_found = false;
+    for (const auto& tenant : result.tenants)
+        if (tenant.name == "attacker" &&
+            tenant.result.alarms.attack_detected())
+            attack_found = true;
+    if (!attack_found) {
+        std::cerr << "rsafe-report: fleet-health FAILED: no attack "
+                     "verdict on the attack tenant\n";
+        return 1;
+    }
+    obs::FlightBox box;
+    if (result.flight_box.empty() ||
+        !obs::FlightBox::deserialize(result.flight_box, &box).ok() ||
+        box.entries.empty()) {
+        std::cerr << "rsafe-report: fleet-health FAILED: flight box "
+                     "missing or undecodable\n";
+        return 1;
+    }
+    std::cerr << "rsafe-report: fleet-health OK: flight box '" << box.reason
+              << "' (" << box.entries.size() << " entries)\n";
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -102,6 +240,11 @@ main(int argc, char** argv)
     std::string trace_path;
     std::string metrics_path;
     std::string prom_path;
+    std::string flight_path;
+    std::string snapshot_dir = ".";
+    std::string flight_out;
+    std::uint32_t hold_ms = 0;
+    bool fleet_health = false;
     bool check_trace = false;
     bool json = false;
     bool forensics = true;
@@ -116,6 +259,16 @@ main(int argc, char** argv)
             workload.clear();
         } else if (arg == "--workload" && i + 1 < argc) {
             workload = argv[++i];
+        } else if (arg == "--flight" && i + 1 < argc) {
+            flight_path = argv[++i];
+        } else if (arg == "--fleet-health") {
+            fleet_health = true;
+        } else if (arg == "--snapshot-dir" && i + 1 < argc) {
+            snapshot_dir = argv[++i];
+        } else if (arg == "--hold-ms" && i + 1 < argc) {
+            hold_ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        } else if (arg == "--flight-out" && i + 1 < argc) {
+            flight_out = argv[++i];
         } else if (arg == "--serial") {
             serial = true;
         } else if (arg == "--workers" && i + 1 < argc) {
@@ -143,6 +296,11 @@ main(int argc, char** argv)
     }
 
     try {
+        if (!flight_path.empty())
+            return show_flight(flight_path, json);
+        if (fleet_health)
+            return run_fleet_health(snapshot_dir, hold_ms, flight_out);
+
         core::VmFactory factory;
         if (workload.empty()) {
             factory = workloads::attack_mix().factory;
